@@ -1,0 +1,110 @@
+// Shared benchmark utilities: flag parsing, table output, the Blob payload.
+//
+// Every bench binary prints the rows/series of the paper figure it
+// regenerates, using simulated time (see DESIGN.md §2). Default parameters
+// are scaled down from the paper's testbed so the full suite runs in
+// minutes; pass --full for paper-scale runs, or individual flags to
+// override.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hcl.h"
+
+namespace hcl::bench {
+
+/// Minimal command-line flags: --name=value or --name value; --full.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    for (const auto& a : args_) {
+      if (a == name || a.rfind(name + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t get(const std::string& name,
+                                 std::int64_t fallback) const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind(name + "=", 0) == 0) {
+        return std::atoll(args_[i].c_str() + name.size() + 1);
+      }
+      if (args_[i] == name && i + 1 < args_.size()) {
+        return std::atoll(args_[i + 1].c_str());
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] bool full() const { return has("--full"); }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// A payload whose *wire size* is `nominal` bytes but whose in-memory
+/// footprint is 16 bytes — lets bandwidth sweeps charge multi-megabyte
+/// transfers without materializing gigabytes of real data. The serializer
+/// genuinely moves `nominal` bytes through the archive, so serialization
+/// cost is real; only long-term storage is elided.
+struct Blob {
+  std::uint64_t nominal = 0;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    if constexpr (Ar::is_saving) {
+      ar.u64(nominal);
+      static const std::vector<std::byte> zeros(1 << 16);
+      std::uint64_t left = nominal;
+      while (left > 0) {
+        const std::uint64_t chunk = left < zeros.size() ? left : zeros.size();
+        ar.raw_bytes(zeros.data(), chunk);
+        left -= chunk;
+      }
+    } else {
+      nominal = ar.u64();
+      std::byte sink[1 << 12];
+      std::uint64_t left = nominal;
+      while (left > 0) {
+        const std::uint64_t chunk = left < sizeof(sink) ? left : sizeof(sink);
+        ar.raw_bytes(sink, chunk);
+        left -= chunk;
+      }
+    }
+  }
+
+  friend bool operator==(const Blob& a, const Blob& b) {
+    return a.nominal == b.nominal;
+  }
+};
+
+inline std::string human_bytes(std::int64_t bytes) {
+  char buf[32];
+  if (bytes >= (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "MB", bytes >> 20);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "KB", bytes >> 10);
+  }
+  return buf;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(simulated time; paper-calibrated cost model, DESIGN.md §2)\n");
+  std::printf("==============================================================\n");
+}
+
+inline void print_footer() { std::printf("\n"); }
+
+}  // namespace hcl::bench

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the lock-free local structures —
+// the real (wall-clock) performance of the building blocks underneath the
+// distributed containers. Unlike the fig*/table* binaries, these numbers
+// are REAL time, not simulated.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "lf/cuckoo_map.h"
+#include "lf/ms_queue.h"
+#include "lf/priority_queue.h"
+#include "lf/skiplist_map.h"
+
+namespace {
+
+using namespace hcl;  // NOLINT
+
+void BM_CuckooInsert(benchmark::State& state) {
+  static lf::CuckooMap<std::uint64_t, std::uint64_t>* map = nullptr;
+  if (state.thread_index() == 0) {
+    map = new lf::CuckooMap<std::uint64_t, std::uint64_t>(1 << 14);
+  }
+  std::uint64_t k =
+      static_cast<std::uint64_t>(state.thread_index()) << 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->insert(k++, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete map;
+    map = nullptr;
+  }
+}
+BENCHMARK(BM_CuckooInsert)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_CuckooFind(benchmark::State& state) {
+  static lf::CuckooMap<std::uint64_t, std::uint64_t>* map = nullptr;
+  if (state.thread_index() == 0) {
+    map = new lf::CuckooMap<std::uint64_t, std::uint64_t>(1 << 14);
+    for (std::uint64_t i = 0; i < 50'000; ++i) map->insert(i, i);
+  }
+  Rng rng(state.thread_index() + 1);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    std::uint64_t v;
+    hits += map->find(rng.next_below(50'000), &v) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete map;
+    map = nullptr;
+  }
+}
+BENCHMARK(BM_CuckooFind)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_SkipListInsert(benchmark::State& state) {
+  static lf::SkipListMap<std::uint64_t, std::uint64_t>* list = nullptr;
+  if (state.thread_index() == 0) {
+    list = new lf::SkipListMap<std::uint64_t, std::uint64_t>();
+  }
+  std::uint64_t k =
+      static_cast<std::uint64_t>(state.thread_index()) << 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list->insert(k++, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete list;
+    list = nullptr;
+  }
+}
+BENCHMARK(BM_SkipListInsert)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_MsQueuePingPong(benchmark::State& state) {
+  static lf::MsQueue<std::uint64_t>* queue = nullptr;
+  if (state.thread_index() == 0) queue = new lf::MsQueue<std::uint64_t>();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    queue->push(v);
+    std::uint64_t out;
+    benchmark::DoNotOptimize(queue->pop(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (state.thread_index() == 0) {
+    delete queue;
+    queue = nullptr;
+  }
+}
+BENCHMARK(BM_MsQueuePingPong)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_PriorityQueueMixed(benchmark::State& state) {
+  static lf::PriorityQueue<std::uint64_t>* pq = nullptr;
+  if (state.thread_index() == 0) pq = new lf::PriorityQueue<std::uint64_t>();
+  Rng rng(state.thread_index() + 7);
+  for (auto _ : state) {
+    pq->push(rng.next_below(1'000'000));
+    std::uint64_t out;
+    benchmark::DoNotOptimize(pq->pop(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  if (state.thread_index() == 0) {
+    delete pq;
+    pq = nullptr;
+  }
+}
+BENCHMARK(BM_PriorityQueueMixed)->ThreadRange(1, 4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

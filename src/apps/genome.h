@@ -1,0 +1,129 @@
+// Synthetic genome workload generator for the Meraculous kernels (Fig. 7b/c).
+//
+// Substitution note (DESIGN.md §2): the paper uses real DNA read sets; the
+// kernels' behaviour, however, is driven entirely by the hash-map traffic
+// pattern — random-looking fixed-width k-mer keys, histogram updates, and
+// de Bruijn adjacency lookups. A uniformly random reference plus error-free
+// overlapping reads reproduces exactly that pattern, deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hcl::apps {
+
+/// 2-bit base encoding: A=0 C=1 G=2 T=3.
+inline constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+
+inline int base_code(char b) {
+  switch (b) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default: throw HclError(Status::InvalidArgument("non-ACGT base"));
+  }
+}
+
+/// A k-mer packed 2 bits/base into a u64 (k <= 31; the top bits keep k
+/// unambiguous by a leading sentinel 1).
+using Kmer = std::uint64_t;
+
+inline Kmer pack_kmer(const char* s, int k) {
+  Kmer v = 1;  // length sentinel
+  for (int i = 0; i < k; ++i) {
+    v = (v << 2) | static_cast<Kmer>(base_code(s[i]));
+  }
+  return v;
+}
+
+inline std::string unpack_kmer(Kmer v, int k) {
+  std::string out(static_cast<std::size_t>(k), 'A');
+  for (int i = k - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kBases[v & 3];
+    v >>= 2;
+  }
+  return out;
+}
+
+/// Extend a packed k-mer one base to the right (sliding window).
+inline Kmer roll_kmer(Kmer v, int k, char next_base) {
+  const Kmer mask = (Kmer{1} << (2 * k)) - 1;
+  return (Kmer{1} << (2 * k)) | (((v << 2) | static_cast<Kmer>(base_code(next_base))) & mask);
+}
+
+struct GenomeConfig {
+  std::size_t reference_length = 100'000;
+  std::size_t read_length = 100;
+  /// Coverage: average number of reads covering each reference base.
+  double coverage = 4.0;
+  int k = 21;
+  std::uint64_t seed = 1337;
+};
+
+struct Genome {
+  std::string reference;
+  std::vector<std::string> reads;
+  int k = 21;
+};
+
+/// Deterministic synthetic genome + error-free read set.
+inline Genome generate_genome(const GenomeConfig& config) {
+  Genome g;
+  g.k = config.k;
+  Rng rng(config.seed);
+  g.reference.resize(config.reference_length);
+  for (auto& b : g.reference) b = kBases[rng.next_below(4)];
+  const auto n_reads = static_cast<std::size_t>(
+      config.coverage * static_cast<double>(config.reference_length) /
+      static_cast<double>(config.read_length));
+  g.reads.reserve(n_reads);
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    const std::size_t start =
+        rng.next_below(config.reference_length - config.read_length);
+    g.reads.push_back(g.reference.substr(start, config.read_length));
+  }
+  return g;
+}
+
+/// All k-mers of one read, packed.
+inline std::vector<Kmer> kmers_of(const std::string& read, int k) {
+  std::vector<Kmer> out;
+  if (read.size() < static_cast<std::size_t>(k)) return out;
+  out.reserve(read.size() - static_cast<std::size_t>(k) + 1);
+  Kmer cur = pack_kmer(read.data(), k);
+  out.push_back(cur);
+  for (std::size_t i = static_cast<std::size_t>(k); i < read.size(); ++i) {
+    cur = roll_kmer(cur, k, read[i]);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+/// de Bruijn node payload: 4-bit masks of observed right/left extensions
+/// plus a visited flag used during contig traversal.
+struct KmerNode {
+  std::uint8_t right_ext = 0;  // bit b set => base b observed to the right
+  std::uint8_t left_ext = 0;
+  std::uint8_t visited = 0;
+
+  friend bool operator==(const KmerNode&, const KmerNode&) = default;
+};
+static_assert(sizeof(KmerNode) <= 8);
+
+/// True if exactly one bit is set (unique extension).
+inline bool unique_ext(std::uint8_t mask) {
+  return mask != 0 && (mask & (mask - 1)) == 0;
+}
+inline int ext_base(std::uint8_t mask) {
+  for (int b = 0; b < 4; ++b) {
+    if (mask & (1u << b)) return b;
+  }
+  return -1;
+}
+
+}  // namespace hcl::apps

@@ -1,0 +1,296 @@
+// Meraculous genome-assembly kernels (Fig. 7b/c), HCL and BCL variants.
+//
+// Two kernels from the Meraculous pipeline, as used by the paper and by
+// Brock et al. [11]:
+//   * k-mer counting — "uses an unordered map to compute a histogram
+//     describing the number of occurrences of each k-mer across reads".
+//     HCL increments through ONE registered-mutator invocation per k-mer;
+//     BCL needs a client-side probe + CAS-lock + read + write + CAS-unlock.
+//   * contig generation — builds a de Bruijn graph of overlapping k-mers in
+//     an unordered map (extension masks per node), then walks unique-
+//     extension chains to emit contigs. Graph construction is RMW-bound,
+//     traversal is find-bound; HCL wins on both per §IV.D.2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/genome.h"
+#include "bcl/bcl.h"
+#include "core/hcl.h"
+
+namespace hcl::apps {
+
+struct MeraculousConfig {
+  GenomeConfig genome;
+  /// BCL static table size per total k-mer estimate multiplier.
+  double bcl_table_slack = 4.0;
+};
+
+struct KmerCountResult {
+  double seconds = 0;
+  std::uint64_t total_kmers = 0;     // occurrences processed
+  std::uint64_t distinct_kmers = 0;  // histogram cardinality
+};
+
+struct ContigResult {
+  double seconds = 0;
+  std::uint64_t contigs = 0;
+  std::uint64_t total_bases = 0;
+};
+
+namespace detail {
+
+/// Reads are dealt round-robin to ranks (the input-partitioning step).
+inline std::vector<const std::string*> reads_of_rank(const Genome& genome,
+                                                     sim::Rank rank,
+                                                     int num_ranks) {
+  std::vector<const std::string*> mine;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < genome.reads.size();
+       i += static_cast<std::size_t>(num_ranks)) {
+    mine.push_back(&genome.reads[i]);
+  }
+  return mine;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// k-mer counting
+// ---------------------------------------------------------------------------
+
+inline KmerCountResult run_kmer_count_hcl(Context& ctx, const Genome& genome) {
+  unordered_map<Kmer, std::uint32_t> counts(ctx);
+  const auto add_one = counts.register_mutator<std::uint8_t>(
+      [](std::uint32_t& c, const std::uint8_t&) { ++c; });
+
+  ctx.reset_measurement();
+  std::atomic<std::uint64_t> total{0};
+  ctx.run([&](sim::Actor& self) {
+    std::uint64_t mine = 0;
+    for (const auto* read :
+         detail::reads_of_rank(genome, self.rank(), ctx.topology().num_ranks())) {
+      for (Kmer kmer : kmers_of(*read, genome.k)) {
+        counts.apply(kmer, add_one, std::uint8_t{0}, std::uint32_t{0});
+        ++mine;
+      }
+    }
+    total.fetch_add(mine, std::memory_order_relaxed);
+  });
+
+  KmerCountResult result;
+  result.seconds = ctx.elapsed_seconds();
+  result.total_kmers = total.load();
+  result.distinct_kmers = counts.size();
+  return result;
+}
+
+inline KmerCountResult run_kmer_count_bcl(Context& ctx, const Genome& genome,
+                                          double table_slack = 4.0) {
+  // Static pre-sizing: the client-side model must agree on capacity before
+  // the histogram cardinality is known (limitation (e)).
+  const std::size_t estimate = static_cast<std::size_t>(
+      table_slack * static_cast<double>(genome.reference.size()));
+  bcl::HashMap<Kmer, std::uint32_t> counts(ctx, estimate);
+
+  ctx.reset_measurement();
+  std::atomic<std::uint64_t> total{0};
+  ctx.run([&](sim::Actor& self) {
+    std::uint64_t mine = 0;
+    for (const auto* read :
+         detail::reads_of_rank(genome, self.rank(), ctx.topology().num_ranks())) {
+      for (Kmer kmer : kmers_of(*read, genome.k)) {
+        throw_if_error(counts.rmw(
+            kmer, [](std::uint32_t& c) { ++c; }, std::uint32_t{0}));
+        ++mine;
+      }
+    }
+    total.fetch_add(mine, std::memory_order_relaxed);
+  });
+
+  KmerCountResult result;
+  result.seconds = ctx.elapsed_seconds();
+  result.total_kmers = total.load();
+  result.distinct_kmers = counts.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// contig generation
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Walk right from a seed k-mer through unique extensions. `find` is a
+/// callable (Kmer, KmerNode*) -> bool; `claim` marks a k-mer visited and
+/// returns false if someone else got it first.
+template <typename FindFn, typename ClaimFn>
+std::uint64_t walk_contig(Kmer seed, int k, const KmerNode& seed_node,
+                          FindFn&& find, ClaimFn&& claim) {
+  if (!claim(seed)) return 0;
+  std::uint64_t length = static_cast<std::uint64_t>(k);
+  Kmer cur = seed;
+  KmerNode node = seed_node;
+  while (unique_ext(node.right_ext)) {
+    const int b = ext_base(node.right_ext);
+    cur = roll_kmer(cur, k, kBases[b]);
+    KmerNode next;
+    if (!find(cur, &next)) break;
+    if (!claim(cur)) break;  // merged into another walker's contig
+    ++length;
+    node = next;
+  }
+  return length;
+}
+
+}  // namespace detail
+
+inline ContigResult run_contig_hcl(Context& ctx, const Genome& genome) {
+  unordered_map<Kmer, KmerNode> graph(ctx);
+  const auto extend = graph.register_mutator<std::uint16_t>(
+      [](KmerNode& node, const std::uint16_t& packed) {
+        node.right_ext |= static_cast<std::uint8_t>(packed & 0xF);
+        node.left_ext |= static_cast<std::uint8_t>((packed >> 4) & 0xF);
+      });
+  // Fetch-and-set visited flag: returns true when this caller claimed the
+  // node (it was unvisited) — one invocation, no client-side CAS loop.
+  const auto claim = graph.register_mutator<std::uint8_t>(
+      [](KmerNode& node, const std::uint8_t&) {
+        const bool first = node.visited == 0;
+        node.visited = 1;
+        return first;
+      });
+
+  ctx.reset_measurement();
+  // Phase 1: build the de Bruijn graph (one mutator invocation per k-mer
+  // occurrence records both extensions).
+  ctx.run([&](sim::Actor& self) {
+    for (const auto* read :
+         detail::reads_of_rank(genome, self.rank(), ctx.topology().num_ranks())) {
+      const auto kmers = kmers_of(*read, genome.k);
+      for (std::size_t i = 0; i < kmers.size(); ++i) {
+        std::uint16_t packed = 0;
+        if (i + static_cast<std::size_t>(genome.k) < read->size()) {
+          packed |= static_cast<std::uint16_t>(
+              1u << base_code((*read)[i + static_cast<std::size_t>(genome.k)]));
+        }
+        if (i > 0) {
+          packed |= static_cast<std::uint16_t>(
+              (1u << base_code((*read)[i - 1])) << 4);
+        }
+        graph.apply(kmers[i], extend, packed, KmerNode{});
+      }
+    }
+  });
+
+  // Phase 2: traversal. Seeds (no or ambiguous left extension) are walked
+  // right; visited marking is an atomic claim through a mutator.
+  std::atomic<std::uint64_t> contigs{0}, bases{0};
+  // Collect seeds centrally (graph introspection, not charged).
+  std::vector<std::pair<Kmer, KmerNode>> seeds;
+  graph.for_each([&](const Kmer& k, const KmerNode& n) {
+    if (!unique_ext(n.left_ext)) seeds.emplace_back(k, n);
+  });
+  ctx.run([&](sim::Actor& self) {
+    std::uint64_t my_contigs = 0, my_bases = 0;
+    const int ranks = ctx.topology().num_ranks();
+    for (std::size_t i = static_cast<std::size_t>(self.rank()); i < seeds.size();
+         i += static_cast<std::size_t>(ranks)) {
+      const auto& [seed, node] = seeds[i];
+      const std::uint64_t len = detail::walk_contig(
+          seed, genome.k, node,
+          [&](Kmer k, KmerNode* out) { return graph.find(k, out); },
+          [&](Kmer k) {
+            return graph.apply_fetch<bool>(k, claim, std::uint8_t{0},
+                                           KmerNode{});
+          });
+      if (len > 0) {
+        ++my_contigs;
+        my_bases += len;
+      }
+    }
+    contigs.fetch_add(my_contigs, std::memory_order_relaxed);
+    bases.fetch_add(my_bases, std::memory_order_relaxed);
+  });
+
+  ContigResult result;
+  result.seconds = ctx.elapsed_seconds();
+  result.contigs = contigs.load();
+  result.total_bases = bases.load();
+  return result;
+}
+
+inline ContigResult run_contig_bcl(Context& ctx, const Genome& genome,
+                                   double table_slack = 4.0) {
+  const std::size_t estimate = static_cast<std::size_t>(
+      table_slack * static_cast<double>(genome.reference.size()));
+  bcl::HashMap<Kmer, KmerNode> graph(ctx, estimate);
+
+  ctx.reset_measurement();
+  ctx.run([&](sim::Actor& self) {
+    for (const auto* read :
+         detail::reads_of_rank(genome, self.rank(), ctx.topology().num_ranks())) {
+      const auto kmers = kmers_of(*read, genome.k);
+      for (std::size_t i = 0; i < kmers.size(); ++i) {
+        std::uint8_t right = 0, left = 0;
+        if (i + static_cast<std::size_t>(genome.k) < read->size()) {
+          right = static_cast<std::uint8_t>(
+              1u << base_code((*read)[i + static_cast<std::size_t>(genome.k)]));
+        }
+        if (i > 0) {
+          left = static_cast<std::uint8_t>(1u << base_code((*read)[i - 1]));
+        }
+        throw_if_error(graph.rmw(
+            kmers[i],
+            [right, left](KmerNode& node) {
+              node.right_ext |= right;
+              node.left_ext |= left;
+            },
+            KmerNode{}));
+      }
+    }
+  });
+
+  std::atomic<std::uint64_t> contigs{0}, bases{0};
+  std::vector<std::pair<Kmer, KmerNode>> seeds;
+  graph.for_each([&](const Kmer& k, const KmerNode& n) {
+    if (!unique_ext(n.left_ext)) seeds.emplace_back(k, n);
+  });
+  ctx.run([&](sim::Actor& self) {
+    std::uint64_t my_contigs = 0, my_bases = 0;
+    const int ranks = ctx.topology().num_ranks();
+    for (std::size_t i = static_cast<std::size_t>(self.rank()); i < seeds.size();
+         i += static_cast<std::size_t>(ranks)) {
+      const auto& [seed, node] = seeds[i];
+      const std::uint64_t len = detail::walk_contig(
+          seed, genome.k, node,
+          [&](Kmer k, KmerNode* out) { return graph.find(k, out).ok(); },
+          [&](Kmer k) {
+            bool claimed = false;
+            throw_if_error(graph.rmw(
+                k,
+                [&claimed](KmerNode& node) {
+                  claimed = node.visited == 0;
+                  node.visited = 1;
+                },
+                KmerNode{}));
+            return claimed;
+          });
+      if (len > 0) {
+        ++my_contigs;
+        my_bases += len;
+      }
+    }
+    contigs.fetch_add(my_contigs, std::memory_order_relaxed);
+    bases.fetch_add(my_bases, std::memory_order_relaxed);
+  });
+
+  ContigResult result;
+  result.seconds = ctx.elapsed_seconds();
+  result.contigs = contigs.load();
+  result.total_bases = bases.load();
+  return result;
+}
+
+}  // namespace hcl::apps

@@ -1,0 +1,24 @@
+// BCL baseline: a faithful re-implementation of the Berkeley Container
+// Library's *client-side* programming model over the same simulated fabric
+// HCL uses (paper §II.B and [11]).
+//
+// Every comparative figure in the paper (Figs. 1, 4, 5, 6, 7) pits HCL
+// against BCL, so the baseline must reproduce BCL's architectural choices —
+// including the ones the paper identifies as limitations (§I a–f):
+//   (a) multiple remote calls per operation (2 CAS + 1 write per insert),
+//   (b) write-side serialization via flush/ready states,
+//   (c) CAS serialization on the target NIC's atomic unit,
+//   (d) client-side probing for free buckets (extra round trips),
+//   (e) static pre-allocated partitioning agreed on by all clients
+//       (no dynamic resize; capacity errors surface to the caller),
+//   (f) fixed data-entry sizing and per-client exclusive RDMA buffers,
+//       which is what makes BCL exceed the node memory budget for large
+//       operation sizes (§IV.B.2).
+//
+// The umbrella header: include bcl/bcl.h and use bcl::HashMap /
+// bcl::CircularQueue.
+#pragma once
+
+#include "bcl/circular_queue.h"
+#include "bcl/hash_map.h"
+#include "bcl/runtime.h"

@@ -1,0 +1,91 @@
+// BCL runtime pieces: global pointers and the per-client exclusive buffer
+// pools that characterize the client-side model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/spin.h"
+#include "core/context.h"
+#include "sim/actor.h"
+
+namespace hcl::bcl {
+
+/// A (node, address) pair — the in-process stand-in for BCL's global
+/// pointer {rank, offset}. Dereferenceable only through fabric verbs (or
+/// natively by code that has won ownership of the referenced region).
+template <typename T>
+struct GlobalPtr {
+  sim::NodeId node = 0;
+  T* local = nullptr;
+
+  [[nodiscard]] bool is_null() const noexcept { return local == nullptr; }
+};
+
+/// Per-client exclusive RDMA buffer accounting (§IV.B.2: "client-side
+/// operations require exclusive RDMA buffers to avoid corruption. This
+/// increases the overall requirement of memory for BCL.").
+///
+/// Each client rank keeps a pool of `CostModel::bcl_buffer_pool_depth`
+/// in-flight buffers sized to the largest payload it has sent; the bytes are
+/// charged against the *client's node* memory budget. When a workload's
+/// operation size pushes total buffer memory past the budget, ensure()
+/// reports kOutOfMemory — reproducing the paper's >1 MB BCL failures.
+class ClientBufferPool {
+ public:
+  explicit ClientBufferPool(Context& ctx) : ctx_(&ctx) {}
+
+  ClientBufferPool(const ClientBufferPool&) = delete;
+  ClientBufferPool& operator=(const ClientBufferPool&) = delete;
+
+  ~ClientBufferPool() {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (auto& [rank, state] : clients_) {
+      ctx_->fabric().memory(state.node).release(state.reserved_bytes, 0);
+    }
+  }
+
+  /// Make sure `self` owns buffers large enough for `payload_bytes`.
+  Status ensure(sim::Actor& self, std::int64_t payload_bytes) {
+    const std::int64_t need =
+        payload_bytes * ctx_->model().bcl_buffer_pool_depth;
+    std::lock_guard<SpinLock> guard(lock_);
+    ClientState& state = clients_[self.rank()];
+    state.node = self.node();
+    if (state.reserved_bytes >= need) return Status::Ok();
+    const std::int64_t delta = need - state.reserved_bytes;
+    Status st = ctx_->fabric().memory(self.node()).reserve(delta, self.now());
+    if (!st.ok()) return st;
+    state.reserved_bytes = need;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::int64_t total_reserved() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    std::int64_t sum = 0;
+    for (const auto& [rank, state] : clients_) sum += state.reserved_bytes;
+    return sum;
+  }
+
+ private:
+  struct ClientState {
+    sim::NodeId node = 0;
+    std::int64_t reserved_bytes = 0;
+  };
+
+  Context* ctx_;
+  mutable SpinLock lock_;
+  std::unordered_map<sim::Rank, ClientState> clients_;
+};
+
+/// Bucket/slot states shared by the BCL containers (the paper's motivating
+/// example: reserve -> write -> set-ready).
+enum SlotState : std::uint64_t {
+  kFree = 0,
+  kReserved = 1,
+  kReady = 2,
+};
+
+}  // namespace hcl::bcl

@@ -1,0 +1,98 @@
+// 64-bit hashing utilities.
+//
+// HCL uses two independent levels of hashing (paper §III.D.1): one to pick
+// the partition in the global address space and one to place a key inside a
+// partition. Both must be high-quality and cheap; std::hash on many standard
+// libraries is the identity for integers, which produces catastrophic
+// clustering under block-wise partitioning. We therefore provide a strong
+// mixer (splitmix64 finalizer / xxh3-style avalanche) layered on top of
+// std::hash so that user-provided std::hash specializations (paper-supported
+// customization point) still participate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string_view>
+#include <type_traits>
+
+namespace hcl {
+
+/// Final avalanche step from splitmix64; full 64-bit diffusion.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// A second, independent mixer (Murmur3 fmix with different constants) used
+/// for cuckoo hashing's alternate bucket choice.
+constexpr std::uint64_t mix64_alt(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over raw bytes; used for byte-wise key material (strings, blobs).
+inline std::uint64_t hash_bytes(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+/// Combine two hashes (boost::hash_combine-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Primary hash functor: user-overridable via std::hash<K> (the paper's
+/// customization point), post-mixed for partition quality.
+template <typename K>
+struct Hash {
+  std::uint64_t operator()(const K& key) const {
+    return mix64(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+  }
+};
+
+/// Secondary hash for cuckoo displacement; independent of Hash<K>.
+template <typename K>
+struct AltHash {
+  std::uint64_t operator()(const K& key) const {
+    return mix64_alt(static_cast<std::uint64_t>(std::hash<K>{}(key)) ^
+                     0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// Fast power-of-two modulo (capacity must be a power of two).
+constexpr std::size_t index_for(std::uint64_t hash, std::size_t pow2_capacity) noexcept {
+  return static_cast<std::size_t>(hash) & (pow2_capacity - 1);
+}
+
+/// Round up to the next power of two (returns 1 for 0).
+constexpr std::size_t next_pow2(std::size_t x) noexcept {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  if constexpr (sizeof(std::size_t) == 8) x |= x >> 32;
+  return x + 1;
+}
+
+constexpr bool is_pow2(std::size_t x) noexcept { return x && ((x & (x - 1)) == 0); }
+
+}  // namespace hcl

@@ -1,0 +1,124 @@
+// Bounded multi-producer multi-consumer queue (Vyukov's array queue).
+//
+// Used as the NIC work-queue transport inside the simulated fabric: client
+// stubs act as producers, NIC-core executor threads as consumers. Bounded on
+// purpose — a real RDMA work queue has finite depth, and enqueue failure maps
+// to the fabric's "WQ full" backpressure path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/spin.h"
+
+namespace hcl {
+
+inline constexpr std::size_t kCacheLine = 64;  // x86-64 destructive interference
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two; must be >= 1.
+  explicit MpmcQueue(std::size_t capacity)
+      : capacity_(next_pow2(capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  ~MpmcQueue() {
+    // Drain any remaining elements so non-trivially-destructible payloads
+    // are destroyed exactly once.
+    while (try_pop().has_value()) {}
+  }
+
+  /// Non-blocking enqueue; false when full (fabric backpressure).
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    ::new (cell->storage()) T(std::move(value));
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking enqueue with exponential backoff.
+  void push(T value) {
+    Backoff backoff;
+    while (!try_push(std::move(value))) backoff.pause();
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> try_pop() {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    T* slot = std::launder(reinterpret_cast<T*>(cell->storage()));
+    std::optional<T> out{std::move(*slot)};
+    slot->~T();
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate size (racy; for metrics only).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence;
+    alignas(alignof(T)) unsigned char raw[sizeof(T)];
+    void* storage() noexcept { return raw; }
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace hcl

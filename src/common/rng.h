@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// Benchmarks must be reproducible run-to-run, so every generator is seeded
+// explicitly (typically by rank) and the engine is fixed (xoshiro256**)
+// rather than implementation-defined std::default_random_engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace hcl {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // splitmix64 seeding per the xoshiro reference implementation.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = mix64(x);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection-free
+  /// approximation (bias negligible for bound << 2^64).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Random byte fill (for synthetic payloads).
+  void fill(void* dst, std::size_t len) noexcept {
+    auto* p = static_cast<unsigned char*>(dst);
+    while (len >= 8) {
+      const std::uint64_t v = next();
+      __builtin_memcpy(p, &v, 8);
+      p += 8;
+      len -= 8;
+    }
+    if (len > 0) {
+      const std::uint64_t v = next();
+      __builtin_memcpy(p, &v, len);
+    }
+  }
+
+  /// Random printable-ASCII string of length `len`.
+  std::string next_string(std::size_t len) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      out.push_back(kAlphabet[next_below(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace hcl

@@ -1,0 +1,97 @@
+// Spin synchronization primitives used on short critical sections inside the
+// simulated fabric and the lock-free structures' slow paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hcl {
+
+/// One CPU-relax hint (pause on x86, yield elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff for contended CAS loops. Starts with cheap pauses and
+/// escalates to OS yields so heavily oversubscribed tests stay live.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (count_ < kSpinLimit) {
+      for (std::uint32_t i = 0; i < (1u << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 7;  // up to 128 pauses
+  std::uint32_t count_ = 0;
+};
+
+/// Minimal test-and-test-and-set spinlock. Satisfies Lockable so it works
+/// with std::lock_guard / std::scoped_lock.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Per-bucket sequence lock: even = stable, odd = write in progress.
+/// Readers retry optimistically; writers are serialized by an external
+/// striped lock. This is the consistency mechanism behind the cuckoo map's
+/// lock-free reads (paper §III.D.1).
+class SeqLock {
+ public:
+  /// Begin an optimistic read; returns the observed (even) sequence, spinning
+  /// past in-progress writes.
+  std::uint64_t read_begin() const noexcept {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t s = seq_.load(std::memory_order_acquire);
+      if ((s & 1u) == 0) return s;
+      backoff.pause();
+    }
+  }
+  /// True if the section read under `s` is consistent (no writer intervened).
+  bool read_validate(std::uint64_t s) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == s;
+  }
+  void write_begin() noexcept {
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void write_end() noexcept {
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace hcl

@@ -1,0 +1,153 @@
+// hcl::Context — the library runtime a program initializes once.
+//
+// "During initialization, one or more processes in the node can create a
+// shared memory segment that other processes (both local and remote) can
+// read and write to by invoking functions" (§III). The Context owns the
+// simulated cluster (ranks/actors), the fabric (NICs, memory budgets), and
+// the RPC-over-RDMA engine that containers bind their server stubs into.
+//
+// Typical use (mirrors the paper's Fig. 3 sketch):
+//
+//   hcl::Context ctx({.num_nodes = 4, .procs_per_node = 8});
+//   hcl::unordered_map<int, double> map(ctx, {.num_partitions = 4});
+//   ctx.run([&](hcl::sim::Actor& self) {
+//     map.insert(self.rank(), 1.5);
+//     double v;
+//     map.find(self.rank(), &v);
+//   });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fabric/fabric.h"
+#include "memory/segment.h"
+#include "rpc/engine.h"
+#include "core/op_stats.h"
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+#include "sim/topology.h"
+
+namespace hcl {
+
+class Context {
+ public:
+  struct Config {
+    int num_nodes = 1;
+    int procs_per_node = 1;
+    sim::CostModel model = sim::CostModel::ares();
+    fabric::FabricOptions fabric_options{};
+    std::uint64_t seed = 42;
+  };
+
+  explicit Context(const Config& config)
+      : topology_(config.num_nodes, config.procs_per_node),
+        cluster_(topology_, config.seed),
+        fabric_(topology_, config.model, config.fabric_options),
+        engine_(fabric_) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] const sim::Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] sim::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] fabric::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] rpc::Engine& rpc() noexcept { return engine_; }
+  [[nodiscard]] const sim::CostModel& model() const noexcept {
+    return fabric_.model();
+  }
+  [[nodiscard]] core::OpStats& op_stats() noexcept { return op_stats_; }
+
+  /// Run `fn(actor)` on every rank (SPMD main, like mpirun).
+  void run(const std::function<void(sim::Actor&)>& fn, unsigned max_threads = 0) {
+    cluster_.run(fn, max_threads);
+    fabric_.drain_all();  // quiesce outstanding async RPCs / replication
+  }
+
+  /// Run `fn` on a single rank (driver-style sections of tests/benches).
+  void run_one(sim::Rank rank, const std::function<void(sim::Actor&)>& fn) {
+    cluster_.run_ranks(rank, rank + 1, fn);
+    fabric_.drain_all();
+  }
+
+  /// BSP phases with simulated-time barriers between them.
+  void run_phases(const std::vector<std::function<void(sim::Actor&)>>& phases,
+                  unsigned max_threads = 0) {
+    for (const auto& phase : phases) {
+      run(phase, max_threads);
+      cluster_.align_clocks();
+    }
+  }
+
+  /// Makespan of the last run (simulated seconds).
+  [[nodiscard]] double elapsed_seconds() const {
+    return sim::to_seconds(cluster_.max_time());
+  }
+
+  /// Reset clocks, fabric lanes, counters, and op stats between benchmark
+  /// repetitions. Container *contents* are untouched.
+  void reset_measurement() {
+    fabric_.drain_all();
+    cluster_.reset_clocks();
+    fabric_.reset_metrics();
+    op_stats_.reset();
+  }
+
+ private:
+  sim::Topology topology_;
+  sim::Cluster cluster_;
+  fabric::Fabric fabric_;
+  rpc::Engine engine_;
+  core::OpStats op_stats_;
+};
+
+namespace core {
+
+/// Options shared by every distributed container.
+struct ContainerOptions {
+  /// Number of partitions (server memory segments). Multi-partition
+  /// structures default to one partition per node; queues are
+  /// single-partitioned (§III.D: "single- and multi-partitioned data
+  /// structures").
+  int num_partitions = -1;
+  /// Node hosting partition 0; partition i lives on (first_node + i) % N.
+  int first_node = 0;
+  /// Asynchronous replication factor: every update is re-hashed to this
+  /// many additional partitions, server-side (§III.A.4).
+  int replication = 0;
+  /// When non-empty, each partition journals its updates through a real
+  /// memory-mapped file `<persist_path>.p<i>` and can recover from it
+  /// (§III.C.6). See persist_log.h for the mechanism.
+  std::string persist_path;
+  mem::SyncMode sync_mode = mem::SyncMode::kPerOp;
+  /// Initial bucket count per partition (the paper's default is 128).
+  std::size_t initial_buckets = 128;
+};
+
+/// Helpers shared by container implementations.
+inline int resolve_partitions(const ContainerOptions& options,
+                              const sim::Topology& topology) {
+  const int p = options.num_partitions > 0 ? options.num_partitions
+                                           : topology.num_nodes();
+  if (p <= 0) throw HclError(Status::InvalidArgument("num_partitions"));
+  return p;
+}
+
+inline sim::NodeId partition_node(const ContainerOptions& options,
+                                  const sim::Topology& topology, int partition) {
+  return (options.first_node + partition) % topology.num_nodes();
+}
+
+/// log2-style level count for ordered-structure cost charging.
+inline int depth_levels(std::size_t n) {
+  int levels = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace core
+}  // namespace hcl

@@ -1,0 +1,43 @@
+// Operation-cost accounting for Table I validation.
+//
+// Table I of the paper expresses every container operation as a sum of
+//   F — remote function invocations,
+//   L — local memory operations (hash/probe/descend),
+//   R — local reads, W — local writes, N/E — entry counts.
+// Containers increment these counters as they execute, and the Table I bench
+// verifies that, e.g., unordered_map::insert costs exactly 1 F + 1 L + 1 W
+// when remote and 0 F when the hybrid model kicks in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hcl::core {
+
+struct OpStats {
+  std::atomic<std::int64_t> remote_invocations{0};  // F
+  std::atomic<std::int64_t> local_ops{0};           // L
+  std::atomic<std::int64_t> local_reads{0};         // R
+  std::atomic<std::int64_t> local_writes{0};        // W
+
+  void reset() {
+    remote_invocations.store(0);
+    local_ops.store(0);
+    local_reads.store(0);
+    local_writes.store(0);
+  }
+
+  struct Snapshot {
+    std::int64_t remote_invocations;
+    std::int64_t local_ops;
+    std::int64_t local_reads;
+    std::int64_t local_writes;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return {remote_invocations.load(), local_ops.load(), local_reads.load(),
+            local_writes.load()};
+  }
+};
+
+}  // namespace hcl::core

@@ -1,0 +1,379 @@
+// hcl::map / hcl::set — ordered distributed containers (paper §III.D.2).
+//
+// Each partition is an ordered structure (our concurrent lazy skiplist;
+// DESIGN.md §5) holding a slice of the key space; partitions are
+// "single-partitioned structures abstracted behind a global interface".
+// Operation costs carry the O(log n) descent term of Table I
+// (insert = F + L·log N + W, find = F + L·log N + R), charged through the
+// cost model's per-level constant — the source of the ordered-vs-unordered
+// throughput gap in Fig. 6.
+//
+// Users can override the comparator (std::less by default, §III.D.2) to
+// change the element ordering.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/context.h"
+#include "core/persist_log.h"
+#include "lf/skiplist_map.h"
+#include "rpc/engine.h"
+#include "serial/databox.h"
+
+namespace hcl {
+
+template <typename K, typename V, typename Less = std::less<K>,
+          typename HashFn = Hash<K>>
+class map {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  map(Context& ctx, core::ContainerOptions options = {})
+      : ctx_(&ctx),
+        options_(options),
+        num_partitions_(core::resolve_partitions(options, ctx.topology())) {
+    partitions_.reserve(static_cast<std::size_t>(num_partitions_));
+    for (int p = 0; p < num_partitions_; ++p) {
+      auto part = std::make_unique<Partition>();
+      part->node = core::partition_node(options_, ctx_->topology(), p);
+      if (!options_.persist_path.empty()) {
+        auto log = core::PersistLog::open(
+            ctx_->fabric().memory(part->node),
+            options_.persist_path + ".p" + std::to_string(p), options_.sync_mode);
+        throw_if_error(log.status());
+        part->log = std::move(log.value());
+        recover(*part);
+      }
+      partitions_.push_back(std::move(part));
+    }
+    bind_handlers();
+  }
+
+  map(const map&) = delete;
+  map& operator=(const map&) = delete;
+
+  ~map() {
+    ctx_->fabric().drain_all();
+    for (auto id : bound_ids_) ctx_->rpc().unbind(id);
+    ctx_->fabric().drain_all();
+  }
+
+  /// Insert; false on duplicate. Cost: F + L·log N + W.
+  bool insert(const K& key, const V& value) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      charge_local(self, part, wire_bytes(key, value), /*write=*/true);
+      const bool ok = apply_insert(part, key, value);
+      if (ok) replicate_upsert(p, self.now(), key, value);
+      return ok;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, insert_id_, p, key,
+                                             value);
+  }
+
+  /// Lookup. Cost: F + L·log N + R.
+  bool find(const K& key, V* out = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      V tmp{};
+      const bool hit = part.list.find_value(key, &tmp);
+      charge_local(self, part, hit ? wire_bytes(key, tmp) : key_bytes(key),
+                   /*write=*/false);
+      if (hit && out != nullptr) *out = std::move(tmp);
+      return hit;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto result = ctx_->rpc().template invoke<std::optional<V>>(self, part.node,
+                                                                find_id_, p, key);
+    if (!result.has_value()) return false;
+    if (out != nullptr) *out = std::move(*result);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const K& key) { return find(key, nullptr); }
+
+  bool erase(const K& key) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      charge_local(self, part, key_bytes(key), /*write=*/true);
+      const bool ok = apply_erase(part, key);
+      if (ok) replicate_erase(p, self.now(), key);
+      return ok;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, erase_id_, p, key);
+  }
+
+  /// Table I resize: F + N·log N (R + W). The skiplist needs no physical
+  /// reallocation; the charge models the paper's re-insertion pass.
+  bool resize(int partition_id, std::size_t /*new_size*/) {
+    sim::Actor& self = sim::this_actor();
+    if (partition_id < 0 || partition_id >= num_partitions_) return false;
+    Partition& part = *partitions_[static_cast<std::size_t>(partition_id)];
+    if (part.node == self.node()) {
+      charge_resize(self, part);
+      return true;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, resize_id_,
+                                             partition_id);
+  }
+
+  rpc::Future<bool> async_insert(const K& key, const V& value) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<bool>(
+        self, partitions_[static_cast<std::size_t>(p)]->node, insert_id_, p, key,
+        value);
+  }
+
+  rpc::Future<std::optional<V>> async_find(const K& key) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<std::optional<V>>(
+        self, partitions_[static_cast<std::size_t>(p)]->node, find_id_, p, key);
+  }
+
+  [[nodiscard]] int num_partitions() const noexcept { return num_partitions_; }
+  [[nodiscard]] sim::NodeId partition_owner(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->node;
+  }
+  [[nodiscard]] int partition_of(const K& key) const {
+    const std::uint64_t h = mix64(hash_(key) ^ kPartitionSalt);
+    return static_cast<int>(h % static_cast<std::uint64_t>(num_partitions_));
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& part : partitions_) n += part->list.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t replica_size(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->replicas.size();
+  }
+
+  /// Globally ordered visit: per-partition ordered snapshots merged P-ways.
+  template <typename F>
+  void for_each_ordered(F&& fn) const {
+    std::vector<std::pair<K, V>> all;
+    for (const auto& part : partitions_) {
+      part->list.for_each(
+          [&](const K& k, const V& v) { all.emplace_back(k, v); });
+    }
+    Less less;
+    std::stable_sort(all.begin(), all.end(),
+                     [&](const auto& a, const auto& b) {
+                       return less(a.first, b.first);
+                     });
+    for (const auto& [k, v] : all) fn(k, v);
+  }
+
+ private:
+  static constexpr std::uint64_t kPartitionSalt = 0x48434c4f52444552ULL;  // "HCLORDER"
+
+  enum class LogOp : std::uint8_t { kInsert = 1, kErase = 3 };
+
+  struct Partition {
+    sim::NodeId node = 0;
+    lf::SkipListMap<K, V, Less> list;
+    lf::SkipListMap<K, V, Less> replicas;
+    std::unique_ptr<core::PersistLog> log;
+  };
+
+  static std::int64_t key_bytes(const K& key) {
+    return static_cast<std::int64_t>(serial::packed_size(key));
+  }
+  static std::int64_t wire_bytes(const K& key, const V& value) {
+    return static_cast<std::int64_t>(serial::packed_size(key) +
+                                     serial::packed_size(value));
+  }
+
+  [[nodiscard]] sim::Nanos descent_cost(const Partition& part) const {
+    return static_cast<sim::Nanos>(core::depth_levels(part.list.size())) *
+           ctx_->model().mem_level_ns;
+  }
+
+  void charge_local(sim::Actor& self, Partition& part, std::int64_t bytes,
+                    bool write) {
+    auto& stats = ctx_->op_stats();
+    stats.local_ops.fetch_add(core::depth_levels(part.list.size()),
+                              std::memory_order_relaxed);
+    const auto& m = ctx_->model();
+    const sim::Nanos base = write ? m.mem_insert_base_ns : m.mem_find_base_ns;
+    const sim::Nanos start = self.now() + base + descent_cost(part);
+    if (write) {
+      stats.local_writes.fetch_add(1, std::memory_order_relaxed);
+      self.advance_to(ctx_->fabric().local_write(part.node, start, bytes));
+    } else {
+      stats.local_reads.fetch_add(1, std::memory_order_relaxed);
+      self.advance_to(ctx_->fabric().local_read(part.node, start, bytes));
+    }
+  }
+
+  sim::Nanos charge_server(rpc::ServerCtx& sctx, Partition& part,
+                           std::int64_t bytes, bool write) {
+    auto& stats = ctx_->op_stats();
+    stats.local_ops.fetch_add(core::depth_levels(part.list.size()),
+                              std::memory_order_relaxed);
+    const auto& m = ctx_->model();
+    const sim::Nanos base = write ? m.mem_insert_base_ns : m.mem_find_base_ns;
+    const sim::Nanos start = sctx.start + base + descent_cost(part);
+    sctx.finish = write ? ctx_->fabric().local_write(sctx.node, start, bytes)
+                        : ctx_->fabric().local_read(sctx.node, start, bytes);
+    if (write) {
+      stats.local_writes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats.local_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    return sctx.finish;
+  }
+
+  void charge_resize(sim::Actor& self, Partition& part) {
+    const auto n = static_cast<std::int64_t>(part.list.size());
+    const auto levels = core::depth_levels(part.list.size());
+    const std::int64_t bytes = n * levels * 64;
+    sim::Nanos t = ctx_->fabric().local_read(part.node, self.now(), bytes);
+    self.advance_to(ctx_->fabric().local_write(part.node, t, bytes));
+    ctx_->op_stats().local_reads.fetch_add(n, std::memory_order_relaxed);
+    ctx_->op_stats().local_writes.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  bool apply_insert(Partition& part, const K& key, const V& value) {
+    const bool ok = part.list.insert(key, value);
+    if (ok) journal(part, LogOp::kInsert, key, &value);
+    return ok;
+  }
+  bool apply_erase(Partition& part, const K& key) {
+    const bool ok = part.list.erase(key);
+    if (ok) journal(part, LogOp::kErase, key, nullptr);
+    return ok;
+  }
+
+  void journal(Partition& part, LogOp op, const K& key, const V* value) {
+    if (part.log == nullptr) return;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(op));
+    serial::save(out, key);
+    if (value != nullptr) serial::save(out, *value);
+    throw_if_error(part.log->append(std::span<const std::byte>(out.buffer())));
+  }
+
+  void recover(Partition& part) {
+    part.log->replay([&](std::span<const std::byte> record) {
+      serial::InArchive in(record);
+      const auto op = static_cast<LogOp>(in.u64());
+      K key{};
+      serial::load(in, key);
+      if (op == LogOp::kInsert) {
+        V value{};
+        serial::load(in, value);
+        part.list.insert(key, value);
+      } else {
+        part.list.erase(key);
+      }
+    });
+  }
+
+  void replicate_upsert(int p, sim::Nanos ready, const K& key, const V& value) {
+    for (int r = 1; r <= options_.replication; ++r) {
+      const int target = (p + r) % num_partitions_;
+      ctx_->rpc().server_invoke(partitions_[static_cast<std::size_t>(p)]->node,
+                                partitions_[static_cast<std::size_t>(target)]->node,
+                                ready, replica_upsert_id_, target, key, value);
+    }
+  }
+  void replicate_erase(int p, sim::Nanos ready, const K& key) {
+    for (int r = 1; r <= options_.replication; ++r) {
+      const int target = (p + r) % num_partitions_;
+      ctx_->rpc().server_invoke(partitions_[static_cast<std::size_t>(p)]->node,
+                                partitions_[static_cast<std::size_t>(target)]->node,
+                                ready, replica_erase_id_, target, key);
+    }
+  }
+
+  void bind_handlers() {
+    auto& engine = ctx_->rpc();
+    insert_id_ = engine.bind<bool, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key, const V& value) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const sim::Nanos ready =
+              charge_server(sctx, part, wire_bytes(key, value), /*write=*/true);
+          const bool ok = apply_insert(part, key, value);
+          if (ok) replicate_upsert(p, ready, key, value);
+          return ok;
+        });
+    find_id_ = engine.bind<std::optional<V>, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          V value{};
+          const bool hit = part.list.find_value(key, &value);
+          charge_server(sctx, part, hit ? wire_bytes(key, value) : key_bytes(key),
+                        /*write=*/false);
+          return hit ? std::optional<V>(std::move(value)) : std::nullopt;
+        });
+    erase_id_ = engine.bind<bool, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const sim::Nanos ready =
+              charge_server(sctx, part, key_bytes(key), /*write=*/true);
+          const bool ok = apply_erase(part, key);
+          if (ok) replicate_erase(p, ready, key);
+          return ok;
+        });
+    resize_id_ = engine.bind<bool, int>(
+        [this](rpc::ServerCtx& sctx, const int& p) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const auto n = static_cast<std::int64_t>(part.list.size());
+          const auto levels = core::depth_levels(part.list.size());
+          sim::Nanos t =
+              ctx_->fabric().local_read(sctx.node, sctx.start, n * levels * 64);
+          sctx.finish =
+              ctx_->fabric().local_write(sctx.node, t, n * levels * 64);
+          return true;
+        });
+    replica_upsert_id_ = engine.bind<bool, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key, const V& value) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server(sctx, part, wire_bytes(key, value), /*write=*/true);
+          part.replicas.upsert(key, [&](V& v) { v = value; }, value);
+          return true;
+        });
+    replica_erase_id_ = engine.bind<bool, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server(sctx, part, key_bytes(key), /*write=*/true);
+          part.replicas.erase(key);
+          return true;
+        });
+    bound_ids_ = {insert_id_, find_id_, erase_id_, resize_id_,
+                  replica_upsert_id_, replica_erase_id_};
+  }
+
+  Context* ctx_;
+  core::ContainerOptions options_;
+  int num_partitions_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+
+  rpc::FuncId insert_id_ = 0, find_id_ = 0, erase_id_ = 0, resize_id_ = 0,
+              replica_upsert_id_ = 0, replica_erase_id_ = 0;
+  std::vector<rpc::FuncId> bound_ids_;
+  HashFn hash_;
+};
+
+}  // namespace hcl

@@ -1,0 +1,205 @@
+// hcl::priority_queue — distributed MWMR priority queue (§III.D.3(B)).
+//
+// Single-partitioned like hcl::queue; the local structure is the lock-free
+// skiplist-backed priority queue (DESIGN.md §5 substitution for the
+// multi-dimensional-list design). push carries the O(log n) ordering cost
+// (Table I: F + L·log N + W); pop-min is F + L + R. The ISx kernel exploits
+// exactly this: pushing keys keeps them sorted "for free" behind the
+// network (Fig. 7a).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/context.h"
+#include "lf/priority_queue.h"
+#include "rpc/engine.h"
+#include "serial/databox.h"
+
+namespace hcl {
+
+template <typename T, typename Less = std::less<T>>
+class priority_queue {
+ public:
+  using value_type = T;
+
+  priority_queue(Context& ctx, core::ContainerOptions options = {})
+      : ctx_(&ctx), node_(core::partition_node(options, ctx.topology(), 0)) {
+    bind_handlers();
+  }
+
+  priority_queue(const priority_queue&) = delete;
+  priority_queue& operator=(const priority_queue&) = delete;
+
+  ~priority_queue() {
+    ctx_->fabric().drain_all();
+    for (auto id : bound_ids_) ctx_->rpc().unbind(id);
+    ctx_->fabric().drain_all();
+  }
+
+  /// Push. Cost: F + L·log N + W.
+  bool push(const T& value) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      charge_local_push(self, bytes_of(value));
+      impl_.push(value);
+      return true;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, node_, push_id_, value);
+  }
+
+  /// Bulk push (Table I: F + L·log N + E·W).
+  bool push(const std::vector<T>& values) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      std::int64_t bytes = 0;
+      for (const auto& v : values) bytes += bytes_of(v);
+      charge_local_push(self, bytes);
+      for (const auto& v : values) impl_.push(v);
+      return true;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_, values);
+  }
+
+  /// Pop the minimum element; false when empty. Cost: F + L + R.
+  bool pop(T* out) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      T tmp{};
+      const bool ok = impl_.pop(&tmp);
+      charge_local_pop(self, ok ? bytes_of(tmp) : 8);
+      if (ok && out != nullptr) *out = std::move(tmp);
+      return ok;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto result =
+        ctx_->rpc().template invoke<std::optional<T>>(self, node_, pop_id_);
+    if (!result.has_value()) return false;
+    if (out != nullptr) *out = std::move(*result);
+    return true;
+  }
+
+  /// Bulk pop of up to `count` minima (Table I: F + L + E·R).
+  std::size_t pop(std::vector<T>* out, std::size_t count) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      const std::size_t before = out->size();
+      std::int64_t bytes = 0;
+      T tmp{};
+      while (out->size() - before < count && impl_.pop(&tmp)) {
+        bytes += bytes_of(tmp);
+        out->push_back(std::move(tmp));
+      }
+      charge_local_pop(self, bytes > 0 ? bytes : 8);
+      return out->size() - before;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto got = ctx_->rpc().template invoke<std::vector<T>>(
+        self, node_, pop_bulk_id_, static_cast<std::uint64_t>(count));
+    const std::size_t n = got.size();
+    for (auto& v : got) out->push_back(std::move(v));
+    return n;
+  }
+
+  rpc::Future<bool> async_push(const T& value) {
+    sim::Actor& self = sim::this_actor();
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<bool>(self, node_, push_id_, value);
+  }
+
+  [[nodiscard]] sim::NodeId host_node() const noexcept { return node_; }
+  [[nodiscard]] std::size_t size() const { return impl_.size(); }
+  [[nodiscard]] bool empty() const { return impl_.empty(); }
+
+ private:
+  static std::int64_t bytes_of(const T& v) {
+    return static_cast<std::int64_t>(serial::packed_size(v));
+  }
+
+  [[nodiscard]] sim::Nanos descent_cost() const {
+    return static_cast<sim::Nanos>(core::depth_levels(impl_.size())) *
+           ctx_->model().mem_level_ns;
+  }
+
+  void charge_local_push(sim::Actor& self, std::int64_t bytes) {
+    auto& stats = ctx_->op_stats();
+    stats.local_ops.fetch_add(core::depth_levels(impl_.size()),
+                              std::memory_order_relaxed);
+    stats.local_writes.fetch_add(1, std::memory_order_relaxed);
+    self.advance_to(ctx_->fabric().local_write(
+        node_, self.now() + ctx_->model().mem_insert_base_ns + descent_cost(),
+        bytes));
+  }
+  void charge_local_pop(sim::Actor& self, std::int64_t bytes) {
+    auto& stats = ctx_->op_stats();
+    stats.local_ops.fetch_add(1, std::memory_order_relaxed);
+    stats.local_reads.fetch_add(1, std::memory_order_relaxed);
+    self.advance_to(ctx_->fabric().local_read(
+        node_, self.now() + ctx_->model().mem_find_base_ns, bytes));
+  }
+
+  void bind_handlers() {
+    auto& engine = ctx_->rpc();
+    push_id_ = engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
+      auto& stats = ctx_->op_stats();
+      stats.local_ops.fetch_add(core::depth_levels(impl_.size()),
+                                std::memory_order_relaxed);
+      stats.local_writes.fetch_add(1, std::memory_order_relaxed);
+      sctx.finish = ctx_->fabric().local_write(
+          sctx.node, sctx.start + ctx_->model().mem_insert_base_ns + descent_cost(),
+          bytes_of(value));
+      impl_.push(value);
+      return true;
+    });
+    push_bulk_id_ = engine.bind<bool, std::vector<T>>(
+        [this](rpc::ServerCtx& sctx, const std::vector<T>& values) {
+          std::int64_t bytes = 0;
+          for (const auto& v : values) bytes += bytes_of(v);
+          sctx.finish = ctx_->fabric().local_write(
+              sctx.node,
+              sctx.start + ctx_->model().mem_insert_base_ns + descent_cost(),
+              bytes);
+          for (const auto& v : values) impl_.push(v);
+          return true;
+        });
+    pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
+      T v{};
+      const bool ok = impl_.pop(&v);
+      auto& stats = ctx_->op_stats();
+      stats.local_ops.fetch_add(1, std::memory_order_relaxed);
+      stats.local_reads.fetch_add(1, std::memory_order_relaxed);
+      sctx.finish = ctx_->fabric().local_read(
+          sctx.node, sctx.start + ctx_->model().mem_find_base_ns,
+          ok ? bytes_of(v) : 8);
+      return ok ? std::optional<T>(std::move(v)) : std::nullopt;
+    });
+    pop_bulk_id_ = engine.bind<std::vector<T>, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& count) {
+          std::vector<T> got;
+          T v{};
+          std::int64_t bytes = 0;
+          while (got.size() < count && impl_.pop(&v)) {
+            bytes += bytes_of(v);
+            got.push_back(std::move(v));
+          }
+          sctx.finish = ctx_->fabric().local_read(
+              sctx.node, sctx.start + ctx_->model().mem_find_base_ns,
+              bytes > 0 ? bytes : 8);
+          return got;
+        });
+    bound_ids_ = {push_id_, push_bulk_id_, pop_id_, pop_bulk_id_};
+  }
+
+  Context* ctx_;
+  sim::NodeId node_;
+  lf::PriorityQueue<T, Less> impl_;
+  rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0;
+  std::vector<rpc::FuncId> bound_ids_;
+};
+
+}  // namespace hcl

@@ -1,0 +1,261 @@
+// hcl::queue — distributed MWMR FIFO queue (paper §III.D.3(A)).
+//
+// Single-partitioned (splitting a queue across partitions would violate its
+// ordering property, §III.D) but globally visible: every rank can push/pop.
+// The partition is hosted on `options.first_node`; co-located ranks use the
+// hybrid shared-memory path, remote ranks go through one RPC per op (or per
+// bulk op — Table I lists the vector forms with cost F + L + E·W / E·R).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/context.h"
+#include "core/persist_log.h"
+#include "lf/ms_queue.h"
+#include "rpc/engine.h"
+#include "serial/databox.h"
+
+namespace hcl {
+
+template <typename T>
+class queue {
+ public:
+  using value_type = T;
+
+  queue(Context& ctx, core::ContainerOptions options = {})
+      : ctx_(&ctx),
+        node_(core::partition_node(options, ctx.topology(), 0)),
+        options_(options) {
+    if (!options_.persist_path.empty()) {
+      auto log = core::PersistLog::open(ctx_->fabric().memory(node_),
+                                        options_.persist_path + ".q0",
+                                        options_.sync_mode);
+      throw_if_error(log.status());
+      log_ = std::move(log.value());
+      recover();
+    }
+    bind_handlers();
+  }
+
+  queue(const queue&) = delete;
+  queue& operator=(const queue&) = delete;
+
+  ~queue() {
+    ctx_->fabric().drain_all();
+    for (auto id : bound_ids_) ctx_->rpc().unbind(id);
+    ctx_->fabric().drain_all();
+  }
+
+  /// Push one element. Cost: F + L + W (remote), L + W (co-located).
+  bool push(const T& value) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      charge_local(self, bytes_of(value), /*write=*/true);
+      apply_push(value);
+      return true;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, node_, push_id_, value);
+  }
+
+  /// Bulk push (Table I: F + L + E·W) — one invocation, E elements.
+  bool push(const std::vector<T>& values) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      std::int64_t bytes = 0;
+      for (const auto& v : values) bytes += bytes_of(v);
+      charge_local(self, bytes, /*write=*/true,
+                   static_cast<std::int64_t>(values.size()));
+      for (const auto& v : values) apply_push(v);
+      return true;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_, values);
+  }
+
+  /// Pop one element; false when the queue is empty.
+  bool pop(T* out) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      T tmp{};
+      const bool ok = apply_pop(&tmp);
+      charge_local(self, ok ? bytes_of(tmp) : 8, /*write=*/false);
+      if (ok && out != nullptr) *out = std::move(tmp);
+      return ok;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto result =
+        ctx_->rpc().template invoke<std::optional<T>>(self, node_, pop_id_);
+    if (!result.has_value()) return false;
+    if (out != nullptr) *out = std::move(*result);
+    return true;
+  }
+
+  /// Bulk pop of up to `count` elements (Table I: F + L + E·R).
+  std::size_t pop(std::vector<T>* out, std::size_t count) {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      const std::size_t before = out->size();
+      std::int64_t bytes = 0;
+      T tmp{};
+      while (out->size() - before < count && apply_pop(&tmp)) {
+        bytes += bytes_of(tmp);
+        out->push_back(std::move(tmp));
+      }
+      charge_local(self, bytes > 0 ? bytes : 8, /*write=*/false,
+                   static_cast<std::int64_t>(out->size() - before));
+      return out->size() - before;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto got = ctx_->rpc().template invoke<std::vector<T>>(
+        self, node_, pop_bulk_id_, static_cast<std::uint64_t>(count));
+    const std::size_t n = got.size();
+    for (auto& v : got) out->push_back(std::move(v));
+    return n;
+  }
+
+  rpc::Future<bool> async_push(const T& value) {
+    sim::Actor& self = sim::this_actor();
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<bool>(self, node_, push_id_, value);
+  }
+
+  rpc::Future<std::optional<T>> async_pop() {
+    sim::Actor& self = sim::this_actor();
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<std::optional<T>>(self, node_,
+                                                               pop_id_);
+  }
+
+  [[nodiscard]] sim::NodeId host_node() const noexcept { return node_; }
+  [[nodiscard]] std::size_t size() const { return impl_.size(); }
+  [[nodiscard]] bool empty() const { return impl_.empty(); }
+
+ private:
+  enum class LogOp : std::uint8_t { kPush = 1, kPop = 2 };
+
+  static std::int64_t bytes_of(const T& v) {
+    return static_cast<std::int64_t>(serial::packed_size(v));
+  }
+
+  void charge_local(sim::Actor& self, std::int64_t bytes, bool write,
+                    std::int64_t elements = 1) {
+    auto& stats = ctx_->op_stats();
+    stats.local_ops.fetch_add(1, std::memory_order_relaxed);
+    const auto& m = ctx_->model();
+    if (write) {
+      stats.local_writes.fetch_add(elements, std::memory_order_relaxed);
+      self.advance_to(ctx_->fabric().local_write(
+          node_, self.now() + m.mem_insert_base_ns, bytes));
+    } else {
+      stats.local_reads.fetch_add(elements, std::memory_order_relaxed);
+      self.advance_to(ctx_->fabric().local_read(
+          node_, self.now() + m.mem_find_base_ns, bytes));
+    }
+  }
+
+  sim::Nanos charge_server(rpc::ServerCtx& sctx, std::int64_t bytes, bool write,
+                           std::int64_t elements = 1) {
+    auto& stats = ctx_->op_stats();
+    stats.local_ops.fetch_add(1, std::memory_order_relaxed);
+    const auto& m = ctx_->model();
+    if (write) {
+      stats.local_writes.fetch_add(elements, std::memory_order_relaxed);
+      sctx.finish = ctx_->fabric().local_write(
+          sctx.node, sctx.start + m.mem_insert_base_ns, bytes);
+    } else {
+      stats.local_reads.fetch_add(elements, std::memory_order_relaxed);
+      sctx.finish = ctx_->fabric().local_read(
+          sctx.node, sctx.start + m.mem_find_base_ns, bytes);
+    }
+    return sctx.finish;
+  }
+
+  void apply_push(const T& value) {
+    impl_.push(value);
+    journal(LogOp::kPush, &value);
+  }
+  bool apply_pop(T* out) {
+    const bool ok = impl_.pop(out);
+    if (ok) journal(LogOp::kPop, nullptr);
+    return ok;
+  }
+
+  void journal(LogOp op, const T* value) {
+    if (log_ == nullptr) return;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(op));
+    if (value != nullptr) serial::save(out, *value);
+    throw_if_error(log_->append(std::span<const std::byte>(out.buffer())));
+  }
+
+  void recover() {
+    std::size_t pops = 0;
+    std::vector<T> pushed;
+    log_->replay([&](std::span<const std::byte> record) {
+      serial::InArchive in(record);
+      const auto op = static_cast<LogOp>(in.u64());
+      if (op == LogOp::kPush) {
+        T v{};
+        serial::load(in, v);
+        pushed.push_back(std::move(v));
+      } else {
+        ++pops;
+      }
+    });
+    for (std::size_t i = pops; i < pushed.size(); ++i) {
+      impl_.push(std::move(pushed[i]));
+    }
+  }
+
+  void bind_handlers() {
+    auto& engine = ctx_->rpc();
+    push_id_ = engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
+      charge_server(sctx, bytes_of(value), /*write=*/true);
+      apply_push(value);
+      return true;
+    });
+    push_bulk_id_ = engine.bind<bool, std::vector<T>>(
+        [this](rpc::ServerCtx& sctx, const std::vector<T>& values) {
+          std::int64_t bytes = 0;
+          for (const auto& v : values) bytes += bytes_of(v);
+          charge_server(sctx, bytes, /*write=*/true,
+                        static_cast<std::int64_t>(values.size()));
+          for (const auto& v : values) apply_push(v);
+          return true;
+        });
+    pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
+      T v{};
+      const bool ok = apply_pop(&v);
+      charge_server(sctx, ok ? bytes_of(v) : 8, /*write=*/false);
+      return ok ? std::optional<T>(std::move(v)) : std::nullopt;
+    });
+    pop_bulk_id_ = engine.bind<std::vector<T>, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& count) {
+          std::vector<T> got;
+          T v{};
+          std::int64_t bytes = 0;
+          while (got.size() < count && apply_pop(&v)) {
+            bytes += bytes_of(v);
+            got.push_back(std::move(v));
+          }
+          charge_server(sctx, bytes > 0 ? bytes : 8, /*write=*/false,
+                        static_cast<std::int64_t>(got.size()));
+          return got;
+        });
+    bound_ids_ = {push_id_, push_bulk_id_, pop_id_, pop_bulk_id_};
+  }
+
+  Context* ctx_;
+  sim::NodeId node_;
+  core::ContainerOptions options_;
+  lf::MsQueue<T> impl_;
+  std::unique_ptr<core::PersistLog> log_;
+  rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0;
+  std::vector<rpc::FuncId> bound_ids_;
+};
+
+}  // namespace hcl

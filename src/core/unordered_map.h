@@ -1,0 +1,577 @@
+// hcl::unordered_map — the paper's flagship distributed container (§III.D.1).
+//
+// A single logically contiguous hash space distributed block-wise among
+// multiple partitions in the global address space. Two levels of hashing:
+// the first (salted) picks the partition, the second places the key inside
+// the partition's concurrent cuckoo table.
+//
+// Access follows the hybrid data access model (§III.C.5): if the chosen
+// partition is co-located with the caller, the RPC infrastructure is
+// bypassed entirely and the operation runs on shared memory; otherwise the
+// operation ships as ONE RPC-over-RDMA invocation and executes on the
+// target NIC core (Table I: insert = F + L + W, find = F + L + R).
+//
+// Extras the paper describes and we implement:
+//   * asynchronous variants returning futures (§III.C.4),
+//   * asynchronous server-side replication (§III.A.4),
+//   * per-operation durability through a memory-mapped journal (§III.C.6),
+//   * explicit per-partition resize (Table I),
+//   * registered *mutators* — named server-side read-modify-write functions
+//     shipped by id, the procedural-paradigm primitive that client-side
+//     (BCL-style) designs fundamentally cannot express in one round trip.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/context.h"
+#include "core/persist_log.h"
+#include "lf/cuckoo_map.h"
+#include "rpc/engine.h"
+#include "serial/databox.h"
+
+namespace hcl {
+
+template <typename K, typename V, typename HashFn = Hash<K>>
+class unordered_map {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using MutatorId = std::uint32_t;
+
+  unordered_map(Context& ctx, core::ContainerOptions options = {})
+      : ctx_(&ctx),
+        options_(options),
+        num_partitions_(core::resolve_partitions(options, ctx.topology())) {
+    partitions_.reserve(static_cast<std::size_t>(num_partitions_));
+    for (int p = 0; p < num_partitions_; ++p) {
+      auto part = std::make_unique<Partition>();
+      part->node = core::partition_node(options_, ctx_->topology(), p);
+      part->map.reserve(options_.initial_buckets);
+      if (!options_.persist_path.empty()) {
+        auto log = core::PersistLog::open(
+            ctx_->fabric().memory(part->node),
+            options_.persist_path + ".p" + std::to_string(p), options_.sync_mode);
+        throw_if_error(log.status());
+        part->log = std::move(log.value());
+        recover(*part);
+      }
+      partitions_.push_back(std::move(part));
+    }
+    bind_handlers();
+  }
+
+  unordered_map(const unordered_map&) = delete;
+  unordered_map& operator=(const unordered_map&) = delete;
+
+  ~unordered_map() {
+    // No server stub may run once members start dying.
+    ctx_->fabric().drain_all();
+    for (auto id : bound_ids_) ctx_->rpc().unbind(id);
+    ctx_->fabric().drain_all();
+  }
+
+  // ------------------------------------------------------------------
+  // Synchronous API (paper Table I)
+  // ------------------------------------------------------------------
+
+  /// Insert; false if the key already exists. Cost: F + L + W (remote) or
+  /// L + W (co-located partition).
+  bool insert(const K& key, const V& value) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      charge_local_write(self, part, wire_bytes(key, value));
+      const bool ok = apply_insert(part, key, value, self.now());
+      if (ok) replicate_upsert(p, self.now(), key, value);
+      return ok;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, insert_id_, p, key,
+                                             value);
+  }
+
+  /// Insert-or-overwrite; true when newly inserted.
+  bool upsert(const K& key, const V& value) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      charge_local_write(self, part, wire_bytes(key, value));
+      const bool fresh = apply_upsert(part, key, value, self.now());
+      replicate_upsert(p, self.now(), key, value);
+      return fresh;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, upsert_id_, p, key,
+                                             value);
+  }
+
+  /// Lookup; returns true and fills `out`. Cost: F + L + R (remote) or
+  /// L + R (co-located).
+  bool find(const K& key, V* out = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      V tmp{};
+      const bool hit = part.map.find(key, &tmp);
+      charge_local_read(self, part, hit ? wire_bytes(key, tmp) : key_bytes(key));
+      if (hit && out != nullptr) *out = std::move(tmp);
+      return hit;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto result = ctx_->rpc().template invoke<std::optional<V>>(self, part.node,
+                                                                find_id_, p, key);
+    if (!result.has_value()) return false;
+    if (out != nullptr) *out = std::move(*result);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const K& key) { return find(key, nullptr); }
+
+  /// Remove; false if absent.
+  bool erase(const K& key) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == self.node()) {
+      charge_local_write(self, part, key_bytes(key));
+      const bool ok = apply_erase(part, key);
+      replicate_erase(p, self.now(), key);
+      return ok;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, erase_id_, p, key);
+  }
+
+  /// Explicitly resize one partition (Table I: F + N(R + W)).
+  bool resize(int partition_id, std::size_t new_buckets) {
+    sim::Actor& self = sim::this_actor();
+    if (partition_id < 0 || partition_id >= num_partitions_) return false;
+    Partition& part = *partitions_[static_cast<std::size_t>(partition_id)];
+    if (part.node == self.node()) {
+      charge_resize(self, part);
+      part.map.reserve(new_buckets);
+      return true;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, resize_id_,
+                                             partition_id,
+                                             static_cast<std::uint64_t>(new_buckets));
+  }
+
+  // ------------------------------------------------------------------
+  // Asynchronous API (§III.C.4)
+  // ------------------------------------------------------------------
+
+  rpc::Future<bool> async_insert(const K& key, const V& value) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<bool>(
+        self, partitions_[static_cast<std::size_t>(p)]->node, insert_id_, p, key,
+        value);
+  }
+
+  rpc::Future<std::optional<V>> async_find(const K& key) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<std::optional<V>>(
+        self, partitions_[static_cast<std::size_t>(p)]->node, find_id_, p, key);
+  }
+
+  // ------------------------------------------------------------------
+  // Registered mutators: procedural read-modify-write in one invocation.
+  // ------------------------------------------------------------------
+
+  /// Register a named server-side mutator `fn(V& value, const Arg& arg)`.
+  /// `fn` may return void (pure mutation) or a serializable R, fetched by
+  /// apply_fetch(). Must be called identically (same order) before any
+  /// apply() — typically right after construction, like bind().
+  template <typename Arg, typename F>
+  MutatorId register_mutator(F fn) {
+    using R = std::invoke_result_t<F, V&, const std::decay_t<Arg>&>;
+    const auto id = static_cast<MutatorId>(mutators_.size());
+    mutators_.push_back(
+        [fn = std::move(fn)](V& value, std::span<const std::byte> raw)
+            -> std::vector<std::byte> {
+          serial::InArchive in(raw);
+          std::decay_t<Arg> arg{};
+          serial::load(in, arg);
+          if constexpr (std::is_void_v<R>) {
+            fn(value, arg);
+            return {};
+          } else {
+            R result = fn(value, arg);
+            serial::OutArchive out;
+            serial::save(out, result);
+            return out.take();
+          }
+        });
+    return id;
+  }
+
+  /// Apply a registered mutator to `key` (inserting `init` first if absent)
+  /// in ONE remote invocation. Returns true when the key was newly created.
+  /// This is the paper's procedural-programming payoff: a read-modify-write
+  /// with no client-side lock or retry loop.
+  template <typename Arg>
+  bool apply(const K& key, MutatorId mutator, const Arg& arg, const V& init = V{}) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    serial::OutArchive out;
+    serial::save(out, arg);
+    auto raw = out.take();
+    if (part.node == self.node()) {
+      charge_local_write(self, part, key_bytes(key) + raw.size());
+      return apply_mutator(part, key, mutator, raw, init).fresh;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template invoke<bool>(self, part.node, apply_id_, p, key,
+                                             static_cast<std::uint32_t>(mutator),
+                                             raw, init);
+  }
+
+  /// Like apply(), but returns the value the mutator computed (fetch-and-
+  /// modify). Still exactly one remote invocation — the BCL equivalent
+  /// needs a CAS-lock round-trip dance (bcl::HashMap::rmw).
+  template <typename R, typename Arg>
+  R apply_fetch(const K& key, MutatorId mutator, const Arg& arg,
+                const V& init = V{}) {
+    sim::Actor& self = sim::this_actor();
+    const int p = partition_of(key);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    serial::OutArchive out;
+    serial::save(out, arg);
+    auto raw = out.take();
+    if (part.node == self.node()) {
+      charge_local_write(self, part, key_bytes(key) + raw.size());
+      auto outcome = apply_mutator(part, key, mutator, raw, init);
+      serial::InArchive in{std::span<const std::byte>(outcome.result)};
+      R result{};
+      serial::load(in, result);
+      return result;
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    auto bytes = ctx_->rpc().template invoke<std::vector<std::byte>>(
+        self, part.node, apply_fetch_id_, p, key,
+        static_cast<std::uint32_t>(mutator), raw, init);
+    serial::InArchive in{std::span<const std::byte>(bytes)};
+    R result{};
+    serial::load(in, result);
+    return result;
+  }
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] int num_partitions() const noexcept { return num_partitions_; }
+  [[nodiscard]] sim::NodeId partition_owner(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->node;
+  }
+  [[nodiscard]] int partition_of(const K& key) const {
+    const std::uint64_t h = mix64(hash_(key) ^ kPartitionSalt);
+    return static_cast<int>(h % static_cast<std::uint64_t>(num_partitions_));
+  }
+
+  /// Total elements across partitions (no simulated cost; diagnostics).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& part : partitions_) n += part->map.size();
+    return n;
+  }
+
+  /// Elements replicated into partition `p` from elsewhere (diagnostics).
+  [[nodiscard]] std::size_t replica_size(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->replicas.size();
+  }
+
+  /// Visit every (key, value) in every partition — local introspection for
+  /// tests/apps; not a consistent global snapshot under concurrency.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& part : partitions_) part->map.for_each(fn);
+  }
+
+  /// Direct read-only view of a partition's local structure (used by app
+  /// kernels running on the owning node).
+  const lf::CuckooMap<K, V, HashFn>& local_partition(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->map;
+  }
+
+ private:
+  static constexpr std::uint64_t kPartitionSalt = 0x48434c5f50415254ULL;  // "HCL_PART"
+
+  enum class LogOp : std::uint8_t { kInsert = 1, kUpsert = 2, kErase = 3 };
+
+  struct Partition {
+    sim::NodeId node = 0;
+    lf::CuckooMap<K, V, HashFn> map{2};
+    lf::CuckooMap<K, V, HashFn> replicas{2};
+    std::unique_ptr<core::PersistLog> log;
+  };
+
+  // ---- cost charging ------------------------------------------------
+
+  static std::int64_t key_bytes(const K& key) {
+    return static_cast<std::int64_t>(serial::packed_size(key));
+  }
+  static std::int64_t wire_bytes(const K& key, const V& value) {
+    return static_cast<std::int64_t>(serial::packed_size(key) +
+                                     serial::packed_size(value));
+  }
+
+  void charge_local_write(sim::Actor& self, Partition& part, std::int64_t bytes) {
+    ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
+    ctx_->op_stats().local_writes.fetch_add(1, std::memory_order_relaxed);
+    const sim::Nanos start = self.now() + ctx_->model().mem_insert_base_ns;
+    self.advance_to(ctx_->fabric().local_write(part.node, start, bytes));
+  }
+  void charge_local_read(sim::Actor& self, Partition& part, std::int64_t bytes) {
+    ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
+    ctx_->op_stats().local_reads.fetch_add(1, std::memory_order_relaxed);
+    const sim::Nanos start = self.now() + ctx_->model().mem_find_base_ns;
+    self.advance_to(ctx_->fabric().local_read(part.node, start, bytes));
+  }
+  void charge_resize(sim::Actor& self, Partition& part) {
+    // Table I: N (R + W) — every entry is read and rewritten.
+    const auto n = static_cast<std::int64_t>(part.map.size());
+    const std::int64_t bytes = n * 64;  // nominal per-entry movement
+    ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
+    ctx_->op_stats().local_reads.fetch_add(n, std::memory_order_relaxed);
+    ctx_->op_stats().local_writes.fetch_add(n, std::memory_order_relaxed);
+    sim::Nanos t = ctx_->fabric().local_read(part.node, self.now(), bytes);
+    self.advance_to(ctx_->fabric().local_write(part.node, t, bytes));
+  }
+
+  /// Server-stub charging (runs on the NIC core; advances ctx.finish).
+  sim::Nanos charge_server_write(rpc::ServerCtx& sctx, std::int64_t bytes) {
+    ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
+    ctx_->op_stats().local_writes.fetch_add(1, std::memory_order_relaxed);
+    sctx.finish = ctx_->fabric().local_write(
+        sctx.node, sctx.start + ctx_->model().mem_insert_base_ns, bytes);
+    return sctx.finish;
+  }
+  sim::Nanos charge_server_read(rpc::ServerCtx& sctx, std::int64_t bytes) {
+    ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
+    ctx_->op_stats().local_reads.fetch_add(1, std::memory_order_relaxed);
+    sctx.finish = ctx_->fabric().local_read(
+        sctx.node, sctx.start + ctx_->model().mem_find_base_ns, bytes);
+    return sctx.finish;
+  }
+
+  // ---- real structure mutation + journal ----------------------------
+
+  bool apply_insert(Partition& part, const K& key, const V& value,
+                    sim::Nanos t = 0) {
+    const bool ok = part.map.insert(key, value);
+    if (ok) {
+      charge_entry_memory(part, wire_bytes(key, value), t);
+      journal(part, LogOp::kInsert, key, &value);
+    }
+    return ok;
+  }
+  bool apply_upsert(Partition& part, const K& key, const V& value,
+                    sim::Nanos t = 0) {
+    const bool fresh = part.map.upsert(key, value);
+    if (fresh) charge_entry_memory(part, wire_bytes(key, value), t);
+    journal(part, LogOp::kUpsert, key, &value);
+    return fresh;
+  }
+
+  /// Dynamic memory growth (paper §IV.B.1: "HCL manages memory dynamically
+  /// and initializes the target partition with a smaller size ... expands as
+  /// operations are executed"). Every fresh entry charges the node budget,
+  /// which feeds the Fig. 4(b) resident-memory gauge. Erase does not refund
+  /// (allocator retention), a deliberate approximation.
+  void charge_entry_memory(Partition& part, std::int64_t bytes, sim::Nanos t) {
+    throw_if_error(ctx_->fabric().memory(part.node).reserve(bytes + 64, t));
+  }
+  bool apply_erase(Partition& part, const K& key) {
+    const bool ok = part.map.erase(key);
+    if (ok) journal(part, LogOp::kErase, key, nullptr);
+    return ok;
+  }
+  struct MutatorOutcome {
+    bool fresh = false;
+    std::vector<std::byte> result;
+  };
+
+  MutatorOutcome apply_mutator(Partition& part, const K& key, MutatorId mutator,
+                               const std::vector<std::byte>& raw, const V& init) {
+    if (mutator >= mutators_.size()) {
+      throw HclError(Status::InvalidArgument("unknown mutator id"));
+    }
+    MutatorOutcome outcome;
+    V snapshot{};
+    outcome.fresh = part.map.update_fn(
+        key,
+        [&](V& value) {
+          outcome.result = mutators_[mutator](value, std::span<const std::byte>(raw));
+          snapshot = value;
+        },
+        init);
+    journal(part, LogOp::kUpsert, key, &snapshot);
+    return outcome;
+  }
+
+  void journal(Partition& part, LogOp op, const K& key, const V* value) {
+    if (part.log == nullptr) return;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(op));
+    serial::save(out, key);
+    if (value != nullptr) serial::save(out, *value);
+    throw_if_error(part.log->append(std::span<const std::byte>(out.buffer())));
+  }
+
+  void recover(Partition& part) {
+    part.log->replay([&](std::span<const std::byte> record) {
+      serial::InArchive in(record);
+      const auto op = static_cast<LogOp>(in.u64());
+      K key{};
+      serial::load(in, key);
+      switch (op) {
+        case LogOp::kInsert:
+        case LogOp::kUpsert: {
+          V value{};
+          serial::load(in, value);
+          part.map.upsert(key, value);
+          break;
+        }
+        case LogOp::kErase:
+          part.map.erase(key);
+          break;
+      }
+    });
+  }
+
+  // ---- replication (§III.A.4) ---------------------------------------
+
+  void replicate_upsert(int p, sim::Nanos ready, const K& key, const V& value) {
+    for (int r = 1; r <= options_.replication; ++r) {
+      const int target = (p + r) % num_partitions_;
+      ctx_->rpc().server_invoke(partitions_[static_cast<std::size_t>(p)]->node,
+                                partitions_[static_cast<std::size_t>(target)]->node,
+                                ready, replica_upsert_id_, target, key, value);
+    }
+  }
+  void replicate_erase(int p, sim::Nanos ready, const K& key) {
+    for (int r = 1; r <= options_.replication; ++r) {
+      const int target = (p + r) % num_partitions_;
+      ctx_->rpc().server_invoke(partitions_[static_cast<std::size_t>(p)]->node,
+                                partitions_[static_cast<std::size_t>(target)]->node,
+                                ready, replica_erase_id_, target, key);
+    }
+  }
+
+  // ---- server stubs ---------------------------------------------------
+
+  void bind_handlers() {
+    auto& engine = ctx_->rpc();
+    insert_id_ = engine.bind<bool, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key, const V& value) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const sim::Nanos ready = charge_server_write(sctx, wire_bytes(key, value));
+          const bool ok = apply_insert(part, key, value, ready);
+          if (ok) replicate_upsert(p, ready, key, value);
+          return ok;
+        });
+    upsert_id_ = engine.bind<bool, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key, const V& value) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const sim::Nanos ready = charge_server_write(sctx, wire_bytes(key, value));
+          const bool fresh = apply_upsert(part, key, value, ready);
+          replicate_upsert(p, ready, key, value);
+          return fresh;
+        });
+    find_id_ = engine.bind<std::optional<V>, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          V value{};
+          const bool hit = part.map.find(key, &value);
+          charge_server_read(sctx, hit ? wire_bytes(key, value) : key_bytes(key));
+          return hit ? std::optional<V>(std::move(value)) : std::nullopt;
+        });
+    erase_id_ = engine.bind<bool, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const sim::Nanos ready = charge_server_write(sctx, key_bytes(key));
+          const bool ok = apply_erase(part, key);
+          replicate_erase(p, ready, key);
+          return ok;
+        });
+    resize_id_ = engine.bind<bool, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p, const std::uint64_t& buckets) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          const auto n = static_cast<std::int64_t>(part.map.size());
+          sim::Nanos t = ctx_->fabric().local_read(sctx.node, sctx.start, n * 64);
+          sctx.finish = ctx_->fabric().local_write(sctx.node, t, n * 64);
+          ctx_->op_stats().local_reads.fetch_add(n, std::memory_order_relaxed);
+          ctx_->op_stats().local_writes.fetch_add(n, std::memory_order_relaxed);
+          part.map.reserve(static_cast<std::size_t>(buckets));
+          return true;
+        });
+    apply_id_ = engine.bind<bool, int, K, std::uint32_t, std::vector<std::byte>, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key,
+               const std::uint32_t& mutator, const std::vector<std::byte>& raw,
+               const V& init) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server_write(sctx,
+                              key_bytes(key) + static_cast<std::int64_t>(raw.size()));
+          return apply_mutator(part, key, mutator, raw, init).fresh;
+        });
+    apply_fetch_id_ =
+        engine.bind<std::vector<std::byte>, int, K, std::uint32_t,
+                    std::vector<std::byte>, V>(
+            [this](rpc::ServerCtx& sctx, const int& p, const K& key,
+                   const std::uint32_t& mutator,
+                   const std::vector<std::byte>& raw, const V& init) {
+              Partition& part = *partitions_[static_cast<std::size_t>(p)];
+              charge_server_write(
+                  sctx, key_bytes(key) + static_cast<std::int64_t>(raw.size()));
+              return apply_mutator(part, key, mutator, raw, init).result;
+            });
+    replica_upsert_id_ = engine.bind<bool, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key, const V& value) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server_write(sctx, wire_bytes(key, value));
+          part.replicas.upsert(key, value);
+          return true;
+        });
+    replica_erase_id_ = engine.bind<bool, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server_write(sctx, key_bytes(key));
+          part.replicas.erase(key);
+          return true;
+        });
+    bound_ids_ = {insert_id_,         upsert_id_, find_id_,
+                  erase_id_,          resize_id_, apply_id_,
+                  apply_fetch_id_,    replica_upsert_id_,
+                  replica_erase_id_};
+  }
+
+  Context* ctx_;
+  core::ContainerOptions options_;
+  int num_partitions_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<std::function<std::vector<std::byte>(V&, std::span<const std::byte>)>>
+      mutators_;
+
+  rpc::FuncId insert_id_ = 0, upsert_id_ = 0, find_id_ = 0, erase_id_ = 0,
+              resize_id_ = 0, apply_id_ = 0, apply_fetch_id_ = 0,
+              replica_upsert_id_ = 0, replica_erase_id_ = 0;
+  std::vector<rpc::FuncId> bound_ids_;
+  HashFn hash_;
+};
+
+}  // namespace hcl

@@ -1,0 +1,56 @@
+// Per-NIC traffic counters and time series, the data source for the
+// profiling figure (Fig. 4): packets/s, NIC engine busy time, op mix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/time.h"
+#include "sim/timeseries.h"
+
+namespace hcl::fabric {
+
+struct NicCounters {
+  NicCounters(sim::Nanos bucket_width, std::size_t num_buckets)
+      : packets(bucket_width, num_buckets),
+        busy(bucket_width, num_buckets),
+        atomic_busy(bucket_width, num_buckets) {}
+
+  /// Packets handled per simulated-time bucket (Fig. 4c).
+  sim::TimeSeries packets;
+  /// NIC-core busy nanoseconds per bucket: dispatch + server-stub execution
+  /// (normalize by nic_cores contexts). Fig. 4a.
+  sim::TimeSeries busy;
+  /// Remote-atomic execution nanoseconds per bucket (one RMW context).
+  sim::TimeSeries atomic_busy;
+
+  std::atomic<std::int64_t> total_packets{0};
+  std::atomic<std::int64_t> total_bytes{0};
+  std::atomic<std::int64_t> rpc_count{0};
+  /// Server-stub execution time on the NIC cores (handler simulated spans).
+  std::atomic<std::int64_t> handler_busy_ns{0};
+  std::atomic<std::int64_t> atomic_count{0};
+  std::atomic<std::int64_t> read_count{0};
+  std::atomic<std::int64_t> write_count{0};
+
+  void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
+    packets.add(t, n);
+    total_packets.fetch_add(n, std::memory_order_relaxed);
+    total_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void reset() {
+    packets.reset();
+    busy.reset();
+    atomic_busy.reset();
+    total_packets.store(0);
+    total_bytes.store(0);
+    rpc_count.store(0);
+    handler_busy_ns.store(0);
+    atomic_count.store(0);
+    read_count.store(0);
+    write_count.store(0);
+  }
+};
+
+}  // namespace hcl::fabric

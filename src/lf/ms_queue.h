@@ -1,0 +1,135 @@
+// Lock-free MPMC FIFO queue (paper §III.D.3(A)).
+//
+// The paper cites Ladan-Mozes & Shavit's optimistic lock-free FIFO; we
+// implement the Michael–Scott queue, the canonical CAS-list FIFO with the
+// same progress and ordering guarantees (see DESIGN.md §5). Nodes are
+// reclaimed with EBR, so pops are safe against concurrent traversals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/spin.h"
+#include "lf/ebr.h"
+
+namespace hcl::lf {
+
+template <typename T>
+class MsQueue {
+ public:
+  MsQueue() {
+    Node* dummy = new Node();
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  ~MsQueue() {
+    Node* cur = head_.load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      Node* next = cur->next.load(std::memory_order_relaxed);
+      delete cur;
+      cur = next;
+    }
+  }
+
+  /// Enqueue at the tail. Lock-free; a new node is CAS-appended, then the
+  /// tail pointer is swung (helping lagging enqueuers).
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    Ebr::Guard guard(ebr_);
+    Backoff backoff;
+    for (;;) {
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next != nullptr) {
+        // Tail is lagging; help swing it.
+        tail_.compare_exchange_weak(tail, next, std::memory_order_release);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_weak(expected, node,
+                                           std::memory_order_acq_rel)) {
+        tail_.compare_exchange_strong(tail, node, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Bulk enqueue (Table I's push(vector) shape).
+  void push_bulk(std::vector<T> values) {
+    for (auto& v : values) push(std::move(v));
+  }
+
+  /// Dequeue from the head; false when empty. Only the winning CAS touches
+  /// the dequeued node's payload, so moves are race-free.
+  bool pop(T* out) {
+    Ebr::Guard guard(ebr_);
+    Backoff backoff;
+    for (;;) {
+      Node* head = head_.load(std::memory_order_acquire);
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = head->next.load(std::memory_order_acquire);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) return false;  // empty (head is the dummy)
+      if (head == tail) {
+        // Tail lagging behind a completed push; help.
+        tail_.compare_exchange_weak(tail, next, std::memory_order_release);
+        continue;
+      }
+      if (head_.compare_exchange_weak(head, next, std::memory_order_acq_rel)) {
+        if (out != nullptr) *out = std::move(*next->value);
+        next->value.reset();  // next is the new dummy
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        ebr_.retire_delete(head);
+        return true;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Bulk dequeue up to `max` elements (Table I's pop(vector, E) shape).
+  std::size_t pop_bulk(std::vector<T>* out, std::size_t max) {
+    std::size_t n = 0;
+    T v{};
+    while (n < max && pop(&v)) {
+      out->push_back(std::move(v));
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    Node* head = head_.load(std::memory_order_acquire);
+    return head->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Approximate size (exact when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const auto s = size_.load(std::memory_order_relaxed);
+    return s > 0 ? static_cast<std::size_t>(s) : 0;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::optional<T> value;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  mutable Ebr ebr_;
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) std::atomic<Node*> tail_;
+  std::atomic<std::int64_t> size_{0};
+};
+
+}  // namespace hcl::lf

@@ -1,0 +1,93 @@
+// Lock-free priority queue (paper §III.D.3(B)).
+//
+// The paper cites Zhang & Dechev's multi-dimensional-linked-list priority
+// queue; we implement the Lotan–Shavit construction over the lazy skiplist
+// (DESIGN.md §5): same complexity class (O(log n) push, pop-min with logical
+// deletion and deferred physical cleanup) and the same MWMR concurrency
+// contract. Ties between equal priorities break by arrival order (a
+// monotonically increasing sequence number), matching the paper's
+// "resolves conflicts based on arrival time and priority".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "lf/skiplist_map.h"
+
+namespace hcl::lf {
+
+template <typename T, typename Less = std::less<T>>
+class PriorityQueue {
+ public:
+  PriorityQueue() = default;
+  PriorityQueue(const PriorityQueue&) = delete;
+  PriorityQueue& operator=(const PriorityQueue&) = delete;
+
+  /// Insert an element; duplicates allowed (disambiguated by arrival seq).
+  void push(T value) {
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    Entry e{std::move(value), seq};
+    while (!list_.insert(e, Empty{})) {
+      // Theoretically unreachable (seq is unique); defend anyway.
+      e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void push_bulk(std::vector<T> values) {
+    for (auto& v : values) push(std::move(v));
+  }
+
+  /// Remove and return the minimum element; false when empty.
+  bool pop(T* out) {
+    Entry e;
+    if (!list_.pop_front(&e, nullptr)) return false;
+    if (out != nullptr) *out = std::move(e.value);
+    return true;
+  }
+
+  std::size_t pop_bulk(std::vector<T>* out, std::size_t max) {
+    std::size_t n = 0;
+    T v{};
+    while (n < max && pop(&v)) {
+      out->push_back(std::move(v));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Peek at the minimum without removing; false when empty.
+  bool peek(T* out) const {
+    Entry e;
+    if (!list_.front(&e, nullptr)) return false;
+    if (out != nullptr) *out = e.value;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return list_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return list_.empty(); }
+
+ private:
+  struct Empty {};
+
+  struct Entry {
+    T value{};
+    std::uint64_t seq = 0;
+  };
+
+  struct EntryLess {
+    Less less;
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (less(a.value, b.value)) return true;
+      if (less(b.value, a.value)) return false;
+      return a.seq < b.seq;  // FIFO among equal priorities
+    }
+  };
+
+  SkipListMap<Entry, Empty, EntryLess> list_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace hcl::lf

@@ -1,0 +1,398 @@
+// Concurrent ordered map: a lazy skiplist (paper §III.D.2 substrate).
+//
+// The paper builds its ordered structures on a concurrent tree with
+// asynchronous conflict resolution (Natarajan et al.'s wait-free red-black
+// trees). We implement the same contract — O(log n) ordered operations,
+// MWMR, wait-free lookups, fine-grained synchronization confined to the
+// nodes an update touches — with the Herlihy–Shavit *lazy skiplist*, the
+// standard practical realization of that contract (see DESIGN.md §5 for the
+// substitution note). Properties:
+//   * contains/find traverse without any lock (wait-free w.r.t. writers),
+//   * insert/erase lock only the affected predecessors / victim,
+//   * erase is lazy: logical mark, then physical unlink, node reclaimed
+//     through EBR,
+//   * pop_front (remove-min) supports the priority-queue adapter.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <optional>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/spin.h"
+#include "lf/ebr.h"
+
+namespace hcl::lf {
+
+template <typename K, typename V, typename Less = std::less<K>>
+class SkipListMap {
+ public:
+  static constexpr int kMaxLevel = 20;  // 2^20 expected elements headroom
+
+  SkipListMap() {
+    head_ = new Node(Sentinel::kHead);
+    tail_ = new Node(Sentinel::kTail);
+    for (int l = 0; l < kMaxLevel; ++l) {
+      head_->next[l].store(tail_, std::memory_order_relaxed);
+    }
+  }
+
+  SkipListMap(const SkipListMap&) = delete;
+  SkipListMap& operator=(const SkipListMap&) = delete;
+
+  ~SkipListMap() {
+    Node* cur = head_;
+    while (cur != nullptr) {
+      Node* next = cur->next[0].load(std::memory_order_relaxed);
+      delete cur;
+      cur = next;
+    }
+  }
+
+  /// Insert; returns false if the key already exists (unchanged).
+  bool insert(const K& key, const V& value) {
+    const int top = random_level();
+    Ebr::Guard guard(ebr_);
+    std::array<Node*, kMaxLevel> preds;
+    std::array<Node*, kMaxLevel> succs;
+    for (;;) {
+      const int found_level = find(key, preds, succs);
+      if (found_level != -1) {
+        Node* found = succs[found_level];
+        if (!found->marked.load(std::memory_order_acquire)) {
+          // Wait for a concurrent inserter to finish linking, then report
+          // the duplicate.
+          Backoff backoff;
+          while (!found->fully_linked.load(std::memory_order_acquire)) {
+            backoff.pause();
+          }
+          return false;
+        }
+        continue;  // marked: being deleted; retry until unlinked
+      }
+      // Lock unique predecessors bottom-up and validate.
+      Node* locked[kMaxLevel];
+      int locked_count = 0;
+      bool valid = true;
+      Node* prev_pred = nullptr;
+      for (int l = 0; valid && l <= top; ++l) {
+        Node* pred = preds[l];
+        if (pred != prev_pred) {
+          pred->lock.lock();
+          locked[locked_count++] = pred;
+          prev_pred = pred;
+        }
+        valid = !pred->marked.load(std::memory_order_relaxed) &&
+                pred->next[l].load(std::memory_order_relaxed) == succs[l];
+      }
+      if (!valid) {
+        for (int i = locked_count - 1; i >= 0; --i) locked[i]->lock.unlock();
+        continue;
+      }
+      Node* node = new Node(key, value, top);
+      for (int l = 0; l <= top; ++l) {
+        node->next[l].store(succs[l], std::memory_order_relaxed);
+      }
+      for (int l = 0; l <= top; ++l) {
+        preds[l]->next[l].store(node, std::memory_order_release);
+      }
+      node->fully_linked.store(true, std::memory_order_release);
+      for (int i = locked_count - 1; i >= 0; --i) locked[i]->lock.unlock();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  /// Lookup; wait-free traversal, value copied under the node lock (copying
+  /// a non-trivial V concurrently with an update would be a data race).
+  bool find_value(const K& key, V* out = nullptr) const {
+    Ebr::Guard guard(ebr_);
+    Node* node = find_node(key);
+    if (node == nullptr) return false;
+    if (out != nullptr) {
+      std::lock_guard<SpinLock> node_guard(node->lock);
+      if (node->marked.load(std::memory_order_acquire)) return false;
+      *out = node->value;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const { return find_value(key, nullptr); }
+
+  /// Apply `fn(V&)` to an existing key under the node lock; false if absent.
+  template <typename F>
+  bool update(const K& key, F&& fn) {
+    Ebr::Guard guard(ebr_);
+    Node* node = find_node(key);
+    if (node == nullptr) return false;
+    std::lock_guard<SpinLock> node_guard(node->lock);
+    if (node->marked.load(std::memory_order_acquire)) return false;
+    fn(node->value);
+    return true;
+  }
+
+  /// Insert-or-update in one call. Returns true when newly inserted.
+  template <typename F>
+  bool upsert(const K& key, F&& fn, const V& init = V{}) {
+    for (;;) {
+      if (update(key, fn)) return false;
+      if (insert_and_apply(key, init, fn)) return true;
+      // Lost both races (concurrent delete + insert); try again.
+    }
+  }
+
+  /// Remove by key (lazy delete + physical unlink). False if absent.
+  bool erase(const K& key) {
+    Ebr::Guard guard(ebr_);
+    std::array<Node*, kMaxLevel> preds;
+    std::array<Node*, kMaxLevel> succs;
+    Node* victim = nullptr;
+    bool marked_by_us = false;
+    int top = 0;
+    for (;;) {
+      const int found_level = find(key, preds, succs);
+      if (!marked_by_us) {
+        if (found_level == -1) return false;
+        victim = succs[found_level];
+        if (!victim->fully_linked.load(std::memory_order_acquire) ||
+            victim->top_level != found_level ||
+            victim->marked.load(std::memory_order_acquire)) {
+          return false;
+        }
+        top = victim->top_level;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_relaxed)) {
+          victim->lock.unlock();
+          return false;  // someone else is deleting it
+        }
+        victim->marked.store(true, std::memory_order_release);
+        marked_by_us = true;
+      }
+      if (unlink(victim, top, preds, succs)) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Validation failed; re-find and retry the unlink (we still hold the
+      // mark, so no one else can delete it).
+    }
+  }
+
+  /// Remove and return the smallest element (the priority-queue pop).
+  /// Returns false when empty.
+  bool pop_front(K* out_key, V* out_value = nullptr) {
+    Ebr::Guard guard(ebr_);
+    for (;;) {
+      Node* cur = head_->next[0].load(std::memory_order_acquire);
+      // Skip nodes already claimed by other poppers/deleters.
+      while (cur != tail_ &&
+             (cur->marked.load(std::memory_order_acquire) ||
+              !cur->fully_linked.load(std::memory_order_acquire))) {
+        cur = cur->next[0].load(std::memory_order_acquire);
+      }
+      if (cur == tail_) return false;
+      // Claim it.
+      cur->lock.lock();
+      if (cur->marked.load(std::memory_order_relaxed)) {
+        cur->lock.unlock();
+        continue;
+      }
+      cur->marked.store(true, std::memory_order_release);
+      if (out_key != nullptr) *out_key = cur->key;
+      if (out_value != nullptr) *out_value = std::move(cur->value);
+      const K key = cur->key;
+      const int top = cur->top_level;
+      // Physically unlink (we hold the node lock + mark).
+      std::array<Node*, kMaxLevel> preds;
+      std::array<Node*, kMaxLevel> succs;
+      for (;;) {
+        find(key, preds, succs);
+        if (unlink(cur, top, preds, succs)) break;
+      }
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  /// Peek at the smallest live element without removing it.
+  bool front(K* out_key, V* out_value = nullptr) const {
+    Ebr::Guard guard(ebr_);
+    Node* cur = head_->next[0].load(std::memory_order_acquire);
+    while (cur != tail_) {
+      if (cur->fully_linked.load(std::memory_order_acquire) &&
+          !cur->marked.load(std::memory_order_acquire)) {
+        std::lock_guard<SpinLock> node_guard(cur->lock);
+        if (!cur->marked.load(std::memory_order_relaxed)) {
+          if (out_key != nullptr) *out_key = cur->key;
+          if (out_value != nullptr) *out_value = cur->value;
+          return true;
+        }
+      }
+      cur = cur->next[0].load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  /// In-order visit of live elements. `fn(const K&, const V&)`. Each node is
+  /// copied under its lock; the traversal as a whole is not a snapshot.
+  template <typename F>
+  void for_each(F&& fn) const {
+    Ebr::Guard guard(ebr_);
+    Node* cur = head_->next[0].load(std::memory_order_acquire);
+    while (cur != tail_) {
+      if (cur->fully_linked.load(std::memory_order_acquire) &&
+          !cur->marked.load(std::memory_order_acquire)) {
+        cur->lock.lock();
+        const bool live = !cur->marked.load(std::memory_order_relaxed);
+        K k{};
+        V v{};
+        if (live) {
+          k = cur->key;
+          v = cur->value;
+        }
+        cur->lock.unlock();
+        if (live) fn(k, v);
+      }
+      cur = cur->next[0].load(std::memory_order_acquire);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  enum class Sentinel : std::uint8_t { kNone, kHead, kTail };
+
+  struct Node {
+    explicit Node(Sentinel s)
+        : sentinel(s), top_level(kMaxLevel - 1) {
+      fully_linked.store(true, std::memory_order_relaxed);
+    }
+    Node(const K& k, const V& v, int top)
+        : key(k), value(v), sentinel(Sentinel::kNone), top_level(top) {}
+
+    K key{};
+    V value{};
+    const Sentinel sentinel = Sentinel::kNone;
+    const int top_level;
+    mutable SpinLock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    std::array<std::atomic<Node*>, kMaxLevel> next{};
+  };
+
+  /// a < b with sentinel ordering.
+  bool node_less(const Node* node, const K& key) const {
+    if (node->sentinel == Sentinel::kHead) return true;
+    if (node->sentinel == Sentinel::kTail) return false;
+    return less_(node->key, key);
+  }
+  bool key_equals(const Node* node, const K& key) const {
+    return node->sentinel == Sentinel::kNone && !less_(node->key, key) &&
+           !less_(key, node->key);
+  }
+
+  /// Standard skiplist search: fills preds/succs for every level; returns
+  /// the highest level at which the key was found, or -1.
+  int find(const K& key, std::array<Node*, kMaxLevel>& preds,
+           std::array<Node*, kMaxLevel>& succs) const {
+    int found = -1;
+    Node* pred = head_;
+    for (int l = kMaxLevel - 1; l >= 0; --l) {
+      Node* cur = pred->next[l].load(std::memory_order_acquire);
+      while (node_less(cur, key)) {
+        pred = cur;
+        cur = pred->next[l].load(std::memory_order_acquire);
+      }
+      if (found == -1 && key_equals(cur, key)) found = l;
+      preds[l] = pred;
+      succs[l] = cur;
+    }
+    return found;
+  }
+
+  /// Wait-free lookup of a live node, or nullptr.
+  Node* find_node(const K& key) const {
+    Node* pred = head_;
+    for (int l = kMaxLevel - 1; l >= 0; --l) {
+      Node* cur = pred->next[l].load(std::memory_order_acquire);
+      while (node_less(cur, key)) {
+        pred = cur;
+        cur = pred->next[l].load(std::memory_order_acquire);
+      }
+      if (key_equals(cur, key)) {
+        if (cur->fully_linked.load(std::memory_order_acquire) &&
+            !cur->marked.load(std::memory_order_acquire)) {
+          return cur;
+        }
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Physical unlink of a marked victim whose node lock we hold. Locks the
+  /// predecessors, validates, splices, releases, retires. Returns false if
+  /// validation failed (caller re-finds and retries).
+  bool unlink(Node* victim, int top, std::array<Node*, kMaxLevel>& preds,
+              std::array<Node*, kMaxLevel>& /*succs*/) {
+    Node* locked[kMaxLevel];
+    int locked_count = 0;
+    bool valid = true;
+    Node* prev_pred = nullptr;
+    for (int l = 0; valid && l <= top; ++l) {
+      Node* pred = preds[l];
+      if (pred != prev_pred) {
+        pred->lock.lock();
+        locked[locked_count++] = pred;
+        prev_pred = pred;
+      }
+      valid = !pred->marked.load(std::memory_order_relaxed) &&
+              pred->next[l].load(std::memory_order_relaxed) == victim;
+    }
+    if (!valid) {
+      for (int i = locked_count - 1; i >= 0; --i) locked[i]->lock.unlock();
+      return false;
+    }
+    for (int l = top; l >= 0; --l) {
+      preds[l]->next[l].store(victim->next[l].load(std::memory_order_relaxed),
+                              std::memory_order_release);
+    }
+    for (int i = locked_count - 1; i >= 0; --i) locked[i]->lock.unlock();
+    victim->lock.unlock();
+    ebr_.retire_delete(victim);
+    return true;
+  }
+
+  /// insert() variant that applies `fn` to the fresh value before publishing
+  /// (used by upsert so the modification is visible atomically with the
+  /// insert).
+  template <typename F>
+  bool insert_and_apply(const K& key, const V& init, F&& fn) {
+    V value = init;
+    fn(value);
+    return insert(key, value);
+  }
+
+  int random_level() {
+    thread_local Rng rng(0x5EED0 + std::hash<std::thread::id>{}(
+                                       std::this_thread::get_id()));
+    int level = 0;
+    while (level < kMaxLevel - 1 && (rng.next() & 1) != 0) ++level;
+    return level;
+  }
+
+  mutable Ebr ebr_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<std::size_t> size_{0};
+  Less less_;
+};
+
+}  // namespace hcl::lf

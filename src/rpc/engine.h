@@ -1,0 +1,304 @@
+// The RPC-over-RDMA engine (paper §III.B, Fig. 2).
+//
+// Server side: users bind() functions into an invocation registry; each bind
+// returns a FuncId. When a client invoke()s, the client stub serializes the
+// arguments into a request (DataBox wire format), RDMA_SENDs it into the
+// target's request buffer (fabric.send_request), and the server stub
+// de-marshals and runs the bound function with a simulated start time from
+// the target's NIC-core reservation. The response is serialized into the
+// response buffer; the client *pulls* it with RDMA_READ
+// (fabric.pull_response).
+//
+// Execution note: the server stub physically executes inline on the calling
+// thread (cheap on a small host), but its TIMING is entirely the target
+// NIC's — request wire arrival, NIC-core reservation, target-local memory
+// charges. Concurrency is still real: many client threads execute handlers
+// against the same partition simultaneously. Futures therefore resolve
+// eagerly in real time while modelling asynchrony in simulated time: the
+// response-ready timestamp is computed from the full RoR pipeline, and
+// Future::get() charges the caller's clock only when it actually awaits.
+//
+// Three invocation shapes, per §III.C.4 and §III.C.3:
+//   * invoke        — synchronous (block until the future resolves),
+//   * async_invoke  — returns Future<R>,
+//   * invoke_chain  — server-side callback chaining: after the main function,
+//     each chained FuncId runs on the same NIC core, receiving the previous
+//     stage's serialized result as its argument payload ("aggregate multiple
+//     data-local operations together ... with one call").
+//
+// Handlers receive a ServerCtx carrying the simulated start time and must
+// record their simulated finish time (local structure costs are charged by
+// the handler through the fabric's local_* primitives).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "rpc/future.h"
+#include "serial/databox.h"
+#include "sim/actor.h"
+
+namespace hcl::rpc {
+
+using FuncId = std::uint64_t;
+
+/// Execution context handed to every server stub.
+struct ServerCtx {
+  sim::NodeId node = 0;     // node the stub runs on
+  sim::Nanos start = 0;     // simulated time the stub begins executing
+  sim::Nanos finish = 0;    // handler sets this to its simulated completion
+  fabric::Fabric* fabric = nullptr;  // for charging local structure costs
+};
+
+/// Type-erased server stub: (ctx, request payload) -> response payload.
+using RawHandler =
+    std::function<std::vector<std::byte>(ServerCtx&, std::span<const std::byte>)>;
+
+class Engine {
+ public:
+  explicit Engine(fabric::Fabric& fabric) : fabric_(&fabric) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  ~Engine() {
+    // No handler may run after the registry dies.
+    fabric_->drain_all();
+  }
+
+  [[nodiscard]] fabric::Fabric& fabric() noexcept { return *fabric_; }
+
+  // ------------------------------------------------------------------
+  // Registry (bind / unbind), §III.B: "users submit their functions by
+  // calling the bind() method that maps them to an RPC invocation registry".
+  // ------------------------------------------------------------------
+
+  FuncId bind_raw(RawHandler handler) {
+    const FuncId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lock(registry_mutex_);
+    registry_.emplace(id, std::move(handler));
+    return id;
+  }
+
+  /// Bind a typed function `R fn(ServerCtx&, const Args&...)`.
+  template <typename R, typename... Args, typename F>
+  FuncId bind(F fn) {
+    return bind_raw(
+        [fn = std::move(fn)](ServerCtx& ctx,
+                             std::span<const std::byte> request) mutable
+            -> std::vector<std::byte> {
+          serial::InArchive in(request);
+          std::tuple<std::decay_t<Args>...> args;
+          std::apply([&in](auto&... unpacked) { (serial::load(in, unpacked), ...); },
+                     args);
+          if constexpr (std::is_void_v<R>) {
+            std::apply(
+                [&](auto&... unpacked) { fn(ctx, unpacked...); }, args);
+            return {};
+          } else {
+            R result = std::apply(
+                [&](auto&... unpacked) { return fn(ctx, unpacked...); }, args);
+            serial::OutArchive out;
+            serial::save(out, result);
+            return out.take();
+          }
+        });
+  }
+
+  void unbind(FuncId id) {
+    std::unique_lock lock(registry_mutex_);
+    registry_.erase(id);
+  }
+
+  // ------------------------------------------------------------------
+  // Client stubs
+  // ------------------------------------------------------------------
+
+  /// Asynchronous invocation: serialize, RDMA_SEND, enqueue on the target
+  /// NIC, return immediately with a Future (client paid injection cost only).
+  template <typename R, typename... Args>
+  Future<R> async_invoke(sim::Actor& caller, sim::NodeId target, FuncId id,
+                         const Args&... args) {
+    return async_invoke_chain<R>(caller, target, id, {}, args...);
+  }
+
+  /// Asynchronous invocation with server-side callback chain.
+  template <typename R, typename... Args>
+  Future<R> async_invoke_chain(sim::Actor& caller, sim::NodeId target,
+                               FuncId id, std::vector<FuncId> chain,
+                               const Args&... args) {
+    serial::OutArchive out;
+    (serial::save(out, args), ...);
+    auto request = std::make_shared<std::vector<std::byte>>(out.take());
+
+    const auto wire_bytes = static_cast<std::int64_t>(
+        kHeaderBytes + 8 * chain.size() + request->size());
+    const sim::Nanos arrival = fabric_->send_request(caller, target, wire_bytes);
+
+    auto state = std::make_shared<detail::FutureState>();
+    execute(target, id, chain, *request, arrival, *state);
+    return Future<R>(state, this, target);
+  }
+
+  /// Synchronous invocation (paper: the caller "blocks waiting for the
+  /// response immediately after making the invocation call").
+  template <typename R, typename... Args>
+  R invoke(sim::Actor& caller, sim::NodeId target, FuncId id,
+           const Args&... args) {
+    return async_invoke<R>(caller, target, id, args...).get(caller);
+  }
+
+  /// Synchronous invocation with a server-side callback chain; returns the
+  /// final stage's result.
+  template <typename R, typename... Args>
+  R invoke_chain(sim::Actor& caller, sim::NodeId target, FuncId id,
+                 std::vector<FuncId> chain, const Args&... args) {
+    return async_invoke_chain<R>(caller, target, id, std::move(chain), args...)
+        .get(caller);
+  }
+
+  /// Server-side fire-and-forget re-invocation (asynchronous replication,
+  /// §III.A.4: "the target process will further hash an operation to more
+  /// servers"). No actor clock is touched — replication is off the caller's
+  /// critical path. `ready` is the simulated time the originating handler
+  /// finished.
+  template <typename... Args>
+  void server_invoke(sim::NodeId origin, sim::NodeId target, sim::Nanos ready,
+                     FuncId id, const Args&... args) {
+    serial::OutArchive out;
+    (serial::save(out, args), ...);
+    auto request = std::make_shared<std::vector<std::byte>>(out.take());
+
+    sim::Nanos arrival = ready;
+    if (origin != target) {
+      arrival += fabric_->model().net_base_latency_ns;
+      arrival = fabric_->nic(target).ingress().reserve(
+          arrival, fabric_->model().wire_time(
+                       static_cast<std::int64_t>(kHeaderBytes + request->size())));
+    }
+    detail::FutureState state;
+    execute(target, id, {}, *request, arrival, state);
+  }
+
+  // ------------------------------------------------------------------
+  // Used by Future<R>::get
+  // ------------------------------------------------------------------
+
+  /// Charge the caller for pulling `bytes` of response that became ready at
+  /// `ready` on `target` (Fig. 2 steps 6-7).
+  void charge_pull(sim::Actor& caller, sim::NodeId target, std::size_t bytes,
+                   sim::Nanos ready) {
+    fabric_->pull_response(caller, target,
+                           static_cast<std::int64_t>(bytes + kResponseHeaderBytes),
+                           ready);
+  }
+
+  /// Total RPCs that crossed the wire (for Table I accounting).
+  [[nodiscard]] std::int64_t total_invocations() const {
+    std::int64_t sum = 0;
+    for (int n = 0; n < fabric_->topology().num_nodes(); ++n) {
+      sum += fabric_->nic(n).counters().rpc_count.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 24;          // id + lens + caller
+  static constexpr std::size_t kResponseHeaderBytes = 16;  // status + len
+
+  void execute(sim::NodeId target, FuncId id, const std::vector<FuncId>& chain,
+               const std::vector<std::byte>& request, sim::Nanos arrival,
+               detail::FutureState& state) {
+    ServerCtx ctx;
+    ctx.node = target;
+    ctx.fabric = fabric_;
+    ctx.start = fabric_->nic_begin(target, arrival);
+    ctx.finish = ctx.start;
+    const sim::Nanos dispatch_start = ctx.start;
+
+    RawHandler handler = find(id);
+    if (!handler) {
+      state.fulfill({}, ctx.start,
+                    Status::NotFound("no handler bound for id " + std::to_string(id)));
+      return;
+    }
+    std::vector<std::byte> payload;
+    try {
+      payload = handler(ctx, std::span<const std::byte>(request));
+      // Server-side callback chain: each stage consumes the previous
+      // stage's serialized result, on the same NIC core, de-marshal cost
+      // included (charged as one dispatch per stage).
+      for (FuncId next : chain) {
+        RawHandler chained = find(next);
+        if (!chained) {
+          state.fulfill({}, ctx.finish,
+                        Status::NotFound("chained handler missing"));
+          return;
+        }
+        ctx.start = fabric_->nic_begin(target, ctx.finish);
+        ctx.finish = ctx.start;
+        payload = chained(ctx, std::span<const std::byte>(payload));
+      }
+    } catch (const HclError& e) {
+      state.fulfill({}, ctx.finish, Status(e.code(), e.what()));
+      return;
+    }
+    // Account the stub's execution span as NIC-core busy time (Fig. 4a).
+    fabric_->nic(target).counters().handler_busy_ns.fetch_add(
+        ctx.finish - dispatch_start, std::memory_order_relaxed);
+    fabric_->nic(target).counters().busy.add(dispatch_start,
+                                             ctx.finish - dispatch_start);
+    state.fulfill(std::move(payload), ctx.finish, Status::Ok());
+  }
+
+  RawHandler find(FuncId id) {
+    std::shared_lock lock(registry_mutex_);
+    auto it = registry_.find(id);
+    return it == registry_.end() ? RawHandler{} : it->second;
+  }
+
+  fabric::Fabric* fabric_;
+  std::shared_mutex registry_mutex_;
+  std::unordered_map<FuncId, RawHandler> registry_;
+  std::atomic<FuncId> next_id_{1};
+};
+
+// ---------------------------------------------------------------------------
+// Future<R> methods that need Engine
+// ---------------------------------------------------------------------------
+
+template <typename R>
+R Future<R>::get(sim::Actor& caller) {
+  state_->wait();
+  engine_->charge_pull(caller, target_, state_->payload.size(),
+                       state_->response_ready_ns);
+  throw_if_error(state_->status);
+  if constexpr (std::is_void_v<R>) {
+    return;
+  } else {
+    serial::InArchive in(std::span<const std::byte>(state_->payload));
+    R out{};
+    serial::load(in, out);
+    return out;
+  }
+}
+
+template <typename R>
+Status Future<R>::wait(sim::Actor& caller) {
+  state_->wait();
+  engine_->charge_pull(caller, target_, state_->payload.size(),
+                       state_->response_ready_ns);
+  return state_->status;
+}
+
+}  // namespace hcl::rpc

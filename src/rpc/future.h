@@ -1,0 +1,122 @@
+// Futures for asynchronous RPC (paper §III.C.4).
+//
+// "Each function invocation creates a future object (much like C++ future
+// and wait operations), which gets the response after the call is executed."
+// Real synchronization: the NIC-core executor thread fulfills the shared
+// state and the client thread blocks on a condition variable. Simulated
+// timing: the state carries the simulated time at which the response landed
+// in the server's response buffer; Future::get() charges the client's clock
+// for the RDMA_READ pull (the client-pulling response paradigm of Fig. 2).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/time.h"
+#include "sim/topology.h"
+
+namespace hcl::rpc {
+
+namespace detail {
+
+/// Type-erased completion state shared between the NIC executor (producer)
+/// and the client (consumer).
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<std::byte> payload;     // serialized response
+  sim::Nanos response_ready_ns = 0;   // when the response buffer was written
+  Status status = Status::Ok();       // handler-level failure
+  std::vector<std::function<void(const FutureState&)>> continuations;
+
+  void fulfill(std::vector<std::byte> bytes, sim::Nanos ready, Status st) {
+    std::vector<std::function<void(const FutureState&)>> to_run;
+    {
+      std::lock_guard<std::mutex> guard(mutex);
+      payload = std::move(bytes);
+      response_ready_ns = ready;
+      status = std::move(st);
+      done = true;
+      to_run.swap(continuations);
+    }
+    cv.notify_all();
+    for (auto& fn : to_run) fn(*this);
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return done; });
+  }
+
+  [[nodiscard]] bool ready() {
+    std::lock_guard<std::mutex> guard(mutex);
+    return done;
+  }
+
+  /// Attach a continuation; runs immediately if already done, otherwise on
+  /// the fulfilling (NIC executor) thread.
+  void on_complete(std::function<void(const FutureState&)> fn) {
+    {
+      std::lock_guard<std::mutex> guard(mutex);
+      if (!done) {
+        continuations.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn(*this);
+  }
+};
+
+}  // namespace detail
+
+class Engine;  // forward; pull-charging needs the fabric via the engine
+
+/// A typed handle to an in-flight RPC. Decoding is deferred to get() so the
+/// wire bytes cross exactly once.
+template <typename R>
+class Future {
+ public:
+  Future() = default;
+  Future(std::shared_ptr<detail::FutureState> state, Engine* engine,
+         sim::NodeId target)
+      : state_(std::move(state)), engine_(engine), target_(target) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const { return state_ && state_->ready(); }
+
+  /// Simulated time at which the response became ready (only after done).
+  [[nodiscard]] sim::Nanos response_ready_ns() const {
+    return state_->response_ready_ns;
+  }
+
+  /// Block (really) until the server stub completes, charge `caller`'s clock
+  /// for the response pull (simulated), and decode the result.
+  /// Defined in engine.h (needs Engine::pull_and_decode).
+  R get(sim::Actor& caller);
+
+  /// Status-only wait: charges the pull but discards the payload decode.
+  Status wait(sim::Actor& caller);
+
+  /// Client-side chaining: run `fn` when the response is ready (on the NIC
+  /// executor thread). For server-side chaining see Engine::invoke_chain.
+  void then(std::function<void()> fn) {
+    state_->on_complete([f = std::move(fn)](const detail::FutureState&) { f(); });
+  }
+
+ private:
+  friend class Engine;
+  std::shared_ptr<detail::FutureState> state_;
+  Engine* engine_ = nullptr;
+  sim::NodeId target_ = 0;
+};
+
+}  // namespace hcl::rpc

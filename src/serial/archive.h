@@ -1,0 +1,108 @@
+// Binary archives: the byte-level reader/writer DataBoxes serialize through.
+//
+// BasicOutArchive appends to an owned byte vector; BasicInArchive consumes a
+// non-owning view. Both are parameterized by a SerializerBackend that
+// controls integer encoding. `operator&` supports cereal-style symmetric
+// `serialize(Ar&)` methods on user types (paper: "users can define their own
+// custom serialization function").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "serial/backend.h"
+
+namespace hcl::serial {
+
+template <SerializerBackend Backend = RawBackend>
+class BasicOutArchive {
+ public:
+  static constexpr bool is_saving = true;
+  static constexpr bool is_loading = false;
+  using backend_type = Backend;
+
+  BasicOutArchive() = default;
+  explicit BasicOutArchive(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void raw_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  void u64(std::uint64_t v) { Backend::put_u64(buf_, v); }
+  void i64(std::int64_t v) { Backend::put_u64(buf_, zigzag_encode(v)); }
+
+  void f64(double v) { raw_bytes(&v, sizeof(v)); }
+  void f32(float v) { raw_bytes(&v, sizeof(v)); }
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
+  void clear() noexcept { buf_.clear(); }
+
+  /// Symmetric-serialize support: `ar & field` writes when saving.
+  template <typename T>
+  BasicOutArchive& operator&(const T& v);
+  template <typename T>
+  BasicOutArchive& operator<<(const T& v) { return *this & v; }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+template <SerializerBackend Backend = RawBackend>
+class BasicInArchive {
+ public:
+  static constexpr bool is_saving = false;
+  static constexpr bool is_loading = true;
+  using backend_type = Backend;
+
+  explicit BasicInArchive(std::span<const std::byte> data)
+      : cursor_(data.data()), end_(data.data() + data.size()) {}
+
+  void raw_bytes(void* p, std::size_t n) {
+    if (static_cast<std::size_t>(end_ - cursor_) < n) detail::underflow();
+    std::memcpy(p, cursor_, n);
+    cursor_ += n;
+  }
+
+  std::uint64_t u64() { return Backend::get_u64(cursor_, end_); }
+  std::int64_t i64() { return zigzag_decode(Backend::get_u64(cursor_, end_)); }
+
+  double f64() {
+    double v;
+    raw_bytes(&v, sizeof(v));
+    return v;
+  }
+  float f32() {
+    float v;
+    raw_bytes(&v, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - cursor_);
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ == end_; }
+
+  /// Symmetric-serialize support: `ar & field` reads when loading.
+  template <typename T>
+  BasicInArchive& operator&(T& v);
+  template <typename T>
+  BasicInArchive& operator>>(T& v) { return *this & v; }
+
+ private:
+  const std::byte* cursor_;
+  const std::byte* end_;
+};
+
+using OutArchive = BasicOutArchive<RawBackend>;
+using InArchive = BasicInArchive<RawBackend>;
+using PackedOutArchive = BasicOutArchive<PackedBackend>;
+using PackedInArchive = BasicInArchive<PackedBackend>;
+
+}  // namespace hcl::serial

@@ -1,0 +1,102 @@
+// Serializer backends (paper §III.C.2).
+//
+// The paper supports multiple serialization libraries behind the DataBox
+// abstraction (MSGPACK, Cereal, FlatBuffers) "since different serialization
+// libraries excel in different environments". We reproduce the pluggable
+// surface with two real wire formats:
+//   * RawBackend    — fixed-width little-endian integers (fast, larger)
+//   * PackedBackend — LEB128 varint integers (slower, smaller)
+// Backends control only integer encoding; floats and raw byte blobs are
+// always memcpy'd. A backend is any type satisfying SerializerBackend.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hcl::serial {
+
+/// What a serializer backend must provide.
+template <typename B>
+concept SerializerBackend = requires(std::vector<std::byte>& out,
+                                     const std::byte*& cursor,
+                                     const std::byte* end, std::uint64_t v) {
+  { B::put_u64(out, v) } -> std::same_as<void>;
+  { B::get_u64(cursor, end) } -> std::same_as<std::uint64_t>;
+  { B::name() } -> std::convertible_to<const char*>;
+};
+
+namespace detail {
+[[noreturn]] inline void underflow() {
+  throw HclError(Status::InvalidArgument("archive underflow: truncated input"));
+}
+}  // namespace detail
+
+/// Fixed-width little-endian encoding.
+struct RawBackend {
+  static constexpr const char* name() noexcept { return "raw"; }
+
+  static void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    std::byte b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+    out.insert(out.end(), b, b + 8);
+  }
+
+  static std::uint64_t get_u64(const std::byte*& cursor, const std::byte* end) {
+    if (end - cursor < 8) detail::underflow();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(cursor[i]))
+           << (8 * i);
+    }
+    cursor += 8;
+    return v;
+  }
+};
+
+/// LEB128 varint encoding (msgpack-spirited compact integers).
+struct PackedBackend {
+  static constexpr const char* name() noexcept { return "packed"; }
+
+  static void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+      out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+      v >>= 7;
+    }
+    out.push_back(static_cast<std::byte>(v));
+  }
+
+  static std::uint64_t get_u64(const std::byte*& cursor, const std::byte* end) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (cursor >= end) detail::underflow();
+      const auto b = std::to_integer<std::uint8_t>(*cursor++);
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) {
+        throw HclError(Status::InvalidArgument("varint too long"));
+      }
+    }
+    return v;
+  }
+};
+
+static_assert(SerializerBackend<RawBackend>);
+static_assert(SerializerBackend<PackedBackend>);
+
+/// ZigZag transform so small negative integers stay small under varints.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace hcl::serial

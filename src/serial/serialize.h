@@ -1,0 +1,336 @@
+// Serialization dispatch: how a value of any supported type becomes bytes.
+//
+// Resolution order (paper §III.C.2 semantics):
+//   1. user-defined symmetric `serialize(Ar&)` member — custom data types,
+//   2. arithmetic / enum scalars — backend integer encoding,
+//   3. byte-copyable types — single memcpy ("DataBoxes do not use
+//      serialization for simple byte-copyable data types"),
+//   4. STL containers — recursive structural encoding ("HCL provides native
+//      support for standard STL containers"),
+//   5. anything else — compile error pointing at the customization point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "serial/archive.h"
+
+namespace hcl::serial {
+
+// ---------------------------------------------------------------------------
+// Type traits
+// ---------------------------------------------------------------------------
+
+template <typename T, template <typename...> class Tmpl>
+inline constexpr bool is_spec_v = false;
+template <template <typename...> class Tmpl, typename... Args>
+inline constexpr bool is_spec_v<Tmpl<Args...>, Tmpl> = true;
+
+template <typename T>
+inline constexpr bool is_std_array_v = false;
+template <typename T, std::size_t N>
+inline constexpr bool is_std_array_v<std::array<T, N>> = true;
+
+/// The byte-copyable fast path: raw memcpy is a valid representation.
+/// Pointers are excluded — they are exactly the thing the paper says "do not
+/// carry a meaningful interpretation outside the scope of the source
+/// process".
+template <typename T>
+inline constexpr bool is_byte_copyable_v =
+    std::is_trivially_copyable_v<T> && !std::is_pointer_v<T> &&
+    !std::is_member_pointer_v<T>;
+
+template <typename T, typename Ar>
+concept HasMemberSerialize = requires(T& t, Ar& ar) {
+  { t.serialize(ar) };
+};
+
+/// True when raw memcpy is the representation the dispatch will actually
+/// choose: byte-copyable AND no custom serialize member (a type can be
+/// trivially copyable yet define its own wire format — e.g. a payload whose
+/// nominal size differs from its footprint).
+template <typename T>
+inline constexpr bool is_memcpy_serialized_v =
+    is_byte_copyable_v<T> && !HasMemberSerialize<T, BasicOutArchive<RawBackend>>;
+
+template <typename T>
+inline constexpr bool is_string_v =
+    std::is_same_v<T, std::string> || std::is_same_v<T, std::u16string> ||
+    std::is_same_v<T, std::u32string> || std::is_same_v<T, std::wstring>;
+
+template <typename T>
+inline constexpr bool is_sequence_v =
+    is_spec_v<T, std::vector> || is_spec_v<T, std::deque>;
+
+template <typename T>
+inline constexpr bool is_map_like_v =
+    is_spec_v<T, std::map> || is_spec_v<T, std::unordered_map> ||
+    is_spec_v<T, std::multimap> || is_spec_v<T, std::unordered_multimap>;
+
+template <typename T>
+inline constexpr bool is_set_like_v =
+    is_spec_v<T, std::set> || is_spec_v<T, std::unordered_set> ||
+    is_spec_v<T, std::multiset> || is_spec_v<T, std::unordered_multiset>;
+
+template <typename>
+inline constexpr bool dependent_false_v = false;
+
+/// True when the serialized size of T is a compile-time constant equal to
+/// sizeof(T) — the paper's fixed-vs-variable-length DataBox distinction,
+/// "handled during the compile-time of the application". Must match the
+/// dispatch below exactly: only types that reach the raw-memcpy branch
+/// qualify (std templates are structural even when trivially copyable).
+template <typename T>
+inline constexpr bool is_std_template_v =
+    is_spec_v<T, std::pair> || is_spec_v<T, std::tuple> ||
+    is_spec_v<T, std::optional> || is_spec_v<T, std::variant> ||
+    is_std_array_v<T>;
+
+template <typename T>
+inline constexpr bool is_fixed_wire_size_v =
+    is_memcpy_serialized_v<T> && !std::is_empty_v<T> && !std::is_enum_v<T> &&
+    !std::is_arithmetic_v<T> && !is_std_template_v<T>;
+
+/// Wire size is a compile-time constant (though not necessarily sizeof(T):
+/// scalars are backend-encoded). The paper's compile-time fixed/variable
+/// distinction (§III.C.2).
+template <typename T>
+inline constexpr bool has_constant_wire_size_v =
+    std::is_arithmetic_v<T> || std::is_enum_v<T> || std::is_empty_v<T> ||
+    is_fixed_wire_size_v<T>;
+
+// ---------------------------------------------------------------------------
+// save
+// ---------------------------------------------------------------------------
+
+template <SerializerBackend B, typename T>
+void save(BasicOutArchive<B>& ar, const T& v) {
+  using Ar = BasicOutArchive<B>;
+  if constexpr (HasMemberSerialize<T, Ar>) {
+    // Symmetric serialize: contract is "does not mutate when saving".
+    const_cast<T&>(v).serialize(ar);
+  } else if constexpr (std::is_empty_v<T>) {
+    // Empty types carry no information and may share storage (EBO inside
+    // tuples), so they must never be memcpy'd: zero bytes on the wire.
+  } else if constexpr (std::is_enum_v<T>) {
+    ar.u64(static_cast<std::uint64_t>(
+        static_cast<std::underlying_type_t<T>>(v)));
+  } else if constexpr (std::is_same_v<T, bool>) {
+    ar.u64(v ? 1 : 0);
+  } else if constexpr (std::is_integral_v<T>) {
+    if constexpr (std::is_signed_v<T>) {
+      ar.i64(static_cast<std::int64_t>(v));
+    } else {
+      ar.u64(static_cast<std::uint64_t>(v));
+    }
+  } else if constexpr (std::is_same_v<T, double>) {
+    ar.f64(v);
+  } else if constexpr (std::is_same_v<T, float>) {
+    ar.f32(v);
+  } else if constexpr (is_string_v<T>) {
+    ar.u64(v.size());
+    ar.raw_bytes(v.data(), v.size() * sizeof(typename T::value_type));
+  } else if constexpr (std::is_same_v<T, std::vector<bool>>) {
+    ar.u64(v.size());
+    for (bool b : v) ar.u64(b ? 1 : 0);
+  } else if constexpr (is_sequence_v<T>) {
+    ar.u64(v.size());
+    if constexpr (is_fixed_wire_size_v<typename T::value_type> &&
+                  is_spec_v<T, std::vector>) {
+      ar.raw_bytes(v.data(), v.size() * sizeof(typename T::value_type));
+    } else {
+      for (const auto& e : v) save(ar, e);
+    }
+  } else if constexpr (is_std_array_v<T>) {
+    for (const auto& e : v) save(ar, e);
+  } else if constexpr (is_spec_v<T, std::pair>) {
+    save(ar, v.first);
+    save(ar, v.second);
+  } else if constexpr (is_spec_v<T, std::tuple>) {
+    std::apply([&ar](const auto&... elems) { (save(ar, elems), ...); }, v);
+  } else if constexpr (is_spec_v<T, std::optional>) {
+    ar.u64(v.has_value() ? 1 : 0);
+    if (v.has_value()) save(ar, *v);
+  } else if constexpr (is_spec_v<T, std::variant>) {
+    ar.u64(v.index());
+    std::visit([&ar](const auto& alt) { save(ar, alt); }, v);
+  } else if constexpr (is_map_like_v<T> || is_set_like_v<T>) {
+    ar.u64(v.size());
+    for (const auto& e : v) {
+      if constexpr (is_map_like_v<T>) {
+        save(ar, e.first);
+        save(ar, e.second);
+      } else {
+        save(ar, e);
+      }
+    }
+  } else if constexpr (is_memcpy_serialized_v<T>) {
+    ar.raw_bytes(&v, sizeof(T));  // fast path: POD structs of scalars
+  } else {
+    static_assert(dependent_false_v<T>,
+                  "type is not serializable: add a member "
+                  "`template <class Ar> void serialize(Ar&)`");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// load
+// ---------------------------------------------------------------------------
+
+template <SerializerBackend B, typename V, std::size_t... Is>
+void load_variant_alt(BasicInArchive<B>& ar, V& v, std::size_t index,
+                      std::index_sequence<Is...>);
+
+template <SerializerBackend B, typename T>
+void load(BasicInArchive<B>& ar, T& v) {
+  using Ar = BasicInArchive<B>;
+  if constexpr (HasMemberSerialize<T, Ar>) {
+    v.serialize(ar);
+  } else if constexpr (std::is_empty_v<T>) {
+    // See save(): empty types occupy no wire bytes and must not be written
+    // through (potential EBO aliasing).
+  } else if constexpr (std::is_enum_v<T>) {
+    v = static_cast<T>(static_cast<std::underlying_type_t<T>>(ar.u64()));
+  } else if constexpr (std::is_same_v<T, bool>) {
+    v = ar.u64() != 0;
+  } else if constexpr (std::is_integral_v<T>) {
+    if constexpr (std::is_signed_v<T>) {
+      v = static_cast<T>(ar.i64());
+    } else {
+      v = static_cast<T>(ar.u64());
+    }
+  } else if constexpr (std::is_same_v<T, double>) {
+    v = ar.f64();
+  } else if constexpr (std::is_same_v<T, float>) {
+    v = ar.f32();
+  } else if constexpr (is_string_v<T>) {
+    const auto n = static_cast<std::size_t>(ar.u64());
+    v.resize(n);
+    ar.raw_bytes(v.data(), n * sizeof(typename T::value_type));
+  } else if constexpr (std::is_same_v<T, std::vector<bool>>) {
+    const auto n = static_cast<std::size_t>(ar.u64());
+    v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = ar.u64() != 0;
+  } else if constexpr (is_sequence_v<T>) {
+    const auto n = static_cast<std::size_t>(ar.u64());
+    v.resize(n);
+    if constexpr (is_fixed_wire_size_v<typename T::value_type> &&
+                  is_spec_v<T, std::vector>) {
+      ar.raw_bytes(v.data(), n * sizeof(typename T::value_type));
+    } else {
+      for (auto& e : v) load(ar, e);
+    }
+  } else if constexpr (is_std_array_v<T>) {
+    for (auto& e : v) load(ar, e);
+  } else if constexpr (is_spec_v<T, std::pair>) {
+    load(ar, v.first);
+    load(ar, v.second);
+  } else if constexpr (is_spec_v<T, std::tuple>) {
+    std::apply([&ar](auto&... elems) { (load(ar, elems), ...); }, v);
+  } else if constexpr (is_spec_v<T, std::optional>) {
+    if (ar.u64() != 0) {
+      typename T::value_type inner{};
+      load(ar, inner);
+      v = std::move(inner);
+    } else {
+      v.reset();
+    }
+  } else if constexpr (is_spec_v<T, std::variant>) {
+    const auto index = static_cast<std::size_t>(ar.u64());
+    load_variant_alt(ar, v, index,
+                     std::make_index_sequence<std::variant_size_v<T>>{});
+  } else if constexpr (is_map_like_v<T>) {
+    const auto n = static_cast<std::size_t>(ar.u64());
+    v.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      typename T::key_type k{};
+      typename T::mapped_type m{};
+      load(ar, k);
+      load(ar, m);
+      v.emplace(std::move(k), std::move(m));
+    }
+  } else if constexpr (is_set_like_v<T>) {
+    const auto n = static_cast<std::size_t>(ar.u64());
+    v.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      typename T::key_type k{};
+      load(ar, k);
+      v.insert(std::move(k));
+    }
+  } else if constexpr (is_memcpy_serialized_v<T>) {
+    ar.raw_bytes(&v, sizeof(T));
+  } else {
+    static_assert(dependent_false_v<T>,
+                  "type is not deserializable: add a member "
+                  "`template <class Ar> void serialize(Ar&)`");
+  }
+}
+
+template <SerializerBackend B, typename V, std::size_t... Is>
+void load_variant_alt(BasicInArchive<B>& ar, V& v, std::size_t index,
+                      std::index_sequence<Is...>) {
+  bool matched = false;
+  (([&] {
+     if (Is == index) {
+       std::variant_alternative_t<Is, V> alt{};
+       load(ar, alt);
+       v = std::move(alt);
+       matched = true;
+     }
+   }()),
+   ...);
+  if (!matched) {
+    throw HclError(Status::InvalidArgument("variant index out of range"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric operator& (declared in archive.h)
+// ---------------------------------------------------------------------------
+
+template <SerializerBackend B>
+template <typename T>
+BasicOutArchive<B>& BasicOutArchive<B>::operator&(const T& v) {
+  save(*this, v);
+  return *this;
+}
+
+template <SerializerBackend B>
+template <typename T>
+BasicInArchive<B>& BasicInArchive<B>::operator&(T& v) {
+  load(*this, v);
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience entry points
+// ---------------------------------------------------------------------------
+
+template <typename T, SerializerBackend B = RawBackend>
+std::vector<std::byte> pack(const T& v) {
+  BasicOutArchive<B> ar;
+  save(ar, v);
+  return ar.take();
+}
+
+template <typename T, SerializerBackend B = RawBackend>
+T unpack(std::span<const std::byte> bytes) {
+  BasicInArchive<B> ar(bytes);
+  T v{};
+  load(ar, v);
+  return v;
+}
+
+}  // namespace hcl::serial

@@ -1,0 +1,92 @@
+// Conservative time-window synchronization for actor clocks.
+//
+// Actors advance their simulated clocks from unsynchronized real threads, so
+// without coordination one actor can race arbitrarily far ahead in simulated
+// time, reserve future resource slots, and decouple from the contention it
+// should be experiencing (its competitors' requests — earlier in simulated
+// time — would be issued later in real time). The classic conservative
+// parallel-discrete-event fix: no actor may advance more than a window W
+// beyond the slowest ACTIVE actor. The slowest actor is never throttled, so
+// progress is guaranteed; NIC executor threads never throttle (they carry no
+// actor clock).
+//
+// W trades fidelity against parallelism: it must exceed one operation's
+// simulated span (so the common path never throttles) and stay far below
+// benchmark horizons. 500 us fits every workload here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hcl::sim {
+
+class ClockWindow {
+ public:
+  static constexpr Nanos kWindow = 500 * kMicrosecond;
+
+  explicit ClockWindow(int ranks)
+      : clocks_(static_cast<std::size_t>(ranks)),
+        active_(static_cast<std::size_t>(ranks)) {
+    for (auto& c : clocks_) c.store(0, std::memory_order_relaxed);
+    for (auto& a : active_) a.store(0, std::memory_order_relaxed);
+  }
+
+  void activate(int rank, Nanos now) {
+    clocks_[static_cast<std::size_t>(rank)].store(now, std::memory_order_relaxed);
+    active_[static_cast<std::size_t>(rank)].store(1, std::memory_order_release);
+    floor_cache_.store(std::min(floor_cache_.load(std::memory_order_relaxed), now),
+                       std::memory_order_relaxed);
+  }
+
+  void deactivate(int rank) {
+    active_[static_cast<std::size_t>(rank)].store(0, std::memory_order_release);
+  }
+
+  /// Publish `now` for `rank` and wait (really) until no longer more than
+  /// kWindow ahead of the slowest active actor.
+  void throttle(int rank, Nanos now) {
+    clocks_[static_cast<std::size_t>(rank)].store(now, std::memory_order_relaxed);
+    // Fast path: cached floor is a lower bound that only other throttlers
+    // refresh; being stale only causes extra recomputes, never unsafety.
+    if (now <= floor_cache_.load(std::memory_order_relaxed) + kWindow) return;
+    for (;;) {
+      const Nanos f = compute_floor();
+      floor_cache_.store(f, std::memory_order_relaxed);
+      // No active actor (f == +inf) means nothing to wait for; the explicit
+      // check also avoids f + kWindow overflowing.
+      if (f == std::numeric_limits<Nanos>::max() || now <= f + kWindow) return;
+      // Sleep, don't spin: waiting threads must cede the CPU to the
+      // stragglers they are waiting on.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  /// Minimum clock among active actors — INCLUDING the caller, so the
+  /// slowest actor trivially passes its own check (now <= now + W) and the
+  /// cached floor is a valid lower bound for every waiter. (An earlier
+  /// exclude-self variant let the slowest actor cache the second-slowest
+  /// clock, poisoning the fast path for everyone.) Returns +inf when no
+  /// actor is active.
+  [[nodiscard]] Nanos compute_floor() const {
+    Nanos f = std::numeric_limits<Nanos>::max();
+    for (std::size_t r = 0; r < clocks_.size(); ++r) {
+      if (active_[r].load(std::memory_order_acquire) != 0) {
+        f = std::min(f, clocks_[r].load(std::memory_order_relaxed));
+      }
+    }
+    return f;
+  }
+
+ private:
+  std::vector<std::atomic<Nanos>> clocks_;
+  std::vector<std::atomic<std::uint8_t>> active_;
+  std::atomic<Nanos> floor_cache_{std::numeric_limits<Nanos>::max()};
+};
+
+}  // namespace hcl::sim

@@ -1,0 +1,48 @@
+// Simulated-time vocabulary.
+//
+// All performance numbers HCL's benchmarks report are *simulated* time: each
+// actor (client process) owns a logical clock that is advanced by the cost
+// model as it issues fabric and memory operations. Functional execution is
+// real (real threads, real lock-free structures, real byte movement); only
+// the wire/NIC/memory-channel *timing* is modeled. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+
+namespace hcl::sim {
+
+/// Simulated nanoseconds.
+using Nanos = std::int64_t;
+
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr double to_seconds(Nanos ns) noexcept {
+  return static_cast<double>(ns) / 1e9;
+}
+constexpr Nanos from_seconds(double s) noexcept {
+  return static_cast<Nanos>(s * 1e9);
+}
+
+/// Per-actor logical clock. Not thread-safe: exactly one thread drives an
+/// actor at a time (enforced by the runner).
+class SimClock {
+ public:
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+
+  /// Advance by a delta (delta < 0 is a programming error; clamped to 0).
+  void advance(Nanos delta) noexcept { now_ += delta > 0 ? delta : 0; }
+
+  /// Jump forward to an absolute time (never moves backwards).
+  void advance_to(Nanos t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void reset(Nanos t = 0) noexcept { now_ = t; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+}  // namespace hcl::sim

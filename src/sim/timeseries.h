@@ -1,0 +1,117 @@
+// Time-bucketed metric accumulation for the profiling figures (Fig. 4).
+//
+// Events are attributed to fixed-width simulated-time buckets with atomic
+// adds, so many real threads can record concurrently. Two flavours:
+//   * TimeSeries  — additive per bucket (packets/s, busy ns/s)
+//   * GaugeSeries — "last/max value seen in bucket" (resident memory)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hcl::sim {
+
+class TimeSeries {
+ public:
+  /// `bucket_width` simulated ns per bucket; events past the last bucket are
+  /// folded into it (keeps the series bounded for open-ended runs).
+  TimeSeries(Nanos bucket_width, std::size_t num_buckets)
+      : width_(bucket_width > 0 ? bucket_width : 1),
+        buckets_(num_buckets > 0 ? num_buckets : 1) {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void add(Nanos t, std::int64_t value) noexcept {
+    buckets_[index(t)].fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Nanos bucket_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+
+  [[nodiscard]] std::int64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i < buckets_.size() ? i : buckets_.size() - 1].load(
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> snapshot() const {
+    std::vector<std::int64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) out[i] = bucket(i);
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t total() const noexcept {
+    std::int64_t sum = 0;
+    for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(Nanos t) const noexcept {
+    if (t < 0) return 0;
+    const auto i = static_cast<std::size_t>(t / width_);
+    return i < buckets_.size() ? i : buckets_.size() - 1;
+  }
+
+  Nanos width_;
+  std::vector<std::atomic<std::int64_t>> buckets_;
+};
+
+/// Tracks the maximum of a gauge per bucket (e.g. resident bytes), so ramps
+/// and plateaus are visible even with coarse buckets.
+class GaugeSeries {
+ public:
+  GaugeSeries(Nanos bucket_width, std::size_t num_buckets)
+      : width_(bucket_width > 0 ? bucket_width : 1),
+        buckets_(num_buckets > 0 ? num_buckets : 1) {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void record(Nanos t, std::int64_t value) noexcept {
+    auto& cell = buckets_[index(t)];
+    std::int64_t cur = cell.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !cell.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+  [[nodiscard]] Nanos bucket_width() const noexcept { return width_; }
+
+  /// Snapshot with forward-fill: empty buckets inherit the previous value so
+  /// the series reads as a resident-size curve.
+  [[nodiscard]] std::vector<std::int64_t> snapshot_filled() const {
+    std::vector<std::int64_t> out(buckets_.size());
+    std::int64_t last = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const std::int64_t v = buckets_[i].load(std::memory_order_relaxed);
+      if (v > 0) last = v;
+      out[i] = last;
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(Nanos t) const noexcept {
+    if (t < 0) return 0;
+    const auto i = static_cast<std::size_t>(t / width_);
+    return i < buckets_.size() ? i : buckets_.size() - 1;
+  }
+
+  Nanos width_;
+  std::vector<std::atomic<std::int64_t>> buckets_;
+};
+
+}  // namespace hcl::sim

@@ -1,0 +1,58 @@
+// Cluster topology: nodes, processes-per-node, and the rank <-> node map.
+//
+// Mirrors the paper's testbed layout (64 nodes x 40 ranks = 2560 clients on
+// Ares); every benchmark constructs a Topology matching the figure it
+// reproduces, optionally scaled down (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace hcl::sim {
+
+using Rank = int;
+using NodeId = int;
+
+class Topology {
+ public:
+  Topology(int num_nodes, int procs_per_node)
+      : num_nodes_(num_nodes), procs_per_node_(procs_per_node) {
+    if (num_nodes <= 0 || procs_per_node <= 0) {
+      throw HclError(Status::InvalidArgument("topology dimensions must be positive"));
+    }
+  }
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] int procs_per_node() const noexcept { return procs_per_node_; }
+  [[nodiscard]] int num_ranks() const noexcept { return num_nodes_ * procs_per_node_; }
+
+  /// Ranks are laid out block-wise: node 0 hosts ranks [0, P), node 1 hosts
+  /// [P, 2P), ... — the same layout mpirun uses with block mapping.
+  [[nodiscard]] NodeId node_of(Rank rank) const noexcept {
+    return rank / procs_per_node_;
+  }
+  [[nodiscard]] int local_index(Rank rank) const noexcept {
+    return rank % procs_per_node_;
+  }
+  [[nodiscard]] Rank first_rank_on(NodeId node) const noexcept {
+    return node * procs_per_node_;
+  }
+  [[nodiscard]] bool valid_rank(Rank rank) const noexcept {
+    return rank >= 0 && rank < num_ranks();
+  }
+  [[nodiscard]] bool valid_node(NodeId node) const noexcept {
+    return node >= 0 && node < num_nodes_;
+  }
+  /// True when two ranks share a node — the predicate behind the hybrid
+  /// data-access model (paper §III.C.5).
+  [[nodiscard]] bool co_located(Rank a, Rank b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+ private:
+  int num_nodes_;
+  int procs_per_node_;
+};
+
+}  // namespace hcl::sim

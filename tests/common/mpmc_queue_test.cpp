@@ -1,0 +1,128 @@
+#include "common/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace hcl {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, RejectsWhenFull) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.try_pop().value(), 0);
+  EXPECT_TRUE(q.try_push(99));
+}
+
+TEST(MpmcQueue, CapacityRoundsToPow2) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpmcQueue, MoveOnlyPayload) {
+  MpmcQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(42)));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(MpmcQueue, DrainsNonTrivialOnDestruction) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    Probe() = default;
+    explicit Probe(std::shared_ptr<int> p) : c(std::move(p)) {}
+    Probe(Probe&&) = default;
+    Probe& operator=(Probe&&) = default;
+    ~Probe() {
+      if (c) ++*c;  // counts only live (non-moved-from) instances
+    }
+  };
+  {
+    MpmcQueue<Probe> q(8);
+    q.try_push(Probe{counter});
+    q.try_push(Probe{counter});
+  }
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(MpmcQueue, AllItemsSurviveConcurrency) {
+  // N producers push disjoint ranges; M consumers drain; the union must be
+  // exactly the pushed set (no loss, no duplication).
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 25'000;
+  MpmcQueue<int> q(1024);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> pool;
+  for (int p = 0; p < kProducers; ++p) {
+    pool.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    pool.emplace_back([&] {
+      while (popped.load(std::memory_order_relaxed) <
+             kProducers * kPerProducer) {
+        auto v = q.try_pop();
+        if (v.has_value()) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  const long n = static_cast<long>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MpmcQueue, PerProducerOrderPreserved) {
+  // Single consumer: items from one producer must arrive in its push order.
+  MpmcQueue<std::pair<int, int>> q(256);
+  constexpr int kProducers = 3;
+  constexpr int kPer = 10'000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPer; ++i) q.push({p, i});
+    });
+  }
+  std::vector<int> last(kProducers, -1);
+  int seen = 0;
+  while (seen < kProducers * kPer) {
+    auto v = q.try_pop();
+    if (!v.has_value()) continue;
+    auto [p, i] = *v;
+    EXPECT_EQ(i, last[p] + 1);
+    last[p] = i;
+    ++seen;
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace hcl

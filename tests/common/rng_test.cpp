@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace hcl {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(10), 10u);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r(11);
+  std::array<int, 8> counts{};
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 8 * 0.9);
+    EXPECT_LT(c, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FillWritesEveryByte) {
+  Rng r(5);
+  std::array<unsigned char, 37> buf;
+  buf.fill(0);
+  r.fill(buf.data(), buf.size());
+  int zeros = 0;
+  for (unsigned char b : buf) {
+    if (b == 0) ++zeros;
+  }
+  EXPECT_LT(zeros, 5);  // 37 random bytes, ~0.14 zeros expected
+}
+
+TEST(Rng, NextStringPrintable) {
+  Rng r(9);
+  const std::string s = r.next_string(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(Rng, NoShortCycle) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) seen.insert(r.next());
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace hcl

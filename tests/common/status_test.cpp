@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hcl {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoryCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: key 42");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Retry("a"), Status::Retry("b"));
+  EXPECT_FALSE(Status::Retry() == Status::Capacity());
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::OutOfMemory("budget");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), HclError);
+}
+
+TEST(Result, RejectsOkStatus) {
+  EXPECT_THROW((Result<int>(Status::Ok())), HclError);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(ThrowIfError, ThrowsOnFailure) {
+  EXPECT_NO_THROW(throw_if_error(Status::Ok()));
+  EXPECT_THROW(throw_if_error(Status::Internal("bug")), HclError);
+}
+
+TEST(HclError, PreservesCode) {
+  try {
+    throw HclError(Status::Capacity("full"));
+  } catch (const HclError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCapacity);
+    EXPECT_STREQ(e.what(), "CAPACITY: full");
+  }
+}
+
+}  // namespace
+}  // namespace hcl

@@ -1,0 +1,215 @@
+#include "core/ordered_map.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "core/sets.h"
+
+namespace hcl {
+namespace {
+
+using sim::Actor;
+using sim::CostModel;
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = CostModel::zero();
+  return cfg;
+}
+
+TEST(OrderedMap, InsertFindEraseAcrossRanks) {
+  Context ctx(zero_config(4, 2));
+  map<int, std::string> m(ctx);
+  ctx.run([&](Actor& self) {
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(m.insert(self.rank() * 100 + i, std::to_string(self.rank())));
+    }
+  });
+  ctx.run([&](Actor& self) {
+    const int other = (self.rank() + 3) % ctx.topology().num_ranks();
+    std::string v;
+    ASSERT_TRUE(m.find(other * 100 + 5, &v));
+    EXPECT_EQ(v, std::to_string(other));
+  });
+  ctx.run_one(0, [&](Actor&) {
+    EXPECT_TRUE(m.erase(5));
+    EXPECT_FALSE(m.contains(5));
+  });
+}
+
+TEST(OrderedMap, GloballyOrderedIteration) {
+  Context ctx(zero_config(4, 1));
+  map<int, int> m(ctx);
+  ctx.run([&](Actor& self) {
+    for (int i = 0; i < 64; ++i) m.insert(self.rank() + i * 4, i);
+  });
+  int prev = -1;
+  std::size_t count = 0;
+  m.for_each_ordered([&](const int& k, const int&) {
+    EXPECT_GT(k, prev);
+    prev = k;
+    ++count;
+  });
+  EXPECT_EQ(count, 4u * 64u);
+}
+
+TEST(OrderedMap, CustomComparator) {
+  Context ctx(zero_config(2, 1));
+  map<int, int, std::greater<int>> m(ctx);
+  ctx.run_one(0, [&](Actor&) {
+    for (int k : {3, 1, 2}) m.insert(k, k);
+  });
+  std::vector<int> order;
+  m.for_each_ordered([&](const int& k, const int&) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(OrderedMap, OrderedCostsMoreThanUnorderedWouldLocally) {
+  // The Table I log N term: inserting into a populated ordered partition
+  // costs more simulated time than into an empty one.
+  Context::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.procs_per_node = 1;
+  Context ctx(cfg);
+  map<int, int> m(ctx);
+  sim::Nanos first_cost = 0, later_cost = 0;
+  ctx.run_one(0, [&](Actor& self) {
+    const sim::Nanos t0 = self.now();
+    m.insert(0, 0);
+    first_cost = self.now() - t0;
+    for (int i = 1; i < 5000; ++i) m.insert(i, i);
+    const sim::Nanos t1 = self.now();
+    m.insert(99'999, 1);
+    later_cost = self.now() - t1;
+  });
+  EXPECT_GT(later_cost, first_cost);
+}
+
+TEST(OrderedMap, AsyncOps) {
+  Context ctx(zero_config(2, 1));
+  map<int, int> m(ctx);
+  ctx.run_one(0, [&](Actor& self) {
+    auto f = m.async_insert(1, 10);
+    EXPECT_TRUE(f.get(self));
+    auto g = m.async_find(1);
+    auto v = g.get(self);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 10);
+  });
+}
+
+TEST(OrderedMap, ResizeCharge) {
+  Context ctx(zero_config(2, 1));
+  map<int, int> m(ctx);
+  ctx.run_one(0, [&](Actor&) {
+    for (int i = 0; i < 10; ++i) m.insert(i, i);
+    EXPECT_TRUE(m.resize(0, 1024));
+    EXPECT_FALSE(m.resize(-1, 1024));
+    EXPECT_FALSE(m.resize(99, 1024));
+  });
+}
+
+TEST(OrderedMap, PersistenceRecovers) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hcl_omap_persist").string();
+  for (int p = 0; p < 4; ++p) std::filesystem::remove(path + ".p" + std::to_string(p));
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    map<int, int> m(ctx, options);
+    ctx.run_one(0, [&](Actor&) {
+      for (int i = 0; i < 20; ++i) m.insert(i, i * 3);
+      m.erase(4);
+    });
+  }
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    map<int, int> m(ctx, options);
+    EXPECT_EQ(m.size(), 19u);
+    ctx.run_one(0, [&](Actor&) {
+      int v;
+      ASSERT_TRUE(m.find(17, &v));
+      EXPECT_EQ(v, 51);
+      EXPECT_FALSE(m.contains(4));
+    });
+  }
+  for (int p = 0; p < 4; ++p) std::filesystem::remove(path + ".p" + std::to_string(p));
+}
+
+TEST(OrderedMap, ReplicationLands) {
+  Context ctx(zero_config(4, 1));
+  core::ContainerOptions options;
+  options.replication = 2;
+  map<int, int> m(ctx, options);
+  ctx.run([&](Actor& self) { m.insert(self.rank(), self.rank()); });
+  std::size_t replicas = 0;
+  for (int p = 0; p < m.num_partitions(); ++p) replicas += m.replica_size(p);
+  EXPECT_EQ(replicas, 4u * 2u);
+}
+
+TEST(UnorderedSet, BasicMembership) {
+  Context ctx(zero_config(2, 2));
+  unordered_set<std::string> s(ctx);
+  ctx.run([&](Actor& self) {
+    EXPECT_TRUE(s.insert("rank-" + std::to_string(self.rank())));
+    EXPECT_FALSE(s.insert("rank-" + std::to_string(self.rank())));
+  });
+  ctx.run([&](Actor& self) {
+    const int other = (self.rank() + 1) % 4;
+    EXPECT_TRUE(s.find("rank-" + std::to_string(other)));
+    EXPECT_FALSE(s.find("missing"));
+  });
+  EXPECT_EQ(s.size(), 4u);
+  ctx.run_one(0, [&](Actor&) {
+    EXPECT_TRUE(s.erase("rank-0"));
+    EXPECT_FALSE(s.contains("rank-0"));
+  });
+}
+
+TEST(UnorderedSet, ForEachVisitsAllKeys) {
+  Context ctx(zero_config(2, 1));
+  unordered_set<int> s(ctx);
+  ctx.run_one(0, [&](Actor&) {
+    for (int i = 0; i < 50; ++i) s.insert(i);
+  });
+  std::set<int> seen;
+  s.for_each([&](const int& k) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(OrderedSet, OrderedTraversal) {
+  Context ctx(zero_config(4, 1));
+  set<int> s(ctx);
+  ctx.run([&](Actor& self) {
+    for (int i = 0; i < 32; ++i) s.insert(self.rank() * 1000 + i);
+  });
+  int prev = -1;
+  std::size_t n = 0;
+  s.for_each_ordered([&](const int& k) {
+    EXPECT_GT(k, prev);
+    prev = k;
+    ++n;
+  });
+  EXPECT_EQ(n, 4u * 32u);
+}
+
+TEST(OrderedSet, AsyncInsert) {
+  Context ctx(zero_config(2, 1));
+  set<int> s(ctx);
+  ctx.run_one(0, [&](Actor& self) {
+    auto f = s.async_insert(42);
+    EXPECT_TRUE(f.get(self));
+    EXPECT_TRUE(s.contains(42));
+  });
+}
+
+}  // namespace
+}  // namespace hcl

@@ -1,0 +1,259 @@
+#include "core/priority_queue.h"
+#include "core/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace hcl {
+namespace {
+
+using sim::Actor;
+using sim::CostModel;
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = CostModel::zero();
+  return cfg;
+}
+
+TEST(Queue, PushPopAcrossNodes) {
+  Context ctx(zero_config(4, 1));
+  queue<int> q(ctx);  // hosted on node 0
+  EXPECT_EQ(q.host_node(), 0);
+  ctx.run([&](Actor& self) { q.push(self.rank()); });
+  EXPECT_EQ(q.size(), 4u);
+  std::atomic<int> popped{0};
+  ctx.run([&](Actor&) {
+    int v;
+    if (q.pop(&v)) popped.fetch_add(1);
+  });
+  EXPECT_EQ(popped.load(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, PopOnEmptyFails) {
+  Context ctx(zero_config(2, 1));
+  queue<int> q(ctx);
+  ctx.run([&](Actor&) {
+    int v;
+    EXPECT_FALSE(q.pop(&v));  // both local (rank 0) and remote (rank 1)
+  });
+}
+
+TEST(Queue, MwmrConcurrentProducersConsumers) {
+  Context ctx(zero_config(4, 4));
+  queue<long> q(ctx);
+  constexpr int kPerRank = 200;
+  std::atomic<long> sum_pushed{0}, sum_popped{0};
+  std::atomic<int> n_popped{0};
+  ctx.run([&](Actor& self) {
+    if (self.rank() % 2 == 0) {
+      for (int i = 0; i < kPerRank; ++i) {
+        const long v = self.rank() * kPerRank + i;
+        q.push(v);
+        sum_pushed.fetch_add(v);
+      }
+    } else {
+      long v;
+      for (int i = 0; i < kPerRank * 2; ++i) {
+        if (q.pop(&v)) {
+          sum_popped.fetch_add(v);
+          n_popped.fetch_add(1);
+        }
+      }
+    }
+  });
+  // Drain what consumers missed.
+  ctx.run_one(0, [&](Actor&) {
+    long v;
+    while (q.pop(&v)) {
+      sum_popped.fetch_add(v);
+      n_popped.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(sum_pushed.load(), sum_popped.load());
+  EXPECT_EQ(n_popped.load(), 8 * kPerRank);
+}
+
+TEST(Queue, BulkPushPop) {
+  Context ctx(zero_config(2, 1));
+  queue<int> q(ctx);
+  ctx.run_one(1, [&](Actor&) {  // rank 1 = node 1, remote from host node 0
+    EXPECT_TRUE(q.push(std::vector<int>{1, 2, 3, 4, 5}));
+    std::vector<int> got;
+    EXPECT_EQ(q.pop(&got, 3), 3u);
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.pop(&got, 10), 2u);
+    EXPECT_EQ(got.size(), 5u);
+  });
+}
+
+TEST(Queue, FifoOrderFromSingleProducer) {
+  Context ctx(zero_config(2, 1));
+  queue<int> q(ctx);
+  ctx.run_one(1, [&](Actor&) {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    int v;
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(q.pop(&v));
+      EXPECT_EQ(v, i);
+    }
+  });
+}
+
+TEST(Queue, VariableLengthElements) {
+  Context ctx(zero_config(2, 1));
+  queue<std::string> q(ctx);
+  ctx.run_one(1, [&](Actor&) {
+    q.push(std::string(10, 'a'));
+    q.push(std::string(10'000, 'b'));
+    std::string v;
+    ASSERT_TRUE(q.pop(&v));
+    EXPECT_EQ(v.size(), 10u);
+    ASSERT_TRUE(q.pop(&v));
+    EXPECT_EQ(v.size(), 10'000u);
+  });
+}
+
+TEST(Queue, AsyncPushPop) {
+  Context ctx(zero_config(2, 1));
+  queue<int> q(ctx);
+  ctx.run_one(1, [&](Actor& self) {
+    auto f = q.async_push(9);
+    EXPECT_TRUE(f.get(self));
+    auto g = q.async_pop();
+    auto v = g.get(self);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+  });
+}
+
+TEST(Queue, HostNodePlacementOption) {
+  Context ctx(zero_config(4, 1));
+  core::ContainerOptions options;
+  options.first_node = 2;
+  queue<int> q(ctx, options);
+  EXPECT_EQ(q.host_node(), 2);
+}
+
+TEST(Queue, PersistenceRecoversPendingElements) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hcl_queue_persist").string();
+  std::filesystem::remove(path + ".q0");
+  {
+    Context ctx(zero_config(1, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    queue<int> q(ctx, options);
+    ctx.run_one(0, [&](Actor&) {
+      for (int i = 0; i < 10; ++i) q.push(i);
+      int v;
+      q.pop(&v);
+      q.pop(&v);  // 0 and 1 consumed
+    });
+  }
+  {
+    Context ctx(zero_config(1, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    queue<int> q(ctx, options);
+    EXPECT_EQ(q.size(), 8u);
+    ctx.run_one(0, [&](Actor&) {
+      int v;
+      ASSERT_TRUE(q.pop(&v));
+      EXPECT_EQ(v, 2);  // FIFO position preserved across restart
+    });
+  }
+  std::filesystem::remove(path + ".q0");
+}
+
+TEST(PriorityQueue, GlobalMinOrder) {
+  Context ctx(zero_config(4, 1));
+  priority_queue<int> pq(ctx);
+  ctx.run([&](Actor& self) {
+    for (int i = 0; i < 25; ++i) pq.push(self.rank() * 25 + i);
+  });
+  EXPECT_EQ(pq.size(), 100u);
+  ctx.run_one(0, [&](Actor&) {
+    int prev = -1, v;
+    int n = 0;
+    while (pq.pop(&v)) {
+      EXPECT_GE(v, prev);
+      prev = v;
+      ++n;
+    }
+    EXPECT_EQ(n, 100);
+  });
+}
+
+TEST(PriorityQueue, CustomComparator) {
+  Context ctx(zero_config(2, 1));
+  priority_queue<int, std::greater<int>> pq(ctx);
+  ctx.run_one(1, [&](Actor&) {
+    for (int v : {3, 9, 1}) pq.push(v);
+    int out;
+    ASSERT_TRUE(pq.pop(&out));
+    EXPECT_EQ(out, 9);
+  });
+}
+
+TEST(PriorityQueue, BulkOps) {
+  Context ctx(zero_config(2, 1));
+  priority_queue<int> pq(ctx);
+  ctx.run_one(1, [&](Actor&) {
+    EXPECT_TRUE(pq.push(std::vector<int>{9, 1, 5, 3}));
+    std::vector<int> got;
+    EXPECT_EQ(pq.pop(&got, 3), 3u);
+    EXPECT_EQ(got, (std::vector<int>{1, 3, 5}));
+  });
+}
+
+TEST(PriorityQueue, PushCostGrowsWithDepth) {
+  Context::Config cfg;
+  cfg.num_nodes = 1;
+  cfg.procs_per_node = 1;
+  Context ctx(cfg);
+  priority_queue<int> pq(ctx);
+  sim::Nanos early = 0, late = 0;
+  ctx.run_one(0, [&](Actor& self) {
+    const sim::Nanos t0 = self.now();
+    pq.push(0);
+    early = self.now() - t0;
+    for (int i = 0; i < 20'000; ++i) pq.push(i);
+    const sim::Nanos t1 = self.now();
+    pq.push(7);
+    late = self.now() - t1;
+  });
+  EXPECT_GT(late, early);  // the O(log n) Table I term
+}
+
+TEST(PriorityQueue, ConcurrentMixedWorkload) {
+  Context ctx(zero_config(2, 4));
+  priority_queue<int> pq(ctx);
+  std::atomic<long> pushed{0}, popped{0};
+  ctx.run([&](Actor& self) {
+    int v;
+    for (int i = 0; i < 200; ++i) {
+      if ((i + self.rank()) % 2 == 0) {
+        pq.push(i);
+        pushed.fetch_add(1);
+      } else if (pq.pop(&v)) {
+        popped.fetch_add(1);
+      }
+    }
+  });
+  long drained = 0;
+  ctx.run_one(0, [&](Actor&) {
+    int v;
+    while (pq.pop(&v)) ++drained;
+  });
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+}
+
+}  // namespace
+}  // namespace hcl

@@ -1,0 +1,106 @@
+#include "fabric/nic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace hcl::fabric {
+namespace {
+
+sim::CostModel test_model() {
+  auto m = sim::CostModel::ares();
+  m.nic_cores = 4;
+  return m;
+}
+
+TEST(Nic, ExecutesSubmittedWork) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(nic.submit({[&](sim::Nanos) { ran.fetch_add(1); }, 0}));
+  }
+  nic.drain();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Nic, PassesArrivalTime) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  std::atomic<sim::Nanos> seen{0};
+  nic.submit({[&](sim::Nanos t) { seen.store(t); }, 12'345});
+  nic.drain();
+  EXPECT_EQ(seen.load(), 12'345);
+}
+
+TEST(Nic, DrainOnEmptyReturnsImmediately) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  nic.drain();
+  SUCCEED();
+}
+
+TEST(Nic, WorkRunsConcurrentlyAcrossExecutors) {
+  // Real executor threads are capped at 2 (host is small); both must run
+  // blocking items in parallel.
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    nic.submit({[&](sim::Nanos) {
+                  started.fetch_add(1);
+                  while (!release.load()) std::this_thread::yield();
+                },
+                0});
+  }
+  for (int spin = 0; spin < 1'000'000 && started.load() < 2; ++spin) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(started.load(), 2);
+  release.store(true);
+  nic.drain();
+}
+
+TEST(Nic, SubmitAfterShutdownFails) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  nic.shutdown();
+  EXPECT_FALSE(nic.submit({[](sim::Nanos) {}, 0}));
+}
+
+TEST(Nic, ShutdownIsIdempotent) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  nic.shutdown();
+  nic.shutdown();
+  SUCCEED();
+}
+
+TEST(Nic, ResourcesHaveConfiguredLanes) {
+  auto m = test_model();
+  m.nic_dma_lanes = 2;
+  m.nic_atomic_lanes = 1;
+  m.nic_cores = 8;
+  Nic nic(0, m, sim::kSecond, 10);
+  EXPECT_EQ(nic.ingress().lanes(), 2);
+  EXPECT_EQ(nic.atomic_unit().lanes(), 1);
+  EXPECT_EQ(nic.cores().lanes(), 8);
+}
+
+TEST(Nic, ResetMetricsClearsCountersAndResources) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  nic.counters().record_packets(0, 5, 100);
+  nic.ingress().reserve(0, 100);
+  nic.reset_metrics();
+  EXPECT_EQ(nic.counters().total_packets.load(), 0);
+  EXPECT_EQ(nic.ingress().busy_total(), 0);
+}
+
+TEST(Nic, ManyItemsStressDrain) {
+  Nic nic(0, test_model(), sim::kSecond, 10);
+  std::atomic<long> sum{0};
+  constexpr int kItems = 50'000;
+  for (int i = 0; i < kItems; ++i) {
+    nic.submit({[&, i](sim::Nanos) { sum.fetch_add(i, std::memory_order_relaxed); }, 0});
+  }
+  nic.drain();
+  EXPECT_EQ(sum.load(), static_cast<long>(kItems) * (kItems - 1) / 2);
+}
+
+}  // namespace
+}  // namespace hcl::fabric

@@ -1,0 +1,304 @@
+// Property-based sweeps (TEST_P) across the stack: invariants that must
+// hold for every parameter combination, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hcl.h"
+#include "lf/cuckoo_map.h"
+#include "lf/skiplist_map.h"
+#include "serial/serialize.h"
+
+namespace hcl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization: random structured values round-trip under every backend and
+// payload size.
+// ---------------------------------------------------------------------------
+
+struct WireCase {
+  std::size_t string_len;
+  std::size_t vector_len;
+  std::uint64_t seed;
+};
+
+class SerializationRoundTrip : public ::testing::TestWithParam<WireCase> {};
+
+struct Nested {
+  std::int64_t id = 0;
+  std::string name;
+  std::vector<double> samples;
+  std::map<std::string, std::uint32_t> tags;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & id & name & samples & tags;
+  }
+  bool operator==(const Nested&) const = default;
+};
+
+TEST_P(SerializationRoundTrip, RawAndPackedAgree) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  Nested value;
+  value.id = static_cast<std::int64_t>(rng.next()) - (1LL << 62);
+  value.name = rng.next_string(param.string_len);
+  value.samples.resize(param.vector_len);
+  for (auto& s : value.samples) s = rng.next_double() * 1e9;
+  for (std::size_t i = 0; i < param.vector_len % 7; ++i) {
+    value.tags[rng.next_string(4)] = static_cast<std::uint32_t>(rng.next());
+  }
+
+  auto raw = serial::pack<Nested, serial::RawBackend>(value);
+  auto packed = serial::pack<Nested, serial::PackedBackend>(value);
+  EXPECT_EQ((serial::unpack<Nested, serial::RawBackend>(raw)), value);
+  EXPECT_EQ((serial::unpack<Nested, serial::PackedBackend>(packed)), value);
+  // Truncating any prefix must never produce a silent wrong value: it either
+  // throws or the full decode above already proved integrity.
+  if (raw.size() > 4) {
+    auto cut = raw;
+    cut.resize(cut.size() / 2);
+    EXPECT_THROW(
+        (serial::unpack<Nested, serial::RawBackend>(std::span<const std::byte>(cut))),
+        HclError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializationRoundTrip,
+    ::testing::Values(WireCase{0, 0, 1}, WireCase{1, 1, 2}, WireCase{16, 8, 3},
+                      WireCase{255, 64, 4}, WireCase{4096, 1000, 5},
+                      WireCase{100'000, 0, 6}, WireCase{7, 4096, 7}));
+
+// ---------------------------------------------------------------------------
+// CuckooMap: under any (threads, initial buckets), N disjoint inserts all
+// land, all are findable, and size is exact.
+// ---------------------------------------------------------------------------
+
+class CuckooSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(CuckooSweep, AllInsertsLandAndAreFound) {
+  const auto [threads, buckets] = GetParam();
+  lf::CuckooMap<std::uint64_t, std::uint64_t> map(buckets);
+  constexpr std::uint64_t kPerThread = 4'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t k = static_cast<std::uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(map.insert(k, k ^ 0xABCD));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(threads) * kPerThread);
+  for (std::uint64_t k = 0;
+       k < static_cast<std::uint64_t>(threads) * kPerThread; k += 37) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));
+    EXPECT_EQ(v, k ^ 0xABCD);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CuckooSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(2u, 128u, 8192u)));
+
+// ---------------------------------------------------------------------------
+// SkipListMap: after any interleaving of inserts and erases, iteration is
+// strictly ordered and matches a reference std::map.
+// ---------------------------------------------------------------------------
+
+class SkipListSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListSweep, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  lf::SkipListMap<int, int> list;
+  std::map<int, int> reference;
+  for (int op = 0; op < 20'000; ++op) {
+    const int key = static_cast<int>(rng.next_below(500));
+    if ((rng.next() & 3) != 0) {
+      const int value = static_cast<int>(rng.next());
+      if (reference.emplace(key, value).second) {
+        EXPECT_TRUE(list.insert(key, value));
+      } else {
+        EXPECT_FALSE(list.insert(key, value));
+      }
+    } else {
+      EXPECT_EQ(list.erase(key), reference.erase(key) > 0);
+    }
+  }
+  std::vector<std::pair<int, int>> got;
+  list.for_each([&](const int& k, const int& v) { got.emplace_back(k, v); });
+  std::vector<std::pair<int, int>> expected(reference.begin(), reference.end());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SkipListSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// ---------------------------------------------------------------------------
+// Distributed containers: for every topology shape, the SPMD
+// insert-find-erase contract holds and sizes are exact.
+// ---------------------------------------------------------------------------
+
+struct TopoCase {
+  int nodes;
+  int procs;
+  int partitions;  // -1 = default (one per node)
+};
+
+class ContainerTopologySweep : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(ContainerTopologySweep, UnorderedMapContract) {
+  const auto& param = GetParam();
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  Context ctx(cfg);
+  core::ContainerOptions options;
+  options.num_partitions = param.partitions;
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, options);
+
+  constexpr int kPerRank = 64;
+  ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = static_cast<std::uint64_t>(self.rank()) * kPerRank + i;
+      ASSERT_TRUE(map.insert(k, k * 2 + 1));
+    }
+  });
+  const auto ranks = static_cast<std::size_t>(ctx.topology().num_ranks());
+  EXPECT_EQ(map.size(), ranks * kPerRank);
+
+  ctx.run([&](sim::Actor& self) {
+    // Read a shifted rank's keys (forces a mix of local and remote).
+    const int other = (self.rank() + 1) % ctx.topology().num_ranks();
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = static_cast<std::uint64_t>(other) * kPerRank + i;
+      std::uint64_t v = 0;
+      ASSERT_TRUE(map.find(k, &v));
+      EXPECT_EQ(v, k * 2 + 1);
+    }
+  });
+  // Erase own even keys — a separate phase, so reads above never race with
+  // a neighbour's deletions.
+  ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; i += 2) {
+      const auto k = static_cast<std::uint64_t>(self.rank()) * kPerRank + i;
+      ASSERT_TRUE(map.erase(k));
+    }
+  });
+  EXPECT_EQ(map.size(), ranks * kPerRank / 2);
+}
+
+TEST_P(ContainerTopologySweep, QueueConservation) {
+  const auto& param = GetParam();
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  Context ctx(cfg);
+  queue<std::uint64_t> q(ctx);
+
+  constexpr int kPerRank = 50;
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto v = static_cast<std::uint64_t>(self.rank()) * kPerRank + i;
+      q.push(v);
+      pushed_sum.fetch_add(v);
+    }
+    std::uint64_t out;
+    for (int i = 0; i < kPerRank / 2 && q.pop(&out); ++i) {
+      popped_sum.fetch_add(out);
+      popped_count.fetch_add(1);
+    }
+  });
+  // Drain the rest; totals must balance exactly.
+  ctx.run_one(0, [&](sim::Actor&) {
+    std::uint64_t out;
+    while (q.pop(&out)) {
+      popped_sum.fetch_add(out);
+      popped_count.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(popped_count.load(),
+            static_cast<std::uint64_t>(ctx.topology().num_ranks()) * kPerRank);
+  EXPECT_EQ(pushed_sum.load(), popped_sum.load());
+}
+
+TEST_P(ContainerTopologySweep, PriorityQueueGlobalOrder) {
+  const auto& param = GetParam();
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  Context ctx(cfg);
+  priority_queue<std::uint64_t> pq(ctx);
+
+  constexpr int kPerRank = 50;
+  ctx.run([&](sim::Actor& self) {
+    Rng rng(static_cast<std::uint64_t>(self.rank()) + 1);
+    for (int i = 0; i < kPerRank; ++i) pq.push(rng.next_below(1'000'000));
+  });
+  ctx.run_one(0, [&](sim::Actor&) {
+    std::uint64_t prev = 0, cur = 0;
+    std::size_t n = 0;
+    while (pq.pop(&cur)) {
+      EXPECT_GE(cur, prev);
+      prev = cur;
+      ++n;
+    }
+    EXPECT_EQ(n, static_cast<std::size_t>(ctx.topology().num_ranks()) * kPerRank);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ContainerTopologySweep,
+    ::testing::Values(TopoCase{1, 1, -1}, TopoCase{1, 8, -1},
+                      TopoCase{2, 2, -1}, TopoCase{4, 4, -1},
+                      TopoCase{8, 2, -1}, TopoCase{4, 4, 2},
+                      TopoCase{3, 5, 7}));
+
+// ---------------------------------------------------------------------------
+// Cost-model monotonicity: with the Ares model, simulated time must grow
+// with payload size for every remote container op.
+// ---------------------------------------------------------------------------
+
+class PayloadMonotonicity : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PayloadMonotonicity, BiggerPayloadsCostMore) {
+  const std::int64_t bytes = GetParam();
+  Context ctx({.num_nodes = 2, .procs_per_node = 1});
+  unordered_map<std::uint64_t, std::string> map(ctx);
+  std::uint64_t remote_key = 0;
+  while (map.partition_owner(map.partition_of(remote_key)) == 0) ++remote_key;
+
+  sim::Nanos small_cost = 0, big_cost = 0;
+  ctx.run_one(0, [&](sim::Actor& self) {
+    const sim::Nanos t0 = self.now();
+    map.insert(remote_key, std::string(64, 'a'));
+    small_cost = self.now() - t0;
+    map.erase(remote_key);
+    const sim::Nanos t1 = self.now();
+    map.insert(remote_key, std::string(static_cast<std::size_t>(bytes), 'b'));
+    big_cost = self.now() - t1;
+  });
+  EXPECT_GT(big_cost, small_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PayloadMonotonicity,
+                         ::testing::Values(64 << 10, 512 << 10, 2 << 20));
+
+}  // namespace
+}  // namespace hcl

@@ -1,0 +1,133 @@
+#include "lf/ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hcl::lf {
+namespace {
+
+TEST(Ebr, RetiredNodesFreeEventually) {
+  std::atomic<int> freed{0};
+  {
+    Ebr ebr;
+    {
+      Ebr::Guard guard(ebr);
+      for (int i = 0; i < 10; ++i) ebr.retire([&] { freed.fetch_add(1); });
+    }
+    // Advance enough epochs that every generation drains.
+    for (int i = 0; i < 5; ++i) ebr.try_advance();
+  }  // destructor drains the rest
+  EXPECT_EQ(freed.load(), 10);
+}
+
+TEST(Ebr, PinnedGuardBlocksReclamationOfItsEpoch) {
+  std::atomic<int> freed{0};
+  Ebr ebr;
+  std::atomic<bool> release{false};
+  std::atomic<bool> pinned{false};
+
+  std::thread reader([&] {
+    Ebr::Guard guard(ebr);
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+
+  {
+    Ebr::Guard guard(ebr);
+    ebr.retire([&] { freed.fetch_add(1); });
+  }
+  // The reader pins the current epoch: no amount of advancing can free the
+  // node retired in it.
+  for (int i = 0; i < 10; ++i) ebr.try_advance();
+  EXPECT_EQ(freed.load(), 0);
+
+  release.store(true);
+  reader.join();
+  for (int i = 0; i < 5; ++i) ebr.try_advance();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Ebr, GuardsNest) {
+  Ebr ebr;
+  Ebr::Guard outer(ebr);
+  {
+    Ebr::Guard inner(ebr);
+  }
+  // Outer still pinned: epoch can't advance past us silently — just verify
+  // no crash and retire still works.
+  ebr.retire([] {});
+  SUCCEED();
+}
+
+TEST(Ebr, EpochAdvancesWhenQuiescent) {
+  Ebr ebr;
+  const auto e0 = ebr.epoch();
+  ebr.try_advance();
+  EXPECT_EQ(ebr.epoch(), e0 + 1);
+}
+
+TEST(Ebr, DestructorDrainsAllLimbo) {
+  std::atomic<int> freed{0};
+  {
+    Ebr ebr;
+    Ebr::Guard guard(ebr);
+    for (int i = 0; i < 100; ++i) ebr.retire([&] { freed.fetch_add(1); });
+  }
+  EXPECT_EQ(freed.load(), 100);
+}
+
+TEST(Ebr, RetireDeleteFreesPointer) {
+  struct Probe {
+    std::atomic<int>* counter;
+    ~Probe() { counter->fetch_add(1); }
+  };
+  std::atomic<int> freed{0};
+  {
+    Ebr ebr;
+    {
+      Ebr::Guard guard(ebr);
+      ebr.retire_delete(new Probe{&freed});
+    }
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Ebr, StressManyThreadsRetireAndPin) {
+  std::atomic<long> freed{0};
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5'000;
+  {
+    Ebr ebr;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&] {
+        for (int i = 0; i < kOps; ++i) {
+          Ebr::Guard guard(ebr);
+          ebr.retire([&] { freed.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  EXPECT_EQ(freed.load(), static_cast<long>(kThreads) * kOps);
+}
+
+TEST(Ebr, ThreadSlotsRecycle) {
+  // Many short-lived threads must not exhaust the slot table.
+  Ebr ebr;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 16; ++t) {
+      pool.emplace_back([&] { Ebr::Guard guard(ebr); });
+    }
+    for (auto& th : pool) th.join();
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hcl::lf

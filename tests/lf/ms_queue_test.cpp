@@ -1,0 +1,139 @@
+#include "lf/ms_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hcl::lf {
+namespace {
+
+TEST(MsQueue, FifoOrderSingleThread) {
+  MsQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(i);
+  int v;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(&v));
+}
+
+TEST(MsQueue, EmptyPopFails) {
+  MsQueue<int> q;
+  int v;
+  EXPECT_FALSE(q.pop(&v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, SizeTracksApproximately) {
+  MsQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  int v;
+  q.pop(&v);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(MsQueue, MoveOnlyPayload) {
+  MsQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(42));
+  std::unique_ptr<int> p;
+  ASSERT_TRUE(q.pop(&p));
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(MsQueue, BulkOps) {
+  MsQueue<int> q;
+  q.push_bulk({1, 2, 3, 4, 5});
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_bulk(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.pop_bulk(&out, 10), 2u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(MsQueue, MpmcNoLossNoDuplication) {
+  MsQueue<long> q;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPer = 25'000;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> pool;
+  for (int p = 0; p < kProducers; ++p) {
+    pool.emplace_back([&, p] {
+      for (long i = 0; i < kPer; ++i) q.push(p * kPer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    pool.emplace_back([&] {
+      long v;
+      while (popped.load(std::memory_order_relaxed) < kProducers * kPer) {
+        if (q.pop(&v)) {
+          sum.fetch_add(v, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const long n = static_cast<long>(kProducers) * kPer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, PerProducerOrderPreserved) {
+  MsQueue<std::pair<int, int>> q;
+  constexpr int kProducers = 4;
+  constexpr int kPer = 20'000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPer; ++i) q.push({p, i});
+    });
+  }
+  std::vector<int> last(kProducers, -1);
+  int seen = 0;
+  std::pair<int, int> v;
+  while (seen < kProducers * kPer) {
+    if (q.pop(&v)) {
+      EXPECT_EQ(v.second, last[v.first] + 1);
+      last[v.first] = v.second;
+      ++seen;
+    }
+  }
+  for (auto& t : producers) t.join();
+}
+
+TEST(MsQueue, StressChurn) {
+  MsQueue<int> q;
+  std::vector<std::thread> pool;
+  std::atomic<long> pushed{0}, got{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] {
+      int v;
+      for (int i = 0; i < 30'000; ++i) {
+        if ((i + t) % 2 == 0) {
+          q.push(i);
+          pushed.fetch_add(1, std::memory_order_relaxed);
+        } else if (q.pop(&v)) {
+          got.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  // Drain remainder.
+  int v;
+  while (q.pop(&v)) got.fetch_add(1);
+  EXPECT_EQ(pushed.load(), got.load());
+}
+
+}  // namespace
+}  // namespace hcl::lf

@@ -1,0 +1,157 @@
+#include "lf/priority_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hcl::lf {
+namespace {
+
+TEST(PriorityQueue, PopsInPriorityOrder) {
+  PriorityQueue<int> pq;
+  for (int v : {5, 1, 9, 3, 7}) pq.push(v);
+  int out;
+  std::vector<int> popped;
+  while (pq.pop(&out)) popped.push_back(out);
+  EXPECT_EQ(popped, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(PriorityQueue, DuplicatesAllowedFifoAmongEqual) {
+  PriorityQueue<int> pq;
+  pq.push(1);
+  pq.push(1);
+  pq.push(1);
+  EXPECT_EQ(pq.size(), 3u);
+  int out;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(pq.pop(&out));
+  EXPECT_FALSE(pq.pop(&out));
+}
+
+TEST(PriorityQueue, PeekDoesNotRemove) {
+  PriorityQueue<int> pq;
+  pq.push(4);
+  pq.push(2);
+  int out = 0;
+  EXPECT_TRUE(pq.peek(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(pq.size(), 2u);
+}
+
+TEST(PriorityQueue, EmptyPopFails) {
+  PriorityQueue<int> pq;
+  int out;
+  EXPECT_FALSE(pq.pop(&out));
+  EXPECT_FALSE(pq.peek(&out));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(PriorityQueue, CustomComparatorMaxHeap) {
+  PriorityQueue<int, std::greater<int>> pq;
+  for (int v : {5, 1, 9}) pq.push(v);
+  int out;
+  pq.pop(&out);
+  EXPECT_EQ(out, 9);
+}
+
+TEST(PriorityQueue, BulkOps) {
+  PriorityQueue<int> pq;
+  pq.push_bulk({9, 1, 5});
+  std::vector<int> out;
+  EXPECT_EQ(pq.pop_bulk(&out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 5}));
+}
+
+TEST(PriorityQueue, SortsLargeRandomInput) {
+  // The ISx usage: push unsorted keys, pop yields them sorted.
+  PriorityQueue<std::uint64_t> pq;
+  Rng rng(99);
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) pq.push(rng.next_below(1'000'000));
+  std::uint64_t prev = 0, cur = 0;
+  int count = 0;
+  while (pq.pop(&cur)) {
+    EXPECT_GE(cur, prev);
+    prev = cur;
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+}
+
+TEST(PriorityQueue, ConcurrentPushThenPopSorted) {
+  PriorityQueue<int> pq;
+  constexpr int kThreads = 8;
+  constexpr int kPer = 10'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < kPer; ++i) {
+        pq.push(static_cast<int>(rng.next_below(1'000'000)));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(pq.size(), static_cast<std::size_t>(kThreads) * kPer);
+  int prev = -1, cur;
+  int count = 0;
+  while (pq.pop(&cur)) {
+    EXPECT_GE(cur, prev);
+    prev = cur;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kPer);
+}
+
+TEST(PriorityQueue, ConcurrentMixedPushPop) {
+  PriorityQueue<int> pq;
+  std::atomic<long> pushed{0}, popped{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(t * 3 + 1);
+      int out;
+      for (int i = 0; i < 10'000; ++i) {
+        if ((rng.next() & 1) != 0) {
+          pq.push(static_cast<int>(rng.next_below(1000)));
+          pushed.fetch_add(1, std::memory_order_relaxed);
+        } else if (pq.pop(&out)) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  int out;
+  long drained = 0;
+  while (pq.pop(&out)) ++drained;
+  EXPECT_EQ(pushed.load(), popped.load() + drained);
+}
+
+TEST(PriorityQueue, ConcurrentPoppersEachElementOnce) {
+  PriorityQueue<int> pq;
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) pq.push(i);
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      int out;
+      while (pq.pop(&out)) {
+        sum.fetch_add(out, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(count.load(), kN);
+  EXPECT_EQ(sum.load(), static_cast<long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace hcl::lf

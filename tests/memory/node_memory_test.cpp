@@ -1,0 +1,71 @@
+#include "memory/node_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hcl::mem {
+namespace {
+
+TEST(NodeMemory, ReserveWithinBudget) {
+  NodeMemory m(0, 1'000);
+  EXPECT_TRUE(m.reserve(400, 0).ok());
+  EXPECT_TRUE(m.reserve(600, 0).ok());
+  EXPECT_EQ(m.used(), 1'000);
+}
+
+TEST(NodeMemory, RejectsOverBudget) {
+  NodeMemory m(0, 1'000);
+  EXPECT_TRUE(m.reserve(900, 0).ok());
+  Status s = m.reserve(200, 0);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  // Failed reservation must not change accounting.
+  EXPECT_EQ(m.used(), 900);
+}
+
+TEST(NodeMemory, ReleaseRestoresHeadroom) {
+  NodeMemory m(0, 1'000);
+  ASSERT_TRUE(m.reserve(1'000, 0).ok());
+  m.release(500, 0);
+  EXPECT_EQ(m.used(), 500);
+  EXPECT_TRUE(m.reserve(500, 0).ok());
+}
+
+TEST(NodeMemory, PeakTracksHighWater) {
+  NodeMemory m(0, 1'000);
+  ASSERT_TRUE(m.reserve(800, 0).ok());
+  m.release(700, 0);
+  ASSERT_TRUE(m.reserve(100, 0).ok());
+  EXPECT_EQ(m.peak(), 800);
+  EXPECT_EQ(m.used(), 200);
+}
+
+TEST(NodeMemory, GaugeRecordsResidentBytes) {
+  sim::GaugeSeries gauge(100, 4);
+  NodeMemory m(0, 10'000, &gauge);
+  ASSERT_TRUE(m.reserve(3'000, 50).ok());
+  ASSERT_TRUE(m.reserve(4'000, 250).ok());
+  auto snap = gauge.snapshot_filled();
+  EXPECT_EQ(snap[0], 3'000);
+  EXPECT_EQ(snap[2], 7'000);
+}
+
+TEST(NodeMemory, ConcurrentReservationsNeverExceedBudget) {
+  NodeMemory m(0, 10'000);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 1'000; ++i) {
+        if (m.reserve(7, 0).ok()) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_LE(m.used(), 10'000);
+  EXPECT_EQ(m.used(), granted.load() * 7);
+}
+
+}  // namespace
+}  // namespace hcl::mem

@@ -1,0 +1,105 @@
+#include "serial/databox.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hcl::serial {
+namespace {
+
+TEST(DataBox, FixedSizeCompileTimeDistinction) {
+  // The paper's fixed-vs-variable-length distinction is a compile-time
+  // property of the boxed type.
+  static_assert(DataBox<int>::kFixedSize);
+  static_assert(DataBox<double>::kFixedSize);
+  struct Pod {
+    int a;
+    float b;
+  };
+  static_assert(DataBox<Pod>::kFixedSize);
+  static_assert(!DataBox<std::string>::kFixedSize);
+  static_assert(!DataBox<std::vector<int>>::kFixedSize);
+}
+
+TEST(DataBox, RoundTripsFixed) {
+  DataBox<int> box(42);
+  auto bytes = box.to_bytes();
+  auto back = DataBox<int>::from_bytes(std::span<const std::byte>(bytes));
+  EXPECT_EQ(back.value(), 42);
+}
+
+TEST(DataBox, RoundTripsVariable) {
+  DataBox<std::string> box(std::string("variable-length payload"));
+  auto bytes = box.to_bytes();
+  auto back = DataBox<std::string>::from_bytes(std::span<const std::byte>(bytes));
+  EXPECT_EQ(back.value(), "variable-length payload");
+}
+
+TEST(DataBox, PackedSizeFixedAvoidsEncoding) {
+  struct Pod {
+    double a;
+    int b;
+  };
+  DataBox<Pod> box(Pod{1.0, 2});
+  EXPECT_EQ(box.packed_size(), sizeof(Pod));
+  // Scalars are backend-encoded, so their wire size is the encoding's.
+  DataBox<std::uint64_t> scalar(7);
+  EXPECT_EQ(scalar.packed_size(), scalar.to_bytes().size());
+}
+
+TEST(DataBox, PackedSizeVariableMeasuresEncoding) {
+  DataBox<std::string> box(std::string(100, 'x'));
+  EXPECT_EQ(box.packed_size(), box.to_bytes().size());
+  EXPECT_GE(box.packed_size(), 100u);
+}
+
+TEST(DataBox, PackedBackendChoice) {
+  // Small integers shrink under the varint backend, and packed_size tracks
+  // the real encoding.
+  DataBox<std::uint64_t, PackedBackend> small(3);
+  EXPECT_EQ(small.to_bytes().size(), 1u);
+  EXPECT_EQ(small.packed_size(), 1u);
+}
+
+TEST(DataBox, TakeMovesValueOut) {
+  DataBox<std::string> box(std::string("move me"));
+  std::string v = box.take();
+  EXPECT_EQ(v, "move me");
+}
+
+TEST(DataBox, Equality) {
+  EXPECT_EQ(DataBox<int>(1), DataBox<int>(1));
+  EXPECT_FALSE(DataBox<int>(1) == DataBox<int>(2));
+}
+
+struct Sensor {
+  std::string id;
+  std::vector<double> readings;
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & id & readings;
+  }
+  bool operator==(const Sensor&) const = default;
+};
+
+TEST(DataBox, CustomTypeThroughBox) {
+  Sensor s{"s-1", {0.1, 0.2}};
+  DataBox<Sensor> box(s);
+  auto bytes = box.to_bytes();
+  EXPECT_EQ(DataBox<Sensor>::from_bytes(std::span<const std::byte>(bytes)).value(), s);
+}
+
+TEST(PackedSizeHelper, MatchesDataBox) {
+  // Integers are backend-encoded (8 bytes under RawBackend, not sizeof).
+  EXPECT_EQ(packed_size(7), pack(7).size());
+  std::string s = "abc";
+  EXPECT_EQ(packed_size(s), pack(s).size());
+  struct Pod {
+    double x;
+  };
+  EXPECT_EQ(packed_size(Pod{1.0}), sizeof(Pod));
+}
+
+}  // namespace
+}  // namespace hcl::serial

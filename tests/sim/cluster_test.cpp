@@ -1,0 +1,109 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hcl::sim {
+namespace {
+
+TEST(Cluster, RunVisitsEveryRankOnce) {
+  Cluster c(Topology(4, 8));
+  std::atomic<int> visits{0};
+  std::vector<std::atomic<int>> per_rank(32);
+  c.run([&](Actor& a) {
+    visits.fetch_add(1);
+    per_rank[static_cast<std::size_t>(a.rank())].fetch_add(1);
+  });
+  EXPECT_EQ(visits.load(), 32);
+  for (auto& v : per_rank) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Cluster, ActorMatchesTopology) {
+  Cluster c(Topology(2, 4));
+  c.run([&](Actor& a) {
+    EXPECT_EQ(a.node(), a.rank() / 4);
+    EXPECT_EQ(&this_actor(), &a);
+  });
+}
+
+TEST(Cluster, ThisActorThrowsOutsideScope) {
+  EXPECT_THROW(this_actor(), HclError);
+}
+
+TEST(Cluster, MultiplexedRunCoversAllRanks) {
+  // Force multiplexing with a tiny thread cap; every rank still runs once.
+  Cluster c(Topology(8, 16));  // 128 ranks
+  std::atomic<int> visits{0};
+  c.run([&](Actor&) { visits.fetch_add(1); }, /*max_threads=*/3);
+  EXPECT_EQ(visits.load(), 128);
+}
+
+TEST(Cluster, RunRanksSubset) {
+  Cluster c(Topology(2, 4));
+  std::set<Rank> seen;
+  std::mutex m;
+  c.run_ranks(2, 6, [&](Actor& a) {
+    std::lock_guard<std::mutex> g(m);
+    seen.insert(a.rank());
+  });
+  EXPECT_EQ(seen, (std::set<Rank>{2, 3, 4, 5}));
+}
+
+TEST(Cluster, ClocksAdvanceIndependently) {
+  Cluster c(Topology(1, 4));
+  c.run([](Actor& a) { a.advance(100 * (a.rank() + 1)); });
+  EXPECT_EQ(c.actor(0).now(), 100);
+  EXPECT_EQ(c.actor(3).now(), 400);
+  EXPECT_EQ(c.max_time(), 400);
+}
+
+TEST(Cluster, AlignClocksActsAsBarrier) {
+  Cluster c(Topology(1, 4));
+  c.run([](Actor& a) { a.advance(100 * (a.rank() + 1)); });
+  c.align_clocks();
+  for (Rank r = 0; r < 4; ++r) EXPECT_EQ(c.actor(r).now(), 400);
+}
+
+TEST(Cluster, RunPhasesAlignsBetweenPhases) {
+  Cluster c(Topology(1, 2));
+  std::vector<Nanos> phase2_start(2);
+  c.run_phases({
+      [](Actor& a) { a.advance(a.rank() == 0 ? 50 : 500); },
+      [&](Actor& a) { phase2_start[static_cast<std::size_t>(a.rank())] = a.now(); },
+  });
+  // Both ranks must enter phase 2 at the barrier time of phase 1.
+  EXPECT_EQ(phase2_start[0], 500);
+  EXPECT_EQ(phase2_start[1], 500);
+}
+
+TEST(Cluster, ResetClocks) {
+  Cluster c(Topology(1, 2));
+  c.run([](Actor& a) { a.advance(123); });
+  c.reset_clocks();
+  EXPECT_EQ(c.max_time(), 0);
+}
+
+TEST(Cluster, MeanTimeSeconds) {
+  Cluster c(Topology(1, 2));
+  c.run([](Actor& a) { a.advance(a.rank() == 0 ? kSecond : 3 * kSecond); });
+  EXPECT_DOUBLE_EQ(c.mean_time_seconds(), 2.0);
+}
+
+TEST(Cluster, DeterministicRngPerRank) {
+  Cluster c1(Topology(1, 4), /*seed=*/7);
+  Cluster c2(Topology(1, 4), /*seed=*/7);
+  std::vector<std::uint64_t> draw1(4), draw2(4);
+  c1.run([&](Actor& a) { draw1[static_cast<std::size_t>(a.rank())] = a.rng().next(); });
+  c2.run([&](Actor& a) { draw2[static_cast<std::size_t>(a.rank())] = a.rng().next(); });
+  EXPECT_EQ(draw1, draw2);
+  // Different ranks draw different streams.
+  EXPECT_NE(draw1[0], draw1[1]);
+}
+
+}  // namespace
+}  // namespace hcl::sim

@@ -1,0 +1,109 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hcl::sim {
+namespace {
+
+TEST(Resource, SingleLaneSerializes) {
+  Resource r(1);
+  // Two operations arriving "at the same time" must be served back-to-back.
+  EXPECT_EQ(r.reserve(0, 100), 100);
+  EXPECT_EQ(r.reserve(0, 100), 200);
+  EXPECT_EQ(r.reserve(0, 100), 300);
+}
+
+TEST(Resource, IdleLaneStartsAtArrival) {
+  Resource r(1);
+  EXPECT_EQ(r.reserve(1'000, 50), 1'050);
+  // Arrival after the lane is free again: no queueing.
+  EXPECT_EQ(r.reserve(5'000, 50), 5'050);
+}
+
+TEST(Resource, MultiLaneParallelism) {
+  Resource r(2);
+  EXPECT_EQ(r.reserve(0, 100), 100);  // lane 0
+  EXPECT_EQ(r.reserve(0, 100), 100);  // lane 1 — parallel
+  EXPECT_EQ(r.reserve(0, 100), 200);  // queues behind the earliest lane
+}
+
+TEST(Resource, ZeroServiceIsFree) {
+  Resource r(1);
+  EXPECT_EQ(r.reserve(42, 0), 42);
+  EXPECT_EQ(r.busy_total(), 0);
+}
+
+TEST(Resource, BusyTotalAccumulates) {
+  Resource r(4);
+  r.reserve(0, 10);
+  r.reserve(0, 20);
+  EXPECT_EQ(r.busy_total(), 30);
+}
+
+TEST(Resource, UtilizationFraction) {
+  Resource r(2);
+  r.reserve(0, 100);
+  r.reserve(0, 100);
+  // 200 ns busy over (100 ns elapsed x 2 lanes) = fully utilized.
+  EXPECT_DOUBLE_EQ(r.utilization(100), 1.0);
+  EXPECT_DOUBLE_EQ(r.utilization(200), 0.5);
+}
+
+TEST(Resource, HorizonTracksLatestLane) {
+  Resource r(2);
+  r.reserve(0, 100);
+  r.reserve(0, 300);
+  EXPECT_EQ(r.horizon(), 300);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r(1);
+  r.reserve(0, 500);
+  r.reset();
+  EXPECT_EQ(r.busy_total(), 0);
+  EXPECT_EQ(r.reserve(0, 10), 10);
+}
+
+TEST(Resource, MakespanUnderConcurrentReservations) {
+  // Total service pushed from many threads must equal busy_total, and the
+  // horizon must be at least total/lanes (conservation of work).
+  Resource r(4);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5'000;
+  constexpr Nanos kService = 7;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&r] {
+      for (int i = 0; i < kOps; ++i) r.reserve(0, kService);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const Nanos total = static_cast<Nanos>(kThreads) * kOps * kService;
+  EXPECT_EQ(r.busy_total(), total);
+  EXPECT_GE(r.horizon(), total / 4);
+}
+
+TEST(Resource, FeedsBusySeries) {
+  TimeSeries series(100, 10);
+  Resource r(1, &series);
+  r.reserve(0, 50);    // bucket 0
+  r.reserve(250, 30);  // bucket 2 (starts at 250)
+  EXPECT_EQ(series.bucket(0), 50);
+  EXPECT_EQ(series.bucket(2), 30);
+}
+
+TEST(Resource, SaturationStretchesFinishTimes) {
+  // The mechanism behind the queue-scaling plateau (Fig. 6c): with offered
+  // load >> capacity, the k-th op finishes around k*service/lanes.
+  Resource r(2);
+  Nanos finish = 0;
+  for (int i = 0; i < 1'000; ++i) finish = r.reserve(0, 10);
+  EXPECT_EQ(finish, 1'000 * 10 / 2);
+}
+
+}  // namespace
+}  // namespace hcl::sim

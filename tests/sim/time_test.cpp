@@ -1,0 +1,51 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace hcl::sim {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock c;
+  c.advance(100);
+  c.advance(50);
+  EXPECT_EQ(c.now(), 150);
+}
+
+TEST(SimClock, NegativeAdvanceIgnored) {
+  SimClock c;
+  c.advance(100);
+  c.advance(-40);
+  EXPECT_EQ(c.now(), 100);
+}
+
+TEST(SimClock, AdvanceToNeverMovesBack) {
+  SimClock c;
+  c.advance_to(500);
+  EXPECT_EQ(c.now(), 500);
+  c.advance_to(200);
+  EXPECT_EQ(c.now(), 500);
+}
+
+TEST(SimClock, Reset) {
+  SimClock c;
+  c.advance(123);
+  c.reset();
+  EXPECT_EQ(c.now(), 0);
+  c.reset(77);
+  EXPECT_EQ(c.now(), 77);
+}
+
+TEST(TimeConversion, RoundTrips) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000LL);
+}
+
+}  // namespace
+}  // namespace hcl::sim

@@ -1,0 +1,98 @@
+#include "sim/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hcl::sim {
+namespace {
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries s(100, 5);
+  s.add(0, 1);
+  s.add(99, 1);
+  s.add(100, 10);
+  s.add(450, 7);
+  EXPECT_EQ(s.bucket(0), 2);
+  EXPECT_EQ(s.bucket(1), 10);
+  EXPECT_EQ(s.bucket(4), 7);
+  EXPECT_EQ(s.total(), 19);
+}
+
+TEST(TimeSeries, OverflowFoldsIntoLastBucket) {
+  TimeSeries s(100, 3);
+  s.add(10'000, 5);
+  EXPECT_EQ(s.bucket(2), 5);
+}
+
+TEST(TimeSeries, NegativeTimeGoesToFirstBucket) {
+  TimeSeries s(100, 3);
+  s.add(-50, 4);
+  EXPECT_EQ(s.bucket(0), 4);
+}
+
+TEST(TimeSeries, SnapshotMatchesBuckets) {
+  TimeSeries s(10, 4);
+  s.add(5, 1);
+  s.add(35, 2);
+  auto snap = s.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0], 1);
+  EXPECT_EQ(snap[3], 2);
+}
+
+TEST(TimeSeries, ConcurrentAddsAreLossless) {
+  TimeSeries s(10, 8);
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 50'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&s] {
+      for (int i = 0; i < kAdds; ++i) s.add((i % 8) * 10, 1);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(s.total(), static_cast<std::int64_t>(kThreads) * kAdds);
+}
+
+TEST(TimeSeries, Reset) {
+  TimeSeries s(10, 2);
+  s.add(0, 5);
+  s.reset();
+  EXPECT_EQ(s.total(), 0);
+}
+
+TEST(GaugeSeries, KeepsMaxPerBucket) {
+  GaugeSeries g(100, 4);
+  g.record(0, 10);
+  g.record(50, 5);   // lower — ignored
+  g.record(60, 20);  // higher — kept
+  EXPECT_EQ(g.snapshot_filled()[0], 20);
+}
+
+TEST(GaugeSeries, ForwardFillsEmptyBuckets) {
+  GaugeSeries g(100, 4);
+  g.record(0, 7);
+  g.record(350, 12);
+  auto snap = g.snapshot_filled();
+  EXPECT_EQ(snap[0], 7);
+  EXPECT_EQ(snap[1], 7);  // filled from bucket 0
+  EXPECT_EQ(snap[2], 7);
+  EXPECT_EQ(snap[3], 12);
+}
+
+TEST(GaugeSeries, ConcurrentRecordKeepsMax) {
+  GaugeSeries g(10, 1);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&g, t] {
+      for (int i = 0; i < 10'000; ++i) g.record(0, t * 10'000 + i);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(g.snapshot_filled()[0], 7 * 10'000 + 9'999);
+}
+
+}  // namespace
+}  // namespace hcl::sim

@@ -1,0 +1,58 @@
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace hcl::sim {
+namespace {
+
+TEST(Topology, AresShape) {
+  // The paper's testbed: 64 nodes x 40 ranks.
+  Topology t(64, 40);
+  EXPECT_EQ(t.num_ranks(), 2560);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(39), 0);
+  EXPECT_EQ(t.node_of(40), 1);
+  EXPECT_EQ(t.node_of(2559), 63);
+}
+
+TEST(Topology, LocalIndex) {
+  Topology t(4, 10);
+  EXPECT_EQ(t.local_index(0), 0);
+  EXPECT_EQ(t.local_index(9), 9);
+  EXPECT_EQ(t.local_index(10), 0);
+  EXPECT_EQ(t.local_index(25), 5);
+}
+
+TEST(Topology, FirstRankOn) {
+  Topology t(4, 10);
+  EXPECT_EQ(t.first_rank_on(0), 0);
+  EXPECT_EQ(t.first_rank_on(3), 30);
+}
+
+TEST(Topology, CoLocation) {
+  Topology t(2, 3);
+  EXPECT_TRUE(t.co_located(0, 2));
+  EXPECT_FALSE(t.co_located(2, 3));
+  EXPECT_TRUE(t.co_located(4, 5));
+}
+
+TEST(Topology, Validation) {
+  Topology t(2, 3);
+  EXPECT_TRUE(t.valid_rank(0));
+  EXPECT_TRUE(t.valid_rank(5));
+  EXPECT_FALSE(t.valid_rank(6));
+  EXPECT_FALSE(t.valid_rank(-1));
+  EXPECT_TRUE(t.valid_node(1));
+  EXPECT_FALSE(t.valid_node(2));
+}
+
+TEST(Topology, RejectsNonPositiveDims) {
+  EXPECT_THROW(Topology(0, 4), HclError);
+  EXPECT_THROW(Topology(4, 0), HclError);
+  EXPECT_THROW(Topology(-1, 4), HclError);
+}
+
+}  // namespace
+}  // namespace hcl::sim
