@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_profiling.dir/fig4_profiling.cpp.o"
+  "CMakeFiles/fig4_profiling.dir/fig4_profiling.cpp.o.d"
+  "fig4_profiling"
+  "fig4_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hybrid.dir/fig5_hybrid.cpp.o"
+  "CMakeFiles/fig5_hybrid.dir/fig5_hybrid.cpp.o.d"
+  "fig5_hybrid"
+  "fig5_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

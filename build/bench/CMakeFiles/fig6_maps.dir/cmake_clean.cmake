@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_maps.dir/fig6_maps.cpp.o"
+  "CMakeFiles/fig6_maps.dir/fig6_maps.cpp.o.d"
+  "fig6_maps"
+  "fig6_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_queues.dir/fig6_queues.cpp.o"
+  "CMakeFiles/fig6_queues.dir/fig6_queues.cpp.o.d"
+  "fig6_queues"
+  "fig6_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_contig.dir/fig7_contig.cpp.o"
+  "CMakeFiles/fig7_contig.dir/fig7_contig.cpp.o.d"
+  "fig7_contig"
+  "fig7_contig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_contig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_isx.dir/fig7_isx.cpp.o"
+  "CMakeFiles/fig7_isx.dir/fig7_isx.cpp.o.d"
+  "fig7_isx"
+  "fig7_isx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_isx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_kmer.dir/fig7_kmer.cpp.o"
+  "CMakeFiles/fig7_kmer.dir/fig7_kmer.cpp.o.d"
+  "fig7_kmer"
+  "fig7_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

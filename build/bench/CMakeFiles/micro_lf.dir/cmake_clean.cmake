@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lf.dir/micro_lf.cpp.o"
+  "CMakeFiles/micro_lf.dir/micro_lf.cpp.o.d"
+  "micro_lf"
+  "micro_lf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_pipeline.dir/genome_pipeline.cpp.o"
+  "CMakeFiles/genome_pipeline.dir/genome_pipeline.cpp.o.d"
+  "genome_pipeline"
+  "genome_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

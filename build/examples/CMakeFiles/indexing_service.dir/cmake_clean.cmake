@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing_service.dir/indexing_service.cpp.o"
+  "CMakeFiles/indexing_service.dir/indexing_service.cpp.o.d"
+  "indexing_service"
+  "indexing_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

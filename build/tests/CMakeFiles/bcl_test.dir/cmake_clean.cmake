@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcl_test.dir/bcl/bcl_test.cpp.o"
+  "CMakeFiles/bcl_test.dir/bcl/bcl_test.cpp.o.d"
+  "bcl_test"
+  "bcl_test.pdb"
+  "bcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

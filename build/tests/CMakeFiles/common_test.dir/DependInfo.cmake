@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/hash_test.cpp" "tests/CMakeFiles/common_test.dir/common/hash_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/hash_test.cpp.o.d"
+  "/root/repo/tests/common/mpmc_queue_test.cpp" "tests/CMakeFiles/common_test.dir/common/mpmc_queue_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/mpmc_queue_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/spin_test.cpp" "tests/CMakeFiles/common_test.dir/common/spin_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/spin_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ordered_test.cpp" "tests/CMakeFiles/core_test.dir/core/ordered_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ordered_test.cpp.o.d"
+  "/root/repo/tests/core/queues_test.cpp" "tests/CMakeFiles/core_test.dir/core/queues_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/queues_test.cpp.o.d"
+  "/root/repo/tests/core/unordered_map_test.cpp" "tests/CMakeFiles/core_test.dir/core/unordered_map_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/unordered_map_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

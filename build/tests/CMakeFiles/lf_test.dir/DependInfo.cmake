@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lf/cuckoo_map_test.cpp" "tests/CMakeFiles/lf_test.dir/lf/cuckoo_map_test.cpp.o" "gcc" "tests/CMakeFiles/lf_test.dir/lf/cuckoo_map_test.cpp.o.d"
+  "/root/repo/tests/lf/ebr_test.cpp" "tests/CMakeFiles/lf_test.dir/lf/ebr_test.cpp.o" "gcc" "tests/CMakeFiles/lf_test.dir/lf/ebr_test.cpp.o.d"
+  "/root/repo/tests/lf/ms_queue_test.cpp" "tests/CMakeFiles/lf_test.dir/lf/ms_queue_test.cpp.o" "gcc" "tests/CMakeFiles/lf_test.dir/lf/ms_queue_test.cpp.o.d"
+  "/root/repo/tests/lf/priority_queue_test.cpp" "tests/CMakeFiles/lf_test.dir/lf/priority_queue_test.cpp.o" "gcc" "tests/CMakeFiles/lf_test.dir/lf/priority_queue_test.cpp.o.d"
+  "/root/repo/tests/lf/skiplist_map_test.cpp" "tests/CMakeFiles/lf_test.dir/lf/skiplist_map_test.cpp.o" "gcc" "tests/CMakeFiles/lf_test.dir/lf/skiplist_map_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

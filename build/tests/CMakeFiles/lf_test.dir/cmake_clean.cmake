@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lf_test.dir/lf/cuckoo_map_test.cpp.o"
+  "CMakeFiles/lf_test.dir/lf/cuckoo_map_test.cpp.o.d"
+  "CMakeFiles/lf_test.dir/lf/ebr_test.cpp.o"
+  "CMakeFiles/lf_test.dir/lf/ebr_test.cpp.o.d"
+  "CMakeFiles/lf_test.dir/lf/ms_queue_test.cpp.o"
+  "CMakeFiles/lf_test.dir/lf/ms_queue_test.cpp.o.d"
+  "CMakeFiles/lf_test.dir/lf/priority_queue_test.cpp.o"
+  "CMakeFiles/lf_test.dir/lf/priority_queue_test.cpp.o.d"
+  "CMakeFiles/lf_test.dir/lf/skiplist_map_test.cpp.o"
+  "CMakeFiles/lf_test.dir/lf/skiplist_map_test.cpp.o.d"
+  "lf_test"
+  "lf_test.pdb"
+  "lf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
