@@ -24,8 +24,10 @@ enum class StatusCode : std::uint8_t {
   kCapacity,        // fixed-capacity structure full (BCL static partitions)
   kRetry,           // transient conflict, caller may retry (CAS loss)
   kInvalidArgument, // caller misuse detected at runtime
-  kUnavailable,     // target endpoint/partition not reachable
+  kUnavailable,     // target endpoint/partition not reachable (transient)
   kInternal,        // invariant violation; indicates a bug
+  kDeadlineExceeded,    // invocation deadline expired (timeout/lost request)
+  kFailedPrecondition,  // object not in a state where the call is legal
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).
@@ -40,8 +42,17 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
+}
+
+/// True for outcomes a client may transparently retry: the operation did not
+/// (observably) execute, or executing it again is harmless. Used by the RPC
+/// engine's retry-with-backoff policy.
+constexpr bool is_retryable(StatusCode code) noexcept {
+  return code == StatusCode::kUnavailable || code == StatusCode::kRetry;
 }
 
 /// A cheap, copyable operation outcome. `Status::ok()` is the common case and
@@ -77,6 +88,12 @@ class Status {
   }
   [[nodiscard]] static Status Internal(std::string m = {}) {
     return {StatusCode::kInternal, std::move(m)};
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string m = {}) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  [[nodiscard]] static Status FailedPrecondition(std::string m = {}) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

@@ -39,13 +39,26 @@ class Context {
     sim::CostModel model = sim::CostModel::ares();
     fabric::FabricOptions fabric_options{};
     std::uint64_t seed = 42;
+    /// Default reliability policy for every container RPC issued through
+    /// this context. Containers translate retryable statuses (Unavailable,
+    /// Retry, lost requests) into transparent bounded retries via this; what
+    /// survives the policy surfaces as an HclError with a definite code.
+    rpc::InvokeOptions rpc_options{};
+    /// Optional fabric fault plan, installed before any traffic. When null
+    /// (default), the fabric is fault-free.
+    std::shared_ptr<fabric::FaultPlan> fault_plan = nullptr;
   };
 
   explicit Context(const Config& config)
       : topology_(config.num_nodes, config.procs_per_node),
         cluster_(topology_, config.seed),
         fabric_(topology_, config.model, config.fabric_options),
-        engine_(fabric_) {}
+        engine_(fabric_) {
+    engine_.set_default_options(config.rpc_options);
+    if (config.fault_plan != nullptr) {
+      fabric_.set_fault_plan(config.fault_plan);
+    }
+  }
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
@@ -58,6 +71,13 @@ class Context {
     return fabric_.model();
   }
   [[nodiscard]] core::OpStats& op_stats() noexcept { return op_stats_; }
+
+  /// Install or clear (nullptr) the fabric fault plan between phases;
+  /// quiesces outstanding server-side work first so the swap is safe.
+  void set_fault_plan(std::shared_ptr<fabric::FaultPlan> plan) {
+    fabric_.drain_all();
+    fabric_.set_fault_plan(std::move(plan));
+  }
 
   /// Run `fn(actor)` on every rank (SPMD main, like mpirun).
   void run(const std::function<void(sim::Actor&)>& fn, unsigned max_threads = 0) {

@@ -27,6 +27,11 @@ struct NicCounters {
   std::atomic<std::int64_t> total_packets{0};
   std::atomic<std::int64_t> total_bytes{0};
   std::atomic<std::int64_t> rpc_count{0};
+  /// Client re-sends into this NIC (retry-with-backoff after a transient
+  /// failure or a lost request).
+  std::atomic<std::int64_t> rpc_retries{0};
+  /// Invocations that ultimately resolved DeadlineExceeded against this NIC.
+  std::atomic<std::int64_t> rpc_timeouts{0};
   /// Server-stub execution time on the NIC cores (handler simulated spans).
   std::atomic<std::int64_t> handler_busy_ns{0};
   std::atomic<std::int64_t> atomic_count{0};
@@ -46,6 +51,8 @@ struct NicCounters {
     total_packets.store(0);
     total_bytes.store(0);
     rpc_count.store(0);
+    rpc_retries.store(0);
+    rpc_timeouts.store(0);
     handler_busy_ns.store(0);
     atomic_count.store(0);
     read_count.store(0);

@@ -21,6 +21,7 @@
 // they ride the node memory channels (shared-memory bypass).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fabric/fault_plan.h"
 #include "fabric/nic.h"
 #include "memory/node_memory.h"
 #include "sim/actor.h"
@@ -67,6 +69,20 @@ class Fabric {
 
   [[nodiscard]] const sim::Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const sim::CostModel& model() const noexcept { return model_; }
+
+  // ------------------------------------------------------------------
+  // Fault injection. A null plan (the default) costs one branch per op.
+  // ------------------------------------------------------------------
+
+  /// Install (or clear, with nullptr) the fabric-wide fault plan. Install
+  /// before traffic; swapping mid-run is safe only between phases
+  /// (drain_all() first).
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  [[nodiscard]] FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.get();
+  }
 
   Nic& nic(sim::NodeId n) { return node(n).nic; }
   mem::NodeMemory& memory(sim::NodeId n) { return node(n).memory; }
@@ -132,7 +148,7 @@ class Fabric {
     }
     std::memcpy(dst, src, len);
     node(target).nic.counters().write_count.fetch_add(1, std::memory_order_relaxed);
-    caller.advance_to(t);
+    caller.advance_to(inject_stall(target, OpClass::kOneSided, t));
   }
 
   /// RDMA read (client pull).
@@ -151,7 +167,7 @@ class Fabric {
     }
     std::memcpy(dst, src, len);
     node(target).nic.counters().read_count.fetch_add(1, std::memory_order_relaxed);
-    caller.advance_to(t);
+    caller.advance_to(inject_stall(target, OpClass::kOneSided, t));
   }
 
   /// Timing-only RDMA write: charges exactly what put() charges but moves no
@@ -176,7 +192,7 @@ class Fabric {
       t += model_.net_base_latency_ns;
     }
     node(target).nic.counters().write_count.fetch_add(1, std::memory_order_relaxed);
-    caller.advance_to(t);
+    caller.advance_to(inject_stall(target, OpClass::kOneSided, t));
   }
 
   /// Timing-only RDMA read (see charge_put).
@@ -197,7 +213,7 @@ class Fabric {
       t += model_.net_base_latency_ns;
     }
     node(target).nic.counters().read_count.fetch_add(1, std::memory_order_relaxed);
-    caller.advance_to(t);
+    caller.advance_to(inject_stall(target, OpClass::kOneSided, t));
   }
 
   /// Remote compare-and-swap on a 64-bit word. Serialized on the target's
@@ -241,15 +257,25 @@ class Fabric {
   /// buffer. Advances the caller only past the injection overhead (the send
   /// is one-sided and pipelined); returns the simulated time at which the
   /// request is available in the target's request buffer.
+  ///
+  /// `not_before` lets the engine's retry policy re-send at a simulated time
+  /// later than the caller's clock (the re-send happens after a timeout the
+  /// caller is not blocked on); `issued_at`, when non-null, receives the
+  /// simulated time the request actually left the client (the anchor for
+  /// invocation deadlines).
   sim::Nanos send_request(sim::Actor& caller, sim::NodeId target,
-                          std::int64_t bytes) {
+                          std::int64_t bytes, sim::Nanos not_before = 0,
+                          sim::Nanos* issued_at = nullptr) {
     caller.sync_window();
-    const sim::Nanos t0 = caller.now();
+    const sim::Nanos t0 = std::max(caller.now(), not_before);
+    if (issued_at != nullptr) *issued_at = t0;
     caller.advance(model_.wire_overhead_ns);  // WQE injection on the client
     if (target == caller.node()) {
       // Hybrid model note: HCL containers never RPC to their own node, but
-      // the RPC layer still supports it (used by the ablation bench).
-      return local_write(target, t0, bytes);
+      // the RPC layer still supports it (used by the ablation bench). The
+      // request buffer write starts only after the WQE injection overhead,
+      // exactly as the remote path charges injection before the wire.
+      return local_write(target, t0 + model_.wire_overhead_ns, bytes);
     }
     sim::Nanos arrival = t0 + model_.net_base_latency_ns;
     arrival = node(target).nic.ingress().reserve(arrival, model_.wire_time(bytes));
@@ -382,7 +408,14 @@ class Fabric {
       t += model_.net_base_latency_ns;
     }
     st.nic.counters().atomic_count.fetch_add(1, std::memory_order_relaxed);
-    caller.advance_to(t);
+    caller.advance_to(inject_stall(target, OpClass::kAtomic, t));
+  }
+
+  /// Injected NIC stall window on non-RPC verbs (the RPC path draws its own
+  /// richer fault decisions in the engine).
+  sim::Nanos inject_stall(sim::NodeId target, OpClass cls, sim::Nanos t) {
+    if (fault_plan_ == nullptr) return t;
+    return t + fault_plan_->next(target, cls).delay_ns;
   }
 
   void record_remote(sim::NodeId target, sim::Nanos t, std::int64_t bytes) {
@@ -393,6 +426,7 @@ class Fabric {
   sim::CostModel model_;
   Options options_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::shared_ptr<FaultPlan> fault_plan_;
 };
 
 }  // namespace hcl::fabric

@@ -31,11 +31,13 @@
 // the handler through the fabric's local_* primitives).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <stdexcept>
 #include <span>
 #include <string>
 #include <tuple>
@@ -51,6 +53,24 @@
 namespace hcl::rpc {
 
 using FuncId = std::uint64_t;
+
+/// Per-invocation reliability policy (timeout / retry-with-backoff). All
+/// charging happens in *simulated* time: retries lengthen the future's
+/// response-ready timestamp, not the client's real wall clock.
+struct InvokeOptions {
+  /// Deadline measured from the request leaving the client to the response
+  /// landing in the response buffer. 0 = no deadline (but a *lost* request
+  /// still resolves after the cost model's lost-request timeout — a future
+  /// must never stay unfulfilled).
+  sim::Nanos timeout_ns = 0;
+  /// Re-sends after a transient failure (drop, Unavailable, Retry) before
+  /// the final status is surfaced. 0 = fail fast.
+  int max_retries = 0;
+  /// Simulated back-off before the first re-send; doubles each retry
+  /// (multiplied by backoff_multiplier).
+  sim::Nanos backoff_ns = 2 * sim::kMicrosecond;
+  double backoff_multiplier = 2.0;
+};
 
 /// Execution context handed to every server stub.
 struct ServerCtx {
@@ -77,6 +97,16 @@ class Engine {
   }
 
   [[nodiscard]] fabric::Fabric& fabric() noexcept { return *fabric_; }
+
+  /// Default reliability policy applied to every invoke/async_invoke that
+  /// does not pass explicit options. Set before traffic (not synchronized
+  /// against in-flight invocations).
+  void set_default_options(const InvokeOptions& options) noexcept {
+    default_options_ = options;
+  }
+  [[nodiscard]] const InvokeOptions& default_options() const noexcept {
+    return default_options_;
+  }
 
   // ------------------------------------------------------------------
   // Registry (bind / unbind), §III.B: "users submit their functions by
@@ -132,21 +162,39 @@ class Engine {
     return async_invoke_chain<R>(caller, target, id, {}, args...);
   }
 
+  /// async_invoke with an explicit reliability policy.
+  template <typename R, typename... Args>
+  Future<R> async_invoke_opt(sim::Actor& caller, sim::NodeId target, FuncId id,
+                             const InvokeOptions& options, const Args&... args) {
+    return async_invoke_chain_opt<R>(caller, target, id, {}, options, args...);
+  }
+
   /// Asynchronous invocation with server-side callback chain.
   template <typename R, typename... Args>
   Future<R> async_invoke_chain(sim::Actor& caller, sim::NodeId target,
                                FuncId id, std::vector<FuncId> chain,
                                const Args&... args) {
+    return async_invoke_chain_opt<R>(caller, target, id, std::move(chain),
+                                     default_options_, args...);
+  }
+
+  /// The full client stub: serialize once, then run the attempt loop under
+  /// `options`. The returned future is ALWAYS eventually fulfilled with a
+  /// definite Status — faults, timeouts, and handler crashes included.
+  template <typename R, typename... Args>
+  Future<R> async_invoke_chain_opt(sim::Actor& caller, sim::NodeId target,
+                                   FuncId id, std::vector<FuncId> chain,
+                                   const InvokeOptions& options,
+                                   const Args&... args) {
     serial::OutArchive out;
     (serial::save(out, args), ...);
     auto request = std::make_shared<std::vector<std::byte>>(out.take());
 
     const auto wire_bytes = static_cast<std::int64_t>(
         kHeaderBytes + 8 * chain.size() + request->size());
-    const sim::Nanos arrival = fabric_->send_request(caller, target, wire_bytes);
-
     auto state = std::make_shared<detail::FutureState>();
-    execute(target, id, chain, *request, arrival, *state);
+    run_attempts(caller, target, id, chain, *request, wire_bytes, options,
+                 *state);
     return Future<R>(state, this, target);
   }
 
@@ -156,6 +204,13 @@ class Engine {
   R invoke(sim::Actor& caller, sim::NodeId target, FuncId id,
            const Args&... args) {
     return async_invoke<R>(caller, target, id, args...).get(caller);
+  }
+
+  /// invoke with an explicit reliability policy.
+  template <typename R, typename... Args>
+  R invoke_opt(sim::Actor& caller, sim::NodeId target, FuncId id,
+               const InvokeOptions& options, const Args&... args) {
+    return async_invoke_opt<R>(caller, target, id, options, args...).get(caller);
   }
 
   /// Synchronous invocation with a server-side callback chain; returns the
@@ -186,8 +241,10 @@ class Engine {
           arrival, fabric_->model().wire_time(
                        static_cast<std::int64_t>(kHeaderBytes + request->size())));
     }
-    detail::FutureState state;
-    execute(target, id, {}, *request, arrival, state);
+    // Fire-and-forget: the completion (including any failure status) is
+    // dropped, but execute() still contains every exception, so a crashing
+    // replication handler can never unwind into the primary's stub.
+    (void)execute(target, id, {}, *request, arrival);
   }
 
   // ------------------------------------------------------------------
@@ -216,9 +273,121 @@ class Engine {
   static constexpr std::size_t kHeaderBytes = 24;          // id + lens + caller
   static constexpr std::size_t kResponseHeaderBytes = 16;  // status + len
 
-  void execute(sim::NodeId target, FuncId id, const std::vector<FuncId>& chain,
-               const std::vector<std::byte>& request, sim::Nanos arrival,
-               detail::FutureState& state) {
+  /// Outcome of one server-side execution: a well-formed status plus the
+  /// simulated time the response buffer was written. Never an exception.
+  struct Completion {
+    std::vector<std::byte> payload;
+    sim::Nanos ready = 0;
+    Status status = Status::Ok();
+  };
+
+  /// The attempt loop behind every client stub. Exactly one fulfill() on
+  /// `state`, no matter which faults fire: injected drops resolve after a
+  /// timeout, transient statuses retry with exponential backoff in simulated
+  /// time, and everything else surfaces as the completion's status.
+  void run_attempts(sim::Actor& caller, sim::NodeId target, FuncId id,
+                    const std::vector<FuncId>& chain,
+                    const std::vector<std::byte>& request,
+                    std::int64_t wire_bytes, const InvokeOptions& options,
+                    detail::FutureState& state) {
+    fabric::FaultPlan* plan = fabric_->fault_plan();
+    auto& counters = fabric_->nic(target).counters();
+    const int attempts = 1 + std::max(0, options.max_retries);
+    sim::Nanos backoff = std::max<sim::Nanos>(options.backoff_ns, 1);
+    sim::Nanos resend_at = 0;  // 0 = caller's current clock
+
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      const bool last = attempt + 1 == attempts;
+      if (attempt > 0) {
+        counters.rpc_retries.fetch_add(1, std::memory_order_relaxed);
+      }
+      fabric::FaultDecision fault;
+      if (plan != nullptr) fault = plan->next(target, fabric::OpClass::kRpc);
+
+      sim::Nanos issued = 0;
+      sim::Nanos arrival =
+          fabric_->send_request(caller, target, wire_bytes, resend_at, &issued);
+      const sim::Nanos deadline =
+          options.timeout_ns > 0 ? issued + options.timeout_ns : 0;
+
+      if (fault.drop) {
+        // Request lost on the wire: the handler never runs; the client
+        // notices only when its (explicit or lost-request) deadline passes.
+        const sim::Nanos give_up =
+            issued + (options.timeout_ns > 0
+                          ? options.timeout_ns
+                          : fabric_->model().rpc_lost_request_timeout_ns);
+        if (last) {
+          counters.rpc_timeouts.fetch_add(1, std::memory_order_relaxed);
+          state.fulfill({}, give_up,
+                        Status::DeadlineExceeded("request dropped; retries exhausted"));
+          return;
+        }
+        resend_at = give_up + backoff;
+        backoff = grow(backoff, options);
+        continue;
+      }
+      if (fault.unavailable) {
+        // Transient NACK from the target endpoint (no side effects).
+        const sim::Nanos nack = arrival + fabric_->model().net_base_latency_ns;
+        if (last) {
+          state.fulfill({}, nack, Status::Unavailable("injected transient fault"));
+          return;
+        }
+        resend_at = nack + backoff;
+        backoff = grow(backoff, options);
+        continue;
+      }
+      if (fault.duplicate) {
+        // Duplicate delivery (NIC-level retransmission): the handler runs
+        // twice; the client consumes one response. Containers must be
+        // idempotent under this (fault_test proves the contract).
+        (void)execute(target, id, chain, request, arrival);
+      }
+
+      Completion done =
+          execute(target, id, chain, request, arrival, fault.throw_handler);
+      if (fault.delay_ns > 0) done.ready += fault.delay_ns;  // NIC stall
+
+      if (!last && is_retryable(done.status.code())) {
+        resend_at = done.ready + backoff;
+        backoff = grow(backoff, options);
+        continue;
+      }
+      if (deadline > 0 && done.ready > deadline) {
+        // The response exists but landed after the client stopped waiting.
+        // Side effects may have happened — same contract as a real fabric.
+        if (!last) {
+          resend_at = deadline + backoff;
+          backoff = grow(backoff, options);
+          continue;
+        }
+        counters.rpc_timeouts.fetch_add(1, std::memory_order_relaxed);
+        state.fulfill({}, deadline,
+                      Status::DeadlineExceeded("response after deadline"));
+        return;
+      }
+      state.fulfill(std::move(done.payload), done.ready, std::move(done.status));
+      return;
+    }
+  }
+
+  static sim::Nanos grow(sim::Nanos backoff, const InvokeOptions& options) {
+    const double mult =
+        options.backoff_multiplier > 1.0 ? options.backoff_multiplier : 1.0;
+    return static_cast<sim::Nanos>(static_cast<double>(backoff) * mult);
+  }
+
+  /// Run the server stub (plus chain) for one delivered request. Contains
+  /// every failure: a missing handler, a thrown HclError, a foreign
+  /// exception, or a non-exception throw all become a well-formed Status —
+  /// nothing ever unwinds across the stub boundary, so no waiter can be left
+  /// blocked on an unfulfilled future. The dispatch span is accounted as
+  /// NIC-core busy time (Fig. 4a) on EVERY exit, not just success.
+  Completion execute(sim::NodeId target, FuncId id,
+                     const std::vector<FuncId>& chain,
+                     const std::vector<std::byte>& request, sim::Nanos arrival,
+                     bool inject_throw = false) {
     ServerCtx ctx;
     ctx.node = target;
     ctx.fabric = fabric_;
@@ -226,39 +395,51 @@ class Engine {
     ctx.finish = ctx.start;
     const sim::Nanos dispatch_start = ctx.start;
 
+    Completion done;
     RawHandler handler = find(id);
     if (!handler) {
-      state.fulfill({}, ctx.start,
-                    Status::NotFound("no handler bound for id " + std::to_string(id)));
-      return;
-    }
-    std::vector<std::byte> payload;
-    try {
-      payload = handler(ctx, std::span<const std::byte>(request));
-      // Server-side callback chain: each stage consumes the previous
-      // stage's serialized result, on the same NIC core, de-marshal cost
-      // included (charged as one dispatch per stage).
-      for (FuncId next : chain) {
-        RawHandler chained = find(next);
-        if (!chained) {
-          state.fulfill({}, ctx.finish,
-                        Status::NotFound("chained handler missing"));
-          return;
+      done.status =
+          Status::NotFound("no handler bound for id " + std::to_string(id));
+    } else {
+      try {
+        if (inject_throw) {
+          throw std::runtime_error("injected handler fault");
         }
-        ctx.start = fabric_->nic_begin(target, ctx.finish);
-        ctx.finish = ctx.start;
-        payload = chained(ctx, std::span<const std::byte>(payload));
+        done.payload = handler(ctx, std::span<const std::byte>(request));
+        // Server-side callback chain: each stage consumes the previous
+        // stage's serialized result, on the same NIC core, de-marshal cost
+        // included (charged as one dispatch per stage).
+        for (FuncId next : chain) {
+          RawHandler chained = find(next);
+          if (!chained) {
+            done.payload.clear();
+            done.status = Status::NotFound("chained handler missing");
+            break;
+          }
+          ctx.start = fabric_->nic_begin(target, ctx.finish);
+          ctx.finish = ctx.start;
+          done.payload = chained(ctx, std::span<const std::byte>(done.payload));
+        }
+      } catch (const HclError& e) {
+        done.payload.clear();
+        done.status = Status(e.code(), e.what());
+      } catch (const std::exception& e) {
+        done.payload.clear();
+        done.status = Status::Internal(std::string("handler threw: ") + e.what());
+      } catch (...) {
+        done.payload.clear();
+        done.status = Status::Internal("handler threw a non-exception type");
       }
-    } catch (const HclError& e) {
-      state.fulfill({}, ctx.finish, Status(e.code(), e.what()));
-      return;
     }
-    // Account the stub's execution span as NIC-core busy time (Fig. 4a).
+    // Account the stub's execution span as NIC-core busy time (Fig. 4a) on
+    // all exits — error paths charge whatever the handler consumed before
+    // failing, so utilization under failure is not under-reported.
     fabric_->nic(target).counters().handler_busy_ns.fetch_add(
         ctx.finish - dispatch_start, std::memory_order_relaxed);
     fabric_->nic(target).counters().busy.add(dispatch_start,
                                              ctx.finish - dispatch_start);
-    state.fulfill(std::move(payload), ctx.finish, Status::Ok());
+    done.ready = ctx.finish;
+    return done;
   }
 
   RawHandler find(FuncId id) {
@@ -271,6 +452,7 @@ class Engine {
   std::shared_mutex registry_mutex_;
   std::unordered_map<FuncId, RawHandler> registry_;
   std::atomic<FuncId> next_id_{1};
+  InvokeOptions default_options_{};
 };
 
 // ---------------------------------------------------------------------------
@@ -279,6 +461,7 @@ class Engine {
 
 template <typename R>
 R Future<R>::get(sim::Actor& caller) {
+  require_state("Future::get");
   state_->wait();
   engine_->charge_pull(caller, target_, state_->payload.size(),
                        state_->response_ready_ns);
@@ -295,6 +478,7 @@ R Future<R>::get(sim::Actor& caller) {
 
 template <typename R>
 Status Future<R>::wait(sim::Actor& caller) {
+  require_state("Future::wait");
   state_->wait();
   engine_->charge_pull(caller, target_, state_->payload.size(),
                        state_->response_ready_ns);

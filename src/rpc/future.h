@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -90,11 +91,15 @@ class Future {
          sim::NodeId target)
       : state_(std::move(state)), engine_(engine), target_(target) {}
 
+  /// A default-constructed (or moved-from) future has no shared state; every
+  /// accessor below that needs one fails loudly with FailedPrecondition
+  /// instead of dereferencing null. `ready()` is the safe probe: false.
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
   [[nodiscard]] bool ready() const { return state_ && state_->ready(); }
 
   /// Simulated time at which the response became ready (only after done).
   [[nodiscard]] sim::Nanos response_ready_ns() const {
+    require_state("Future::response_ready_ns");
     return state_->response_ready_ns;
   }
 
@@ -109,11 +114,21 @@ class Future {
   /// Client-side chaining: run `fn` when the response is ready (on the NIC
   /// executor thread). For server-side chaining see Engine::invoke_chain.
   void then(std::function<void()> fn) {
+    require_state("Future::then");
     state_->on_complete([f = std::move(fn)](const detail::FutureState&) { f(); });
   }
 
  private:
   friend class Engine;
+
+  void require_state(const char* where) const {
+    if (state_ == nullptr) {
+      throw HclError(Status::FailedPrecondition(
+          std::string(where) + " on a future with no shared state "
+                               "(default-constructed or moved-from)"));
+    }
+  }
+
   std::shared_ptr<detail::FutureState> state_;
   Engine* engine_ = nullptr;
   sim::NodeId target_ = 0;

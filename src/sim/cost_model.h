@@ -50,6 +50,11 @@ struct CostModel {
   // ---- RPC-over-RDMA (HCL's path) ----
   /// Fixed NIC-core cost to de-marshal and dispatch one RPC.
   Nanos nic_rpc_dispatch_ns = 1'000;
+  /// How long a client waits for a response before declaring a request lost
+  /// when the invocation carries no explicit deadline. Only consulted on the
+  /// failure path (a dropped request with timeout_ns == 0 must still resolve
+  /// to a definite status rather than hang); ~100x a healthy round trip.
+  Nanos rpc_lost_request_timeout_ns = 1 * kMillisecond;
   /// Parallel server-stub execution contexts on the NIC (WQE pipelines /
   /// BlueField cores).
   int nic_cores = 32;

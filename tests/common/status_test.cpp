@@ -26,9 +26,28 @@ TEST(Status, EqualityComparesCodeOnly) {
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kFailedPrecondition); ++c) {
     EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
   }
+}
+
+TEST(Status, ErrorProtocolFactories) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("late").to_string(),
+            "DEADLINE_EXCEEDED: late");
+  EXPECT_EQ(Status::FailedPrecondition().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Status, RetryableClassification) {
+  // Only outcomes with no observable side effects may be retried blindly.
+  EXPECT_TRUE(is_retryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(StatusCode::kRetry));
+  EXPECT_FALSE(is_retryable(StatusCode::kOk));
+  EXPECT_FALSE(is_retryable(StatusCode::kInternal));
+  EXPECT_FALSE(is_retryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_retryable(StatusCode::kFailedPrecondition));
 }
 
 TEST(Result, HoldsValue) {

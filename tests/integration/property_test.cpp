@@ -271,6 +271,86 @@ INSTANTIATE_TEST_SUITE_P(
                       TopoCase{3, 5, 7}));
 
 // ---------------------------------------------------------------------------
+// Fault tolerance: under a seeded mix of injected drops, delays, duplicated
+// requests, handler throws, and transient NACKs, every container op must
+// resolve to a definite outcome (success or a well-formed HclError — never a
+// hang, never corruption), and after repairing the reported failures the map
+// is exactly the intended set.
+// ---------------------------------------------------------------------------
+
+class FaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSweep, MapStaysConsistentUnderInjectedFaults) {
+  auto plan = std::make_shared<fabric::FaultPlan>(GetParam());
+  fabric::FaultProbabilities p;
+  p.drop = 0.02;
+  p.delay = 0.05;
+  p.delay_ns = 30 * sim::kMicrosecond;
+  p.throw_handler = 0.02;
+  p.unavailable = 0.03;
+  p.duplicate = 0.02;
+  plan->set(fabric::OpClass::kRpc, p);
+
+  Context::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 4;
+  cfg.model = sim::CostModel::zero();
+  cfg.rpc_options.timeout_ns = 2 * sim::kMillisecond;
+  cfg.rpc_options.max_retries = 4;
+  cfg.fault_plan = plan;
+  Context ctx(cfg);
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx);
+
+  constexpr int kPerRank = 128;
+  const auto ranks = static_cast<std::size_t>(ctx.topology().num_ranks());
+  std::vector<std::vector<std::uint64_t>> failed(ranks);
+
+  ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = static_cast<std::uint64_t>(self.rank()) * kPerRank + i;
+      try {
+        // Retries absorb transient faults; duplicate delivery may make a
+        // landed insert report false (the discarded twin got there first) —
+        // either way the key is in.
+        (void)map.insert(k, k ^ 0xF00D);
+      } catch (const HclError& e) {
+        // What the retry policy cannot absorb must surface as one of the
+        // definite terminal codes — anything else is a protocol bug.
+        ASSERT_TRUE(e.code() == StatusCode::kInternal ||
+                    e.code() == StatusCode::kDeadlineExceeded ||
+                    e.code() == StatusCode::kUnavailable)
+            << "unexpected terminal code: " << e.what();
+        failed[static_cast<std::size_t>(self.rank())].push_back(k);
+      }
+    }
+  });
+
+  // Repair with faults cleared: upsert covers both "never executed" (dropped)
+  // and "executed but reported late" (deadline passed after side effects).
+  ctx.set_fault_plan(nullptr);
+  ctx.run([&](sim::Actor& self) {
+    for (const auto k : failed[static_cast<std::size_t>(self.rank())]) {
+      (void)map.upsert(k, k ^ 0xF00D);
+    }
+  });
+
+  EXPECT_EQ(map.size(), ranks * kPerRank);
+  ctx.run([&](sim::Actor& self) {
+    const int other = (self.rank() + 1) % ctx.topology().num_ranks();
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = static_cast<std::uint64_t>(other) * kPerRank + i;
+      std::uint64_t v = 0;
+      ASSERT_TRUE(map.find(k, &v));
+      EXPECT_EQ(v, k ^ 0xF00D);
+    }
+  });
+  EXPECT_GT(plan->counters().total(), 0) << "fault plan never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultSweep,
+                         ::testing::Values(101u, 202u, 303u));
+
+// ---------------------------------------------------------------------------
 // Cost-model monotonicity: with the Ares model, simulated time must grow
 // with payload size for every remote container op.
 // ---------------------------------------------------------------------------
