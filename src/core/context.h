@@ -143,6 +143,10 @@ struct ContainerOptions {
   mem::SyncMode sync_mode = mem::SyncMode::kPerOp;
   /// Initial bucket count per partition (the paper's default is 128).
   std::size_t initial_buckets = 128;
+  /// Flush policy for the bulk (coalesced) APIs — insert_batch/find_batch/
+  /// erase_batch/push_batch. Oversized batches are chunked automatically:
+  /// each per-destination bundle ships when this policy trips.
+  rpc::BatchPolicy batch{};
 };
 
 /// Helpers shared by container implementations.

@@ -15,6 +15,7 @@
 #include "core/context.h"
 #include "core/persist_log.h"
 #include "lf/ms_queue.h"
+#include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
 
@@ -74,6 +75,46 @@ class queue {
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
     return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_, values);
+  }
+
+  /// Coalesced bulk push: elements ship as per-op invocations bundled under
+  /// `options.batch` (one RDMA_SEND per tripped bundle), each journaled as
+  /// its own per-op record — unlike the vector-payload push() above, a fault
+  /// mid-bundle fails only the elements it touched. With `statuses` non-null
+  /// per-element Statuses are recorded and nothing throws; otherwise the
+  /// first failure throws HclError. results[i] is push(values[i]).
+  std::vector<bool> push_batch(const std::vector<T>& values,
+                               std::vector<Status>* statuses = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    std::vector<bool> results(values.size(), false);
+    if (statuses != nullptr) statuses->assign(values.size(), Status::Ok());
+    if (node_ == self.node()) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        charge_local(self, bytes_of(values[i]), /*write=*/true);
+        apply_push(values[i]);
+        results[i] = true;
+      }
+      return results;
+    }
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<rpc::Future<bool>> remote;
+    remote.reserve(values.size());
+    for (const auto& v : values) {
+      remote.push_back(batcher.enqueue<bool>(self, node_, push_id_, v));
+    }
+    batcher.flush_all(self);
+    ctx_->op_stats().remote_invocations.fetch_add(batcher.flushes(),
+                                                  std::memory_order_relaxed);
+    for (std::size_t i = 0; i < remote.size(); ++i) {
+      try {
+        results[i] = remote[i].get(self);
+      } catch (const HclError& e) {
+        if (statuses == nullptr) throw;
+        (*statuses)[i] = Status(e.code(), e.what());
+      }
+    }
+    return results;
   }
 
   /// Pop one element; false when the queue is empty.
@@ -162,14 +203,18 @@ class queue {
     auto& stats = ctx_->op_stats();
     stats.local_ops.fetch_add(1, std::memory_order_relaxed);
     const auto& m = ctx_->model();
+    // Table I's bulk shape F + L + E·W: inside a coalesced bundle only the
+    // first constituent pays the structure-op base term.
     if (write) {
       stats.local_writes.fetch_add(elements, std::memory_order_relaxed);
-      sctx.finish = ctx_->fabric().local_write(
-          sctx.node, sctx.start + m.mem_insert_base_ns, bytes);
+      const sim::Nanos base = sctx.batch_index == 0 ? m.mem_insert_base_ns : 0;
+      sctx.finish =
+          ctx_->fabric().local_write(sctx.node, sctx.start + base, bytes);
     } else {
       stats.local_reads.fetch_add(elements, std::memory_order_relaxed);
-      sctx.finish = ctx_->fabric().local_read(
-          sctx.node, sctx.start + m.mem_find_base_ns, bytes);
+      const sim::Nanos base = sctx.batch_index == 0 ? m.mem_find_base_ns : 0;
+      sctx.finish =
+          ctx_->fabric().local_read(sctx.node, sctx.start + base, bytes);
     }
     return sctx.finish;
   }

@@ -31,6 +31,7 @@
 #include "core/context.h"
 #include "core/persist_log.h"
 #include "lf/cuckoo_map.h"
+#include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
 
@@ -164,6 +165,104 @@ class unordered_map {
     return ctx_->rpc().template invoke<bool>(self, part.node, resize_id_,
                                              partition_id,
                                              static_cast<std::uint64_t>(new_buckets));
+  }
+
+  // ------------------------------------------------------------------
+  // Bulk API (op coalescing, Table I's bulk rows): ops are grouped per
+  // destination partition node and ship as bundled invocations under
+  // `options.batch`; co-located ops take the hybrid shared-memory path
+  // inline. Element order is preserved per destination, so duplicate keys
+  // observe each other in argument order, exactly like the scalar loop.
+  //
+  // Failure semantics: with `statuses == nullptr` the first failed op
+  // throws HclError (scalar semantics). With a `statuses` vector, every
+  // op's own Status is recorded — a fault mid-bundle fails only the ops it
+  // touched (the result slot of a failed op keeps its default) — and
+  // nothing throws.
+  // ------------------------------------------------------------------
+
+  /// Bulk insert; results[i] is insert(keys[i], values[i]).
+  std::vector<bool> insert_batch(const std::vector<K>& keys,
+                                 const std::vector<V>& values,
+                                 std::vector<Status>* statuses = nullptr) {
+    if (keys.size() != values.size()) {
+      throw HclError(
+          Status::InvalidArgument("insert_batch: keys/values size mismatch"));
+    }
+    sim::Actor& self = sim::this_actor();
+    std::vector<bool> results(keys.size(), false);
+    if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<std::pair<std::size_t, rpc::Future<bool>>> remote;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int p = partition_of(keys[i]);
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (part.node == self.node()) {
+        charge_local_write(self, part, wire_bytes(keys[i], values[i]));
+        const bool ok = apply_insert(part, keys[i], values[i], self.now());
+        if (ok) replicate_upsert(p, self.now(), keys[i], values[i]);
+        results[i] = ok;
+      } else {
+        remote.emplace_back(i, batcher.enqueue<bool>(self, part.node, insert_id_,
+                                                     p, keys[i], values[i]));
+      }
+    }
+    settle(batcher, self, remote, results, statuses);
+    return results;
+  }
+
+  /// Bulk lookup; results[i] is the value found for keys[i], if any.
+  std::vector<std::optional<V>> find_batch(const std::vector<K>& keys,
+                                           std::vector<Status>* statuses = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    std::vector<std::optional<V>> results(keys.size());
+    if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<std::pair<std::size_t, rpc::Future<std::optional<V>>>> remote;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int p = partition_of(keys[i]);
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (part.node == self.node()) {
+        V tmp{};
+        const bool hit = part.map.find(keys[i], &tmp);
+        charge_local_read(self, part,
+                          hit ? wire_bytes(keys[i], tmp) : key_bytes(keys[i]));
+        if (hit) results[i] = std::move(tmp);
+      } else {
+        remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
+                                   self, part.node, find_id_, p, keys[i]));
+      }
+    }
+    settle(batcher, self, remote, results, statuses);
+    return results;
+  }
+
+  /// Bulk erase; results[i] is erase(keys[i]).
+  std::vector<bool> erase_batch(const std::vector<K>& keys,
+                                std::vector<Status>* statuses = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    std::vector<bool> results(keys.size(), false);
+    if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<std::pair<std::size_t, rpc::Future<bool>>> remote;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int p = partition_of(keys[i]);
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (part.node == self.node()) {
+        charge_local_write(self, part, key_bytes(keys[i]));
+        const bool ok = apply_erase(part, keys[i]);
+        replicate_erase(p, self.now(), keys[i]);
+        results[i] = ok;
+      } else {
+        remote.emplace_back(
+            i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
+      }
+    }
+    settle(batcher, self, remote, results, statuses);
+    return results;
   }
 
   // ------------------------------------------------------------------
@@ -354,19 +453,44 @@ class unordered_map {
   }
 
   /// Server-stub charging (runs on the NIC core; advances ctx.finish).
+  /// Inside a coalesced bundle only the first constituent pays the
+  /// structure-op base term — Table I's bulk shape F + L + E·W: one L
+  /// (setup, hash tables warm in cache), then per-element byte costs.
   sim::Nanos charge_server_write(rpc::ServerCtx& sctx, std::int64_t bytes) {
     ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
     ctx_->op_stats().local_writes.fetch_add(1, std::memory_order_relaxed);
-    sctx.finish = ctx_->fabric().local_write(
-        sctx.node, sctx.start + ctx_->model().mem_insert_base_ns, bytes);
+    const sim::Nanos base =
+        sctx.batch_index == 0 ? ctx_->model().mem_insert_base_ns : 0;
+    sctx.finish = ctx_->fabric().local_write(sctx.node, sctx.start + base, bytes);
     return sctx.finish;
   }
   sim::Nanos charge_server_read(rpc::ServerCtx& sctx, std::int64_t bytes) {
     ctx_->op_stats().local_ops.fetch_add(1, std::memory_order_relaxed);
     ctx_->op_stats().local_reads.fetch_add(1, std::memory_order_relaxed);
-    sctx.finish = ctx_->fabric().local_read(
-        sctx.node, sctx.start + ctx_->model().mem_find_base_ns, bytes);
+    const sim::Nanos base =
+        sctx.batch_index == 0 ? ctx_->model().mem_find_base_ns : 0;
+    sctx.finish = ctx_->fabric().local_read(sctx.node, sctx.start + base, bytes);
     return sctx.finish;
+  }
+
+  /// Flush a bulk call's batcher and fan its per-op outcomes back into the
+  /// caller's result slots. One bundle = one remote invocation (Table I: F
+  /// is paid once per bundle, not once per element).
+  template <typename R, typename Results>
+  void settle(rpc::Batcher& batcher, sim::Actor& self,
+              std::vector<std::pair<std::size_t, rpc::Future<R>>>& remote,
+              Results& results, std::vector<Status>* statuses) {
+    batcher.flush_all(self);
+    ctx_->op_stats().remote_invocations.fetch_add(batcher.flushes(),
+                                                  std::memory_order_relaxed);
+    for (auto& [i, future] : remote) {
+      try {
+        results[i] = future.get(self);
+      } catch (const HclError& e) {
+        if (statuses == nullptr) throw;
+        (*statuses)[i] = Status(e.code(), e.what());
+      }
+    }
   }
 
   // ---- real structure mutation + journal ----------------------------

@@ -32,6 +32,11 @@ struct NicCounters {
   std::atomic<std::int64_t> rpc_retries{0};
   /// Invocations that ultimately resolved DeadlineExceeded against this NIC.
   std::atomic<std::int64_t> rpc_timeouts{0};
+  /// Coalesced bundles executed by this NIC's batch executor, and the
+  /// constituent ops they carried (rpc_batched_ops / rpc_batches = mean
+  /// bundle size; Table I's E).
+  std::atomic<std::int64_t> rpc_batches{0};
+  std::atomic<std::int64_t> rpc_batched_ops{0};
   /// Server-stub execution time on the NIC cores (handler simulated spans).
   std::atomic<std::int64_t> handler_busy_ns{0};
   std::atomic<std::int64_t> atomic_count{0};
@@ -53,6 +58,8 @@ struct NicCounters {
     rpc_count.store(0);
     rpc_retries.store(0);
     rpc_timeouts.store(0);
+    rpc_batches.store(0);
+    rpc_batched_ops.store(0);
     handler_busy_ns.store(0);
     atomic_count.store(0);
     read_count.store(0);

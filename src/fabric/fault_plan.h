@@ -39,8 +39,9 @@ enum class OpClass : std::uint8_t {
   kRpc = 0,       // RoR request path (send_request -> handler -> response)
   kOneSided = 1,  // put/get verbs
   kAtomic = 2,    // remote CAS/FAA
+  kBatchOp = 3,   // one constituent op inside a delivered RPC batch bundle
 };
-inline constexpr std::size_t kNumOpClasses = 3;
+inline constexpr std::size_t kNumOpClasses = 4;
 
 /// Kinds of injectable faults.
 enum class FaultKind : std::uint8_t {

@@ -72,21 +72,61 @@ struct InvokeOptions {
   double backoff_multiplier = 2.0;
 };
 
+/// Flush policy for the client-side op coalescer (rpc::Batcher and the
+/// containers' bulk APIs). A per-destination pending bundle ships as ONE
+/// RDMA_SEND as soon as ANY threshold trips: op count, queued payload bytes,
+/// or a simulated-time linger window measured from the bundle's first
+/// enqueue (checked on enqueue/poll — there is no background flusher thread,
+/// matching the paper's client-driven RoR pipeline).
+struct BatchPolicy {
+  /// Flush when this many ops are pending for one destination.
+  std::size_t max_ops = 32;
+  /// Flush when the pending serialized payload reaches this many bytes.
+  std::size_t max_bytes = 32 << 10;
+  /// Flush when the oldest pending op has lingered this long in simulated
+  /// time. 0 disables the time trigger (count/bytes/explicit flush only).
+  sim::Nanos max_delay_ns = 10 * sim::kMicrosecond;
+};
+
 /// Execution context handed to every server stub.
 struct ServerCtx {
   sim::NodeId node = 0;     // node the stub runs on
   sim::Nanos start = 0;     // simulated time the stub begins executing
   sim::Nanos finish = 0;    // handler sets this to its simulated completion
   fabric::Fabric* fabric = nullptr;  // for charging local structure costs
+  /// Position of this op inside a coalesced bundle; 0 for scalar invocations
+  /// and for a bundle's first constituent. Handlers charging structure costs
+  /// use it to amortize the per-op base term across a bundle (Table I's bulk
+  /// shape F + L + E·W: one L, then per-element byte costs).
+  std::uint32_t batch_index = 0;
 };
 
 /// Type-erased server stub: (ctx, request payload) -> response payload.
 using RawHandler =
     std::function<std::vector<std::byte>(ServerCtx&, std::span<const std::byte>)>;
 
+namespace detail {
+
+/// One coalesced-but-unsent op: its registry id, its serialized argument
+/// payload, and the future state the eventual per-op status fans out to.
+struct PendingOp {
+  FuncId id = 0;
+  std::vector<std::byte> request;
+  std::shared_ptr<FutureState> state;
+};
+
+}  // namespace detail
+
 class Engine {
  public:
-  explicit Engine(fabric::Fabric& fabric) : fabric_(&fabric) {}
+  explicit Engine(fabric::Fabric& fabric) : fabric_(&fabric) {
+    // The batch executor is a built-in stub: one delivered bundle runs its
+    // constituent ops back-to-back on the NIC core that dispatched it.
+    batch_exec_id_ = bind_raw(
+        [this](ServerCtx& ctx, std::span<const std::byte> request) {
+          return run_batch(ctx, request);
+        });
+  }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -222,6 +262,96 @@ class Engine {
         .get(caller);
   }
 
+  // ------------------------------------------------------------------
+  // Batched invocation (op coalescing): used by rpc::Batcher and the
+  // containers' bulk APIs.
+  // ------------------------------------------------------------------
+
+  /// Ship `ops` to `target` as ONE bundled RDMA_SEND, execute them
+  /// back-to-back on a single NIC-core dispatch, and fan the packed response
+  /// out to every constituent's future. Failure semantics:
+  ///   * batch-level transport faults (drop, NACK, deadline) go through the
+  ///     normal retry policy in `options`; what survives resolves EVERY
+  ///     constituent with that status,
+  ///   * per-op faults (OpClass::kBatchOp draws) and handler failures
+  ///     resolve only the op they touch — the rest of the bundle completes.
+  /// All constituent futures share one BatchPull, so awaiting them charges
+  /// exactly one response pull. A single-op bundle degenerates to a plain
+  /// scalar invocation (no bundle framing, no sub-dispatch charge).
+  void send_batch(sim::Actor& caller, sim::NodeId target,
+                  std::vector<detail::PendingOp> ops,
+                  const InvokeOptions& options) {
+    if (ops.empty()) return;
+    if (ops.size() == 1) {
+      auto& op = ops.front();
+      const auto wire =
+          static_cast<std::int64_t>(kHeaderBytes + op.request.size());
+      run_attempts(caller, target, op.id, {}, op.request, wire, options,
+                   *op.state);
+      return;
+    }
+    serial::OutArchive bundle;
+    bundle.u64(ops.size());
+    for (const auto& op : ops) {
+      bundle.u64(op.id);
+      bundle.u64(op.request.size());
+      bundle.raw_bytes(op.request.data(), op.request.size());
+    }
+    const std::vector<std::byte> request = bundle.take();
+    const auto wire_bytes =
+        static_cast<std::int64_t>(kHeaderBytes + request.size());
+
+    // The parent future carries the whole bundle through the ordinary
+    // attempt loop (retry/backoff/deadline included); run_attempts always
+    // fulfills it synchronously because handlers execute inline.
+    detail::FutureState parent;
+    run_attempts(caller, target, batch_exec_id_, {}, request, wire_bytes,
+                 options, parent);
+
+    auto pull = std::make_shared<detail::BatchPull>();
+    pull->total_bytes = parent.payload.size();
+    pull->ready = parent.response_ready_ns;
+    if (!parent.status.ok()) {
+      // Whole-bundle transport failure: every constituent gets the parent's
+      // status (no response to unpack, so the shared pull is empty).
+      for (auto& op : ops) {
+        op.state->batch_pull = pull;
+        op.state->fulfill({}, parent.response_ready_ns, parent.status);
+      }
+      return;
+    }
+    serial::InArchive in{std::span<const std::byte>(parent.payload)};
+    std::size_t next = 0;
+    try {
+      for (; next < ops.size(); ++next) {
+        const auto code = static_cast<StatusCode>(in.u64());
+        std::string message;
+        serial::load(in, message);
+        const sim::Nanos op_ready = in.i64();
+        const std::uint64_t len = in.u64();
+        std::vector<std::byte> payload(len);
+        if (len > 0) in.raw_bytes(payload.data(), len);
+        ops[next].state->batch_pull = pull;
+        ops[next].state->fulfill(std::move(payload), op_ready,
+                                 Status(code, std::move(message)));
+      }
+    } catch (const std::exception& e) {
+      // A torn packed response must still resolve every remaining future.
+      for (; next < ops.size(); ++next) {
+        ops[next].state->batch_pull = pull;
+        ops[next].state->fulfill(
+            {}, parent.response_ready_ns,
+            Status::Internal(std::string("malformed batch response: ") +
+                             e.what()));
+      }
+    }
+  }
+
+  /// Registry id of the built-in batch executor (diagnostics/tests).
+  [[nodiscard]] FuncId batch_executor_id() const noexcept {
+    return batch_exec_id_;
+  }
+
   /// Server-side fire-and-forget re-invocation (asynchronous replication,
   /// §III.A.4: "the target process will further hash an operation to more
   /// servers"). No actor clock is touched — replication is off the caller's
@@ -258,6 +388,24 @@ class Engine {
     fabric_->pull_response(caller, target,
                            static_cast<std::int64_t>(bytes + kResponseHeaderBytes),
                            ready);
+  }
+
+  /// Charge the ONE pull of a packed batch response, shared by every
+  /// constituent future. First awaiter pays the RDMA_READ; later awaiters
+  /// only advance to its completion (the bytes are already client-side).
+  void charge_batch_pull(sim::Actor& caller, sim::NodeId target,
+                         detail::BatchPull& pull) {
+    std::lock_guard<std::mutex> guard(pull.mutex);
+    if (!pull.charged) {
+      fabric_->pull_response(
+          caller, target,
+          static_cast<std::int64_t>(pull.total_bytes + kResponseHeaderBytes),
+          pull.ready);
+      pull.charged = true;
+      pull.completion = caller.now();
+      return;
+    }
+    caller.advance_to(pull.completion);
   }
 
   /// Total RPCs that crossed the wire (for Table I accounting).
@@ -442,6 +590,95 @@ class Engine {
     return done;
   }
 
+  /// Server-side batch executor (the stub behind batch_exec_id_). Walks the
+  /// packed bundle on the NIC core that dispatched it: each constituent pays
+  /// a reduced sub-dispatch pickup (nic_batch_op_ns, not a fresh WQE
+  /// dispatch), draws its own OpClass::kBatchOp fault, and is contained
+  /// exactly like a scalar stub — one op's crash, drop, or NACK poisons only
+  /// its own slot in the packed response. The enclosing execute() accounts
+  /// the whole span as NIC-core busy time via ctx.finish.
+  std::vector<std::byte> run_batch(ServerCtx& ctx,
+                                   std::span<const std::byte> request) {
+    serial::InArchive in(request);
+    const std::uint64_t count = in.u64();
+    fabric::FaultPlan* plan = fabric_->fault_plan();
+    auto& counters = fabric_->nic(ctx.node).counters();
+    counters.rpc_batches.fetch_add(1, std::memory_order_relaxed);
+    counters.rpc_batched_ops.fetch_add(static_cast<std::int64_t>(count),
+                                       std::memory_order_relaxed);
+    const sim::Nanos pickup = fabric_->model().nic_batch_op_ns;
+
+    serial::OutArchive out;
+    sim::Nanos cursor = ctx.start;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const FuncId id = in.u64();
+      const std::uint64_t len = in.u64();
+      std::vector<std::byte> payload(len);
+      if (len > 0) in.raw_bytes(payload.data(), len);
+      const std::span<const std::byte> arg(payload);
+
+      fabric::FaultDecision fault;
+      if (plan != nullptr) fault = plan->next(ctx.node, fabric::OpClass::kBatchOp);
+
+      Status st = Status::Ok();
+      std::vector<std::byte> result;
+      sim::Nanos op_finish = cursor + pickup;
+      if (fault.drop) {
+        // The work item fell off the bundle's queue: the op never ran, no
+        // side effects, and only THIS slot reports the loss.
+        st = Status::Unavailable("batched op dropped from the bundle");
+      } else if (fault.unavailable) {
+        st = Status::Unavailable("injected transient fault (batched op)");
+      } else {
+        RawHandler handler = find(id);
+        if (!handler) {
+          st = Status::NotFound("no handler bound for id " + std::to_string(id));
+        } else {
+          ServerCtx op_ctx;
+          op_ctx.node = ctx.node;
+          op_ctx.fabric = ctx.fabric;
+          op_ctx.batch_index = static_cast<std::uint32_t>(i);
+          op_ctx.start = cursor + pickup;
+          op_ctx.finish = op_ctx.start;
+          try {
+            if (fault.throw_handler) {
+              throw std::runtime_error("injected handler fault (batched op)");
+            }
+            if (fault.duplicate) {
+              // Duplicate delivery inside the bundle: the handler runs
+              // twice; one result is kept (idempotence contract, as scalar).
+              ServerCtx twin = op_ctx;
+              (void)handler(twin, arg);
+              op_ctx.start = std::max(op_ctx.start, twin.finish);
+              op_ctx.finish = op_ctx.start;
+            }
+            result = handler(op_ctx, arg);
+          } catch (const HclError& e) {
+            result.clear();
+            st = Status(e.code(), e.what());
+          } catch (const std::exception& e) {
+            result.clear();
+            st = Status::Internal(std::string("handler threw: ") + e.what());
+          } catch (...) {
+            result.clear();
+            st = Status::Internal("handler threw a non-exception type");
+          }
+          op_finish = std::max(op_ctx.finish, op_finish);
+        }
+      }
+      op_finish += fault.delay_ns;
+      cursor = op_finish;
+
+      out.u64(static_cast<std::uint64_t>(st.code()));
+      serial::save(out, st.message());
+      out.i64(op_finish);
+      out.u64(result.size());
+      if (!result.empty()) out.raw_bytes(result.data(), result.size());
+    }
+    ctx.finish = std::max(ctx.finish, cursor);
+    return out.take();
+  }
+
   RawHandler find(FuncId id) {
     std::shared_lock lock(registry_mutex_);
     auto it = registry_.find(id);
@@ -453,6 +690,7 @@ class Engine {
   std::unordered_map<FuncId, RawHandler> registry_;
   std::atomic<FuncId> next_id_{1};
   InvokeOptions default_options_{};
+  FuncId batch_exec_id_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -463,8 +701,12 @@ template <typename R>
 R Future<R>::get(sim::Actor& caller) {
   require_state("Future::get");
   state_->wait();
-  engine_->charge_pull(caller, target_, state_->payload.size(),
-                       state_->response_ready_ns);
+  if (state_->batch_pull != nullptr) {
+    engine_->charge_batch_pull(caller, target_, *state_->batch_pull);
+  } else {
+    engine_->charge_pull(caller, target_, state_->payload.size(),
+                         state_->response_ready_ns);
+  }
   throw_if_error(state_->status);
   if constexpr (std::is_void_v<R>) {
     return;
@@ -480,8 +722,12 @@ template <typename R>
 Status Future<R>::wait(sim::Actor& caller) {
   require_state("Future::wait");
   state_->wait();
-  engine_->charge_pull(caller, target_, state_->payload.size(),
-                       state_->response_ready_ns);
+  if (state_->batch_pull != nullptr) {
+    engine_->charge_batch_pull(caller, target_, *state_->batch_pull);
+  } else {
+    engine_->charge_pull(caller, target_, state_->payload.size(),
+                         state_->response_ready_ns);
+  }
   return state_->status;
 }
 

@@ -28,6 +28,19 @@ namespace hcl::rpc {
 
 namespace detail {
 
+/// Shared client-side pull accounting for one *packed batch response*: the
+/// first constituent future that is awaited charges ONE RDMA_READ of the
+/// whole packed buffer; every later await merely advances the caller's clock
+/// to that pull's completion. Without this, awaiting N coalesced ops would
+/// re-pay N wire overheads and erase the batching win.
+struct BatchPull {
+  std::mutex mutex;
+  bool charged = false;
+  sim::Nanos completion = 0;     // caller-side availability after the pull
+  sim::Nanos ready = 0;          // when the packed response buffer was written
+  std::size_t total_bytes = 0;   // packed response size (all constituents)
+};
+
 /// Type-erased completion state shared between the NIC executor (producer)
 /// and the client (consumer).
 struct FutureState {
@@ -37,6 +50,10 @@ struct FutureState {
   std::vector<std::byte> payload;     // serialized response
   sim::Nanos response_ready_ns = 0;   // when the response buffer was written
   Status status = Status::Ok();       // handler-level failure
+  /// Non-null when this future is one constituent of a coalesced batch: all
+  /// siblings share one BatchPull so the packed response crosses the wire
+  /// once. Set by Engine::send_batch before fulfill() publishes the state.
+  std::shared_ptr<BatchPull> batch_pull;
   std::vector<std::function<void(const FutureState&)>> continuations;
 
   void fulfill(std::vector<std::byte> bytes, sim::Nanos ready, Status st) {

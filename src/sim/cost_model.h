@@ -58,6 +58,11 @@ struct CostModel {
   /// Parallel server-stub execution contexts on the NIC (WQE pipelines /
   /// BlueField cores).
   int nic_cores = 32;
+  /// Per-constituent-op pickup cost inside an already-dispatched batch
+  /// bundle: the batch executor walks the packed ops on the same NIC core,
+  /// so each op skips the full WQE de-marshal/dispatch and pays only this
+  /// (the amortization Table I's bulk rows and ablation A6 measure).
+  Nanos nic_batch_op_ns = 150;
 
   // ---- Node memory system (local/hybrid path) ----
   /// Base cost of one local *mutating* structure op (hash, probe, cuckoo
@@ -124,6 +129,7 @@ struct CostModel {
     m.wire_overhead_ns = 0;
     m.nic_atomic_service_ns = 0;
     m.nic_rpc_dispatch_ns = 0;
+    m.nic_batch_op_ns = 0;
     m.mem_insert_base_ns = 0;
     m.mem_find_base_ns = 0;
     m.mem_level_ns = 0;

@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace hcl {
 namespace {
@@ -167,6 +169,71 @@ TEST(Queue, PersistenceRecoversPendingElements) {
       int v;
       ASSERT_TRUE(q.pop(&v));
       EXPECT_EQ(v, 2);  // FIFO position preserved across restart
+    });
+  }
+  std::filesystem::remove(path + ".q0");
+}
+
+// push_batch journals one kPush record per element (not one per bundle), so
+// replay rebuilds the queue independently of how pushes were coalesced — and
+// a constituent dropped mid-bundle by the fault plan never executed, so it
+// is absent from the recovered FIFO while its siblings keep their order.
+TEST(Queue, PersistenceRecoversBatchedPushes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hcl_queue_batch_persist").string();
+  std::filesystem::remove(path + ".q0");
+  constexpr int kTotal = 12;
+  std::vector<int> surviving;
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.first_node = 1;  // rank 0 pushes remotely, through the coalescer
+    options.batch.max_ops = 4;
+    options.batch.max_delay_ns = 0;
+    queue<int> q(ctx, options);
+
+    auto plan = std::make_shared<fabric::FaultPlan>(13);
+    plan->trigger_at(1, fabric::OpClass::kBatchOp, 3, fabric::FaultKind::kDrop);
+    ctx.set_fault_plan(plan);
+
+    ctx.run_one(0, [&](Actor&) {
+      std::vector<int> values;
+      for (int i = 0; i < kTotal; ++i) values.push_back(100 + i);
+      std::vector<Status> statuses;
+      const auto ok = q.push_batch(values, &statuses);
+      for (int i = 0; i < kTotal; ++i) {
+        if (statuses[static_cast<std::size_t>(i)].ok()) {
+          EXPECT_TRUE(ok[static_cast<std::size_t>(i)]);
+          surviving.push_back(values[static_cast<std::size_t>(i)]);
+        }
+      }
+    });
+    ASSERT_EQ(surviving.size(), kTotal - 1u);  // exactly one dropped
+
+    ctx.set_fault_plan(nullptr);
+    ctx.run_one(0, [&](Actor&) {
+      int v;
+      ASSERT_TRUE(q.pop(&v));
+      EXPECT_EQ(v, surviving[0]);
+      ASSERT_TRUE(q.pop(&v));
+      EXPECT_EQ(v, surviving[1]);
+    });
+  }  // "crash"
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.first_node = 1;
+    queue<int> q(ctx, options);
+    EXPECT_EQ(q.size(), surviving.size() - 2);
+    ctx.run_one(0, [&](Actor&) {
+      int v;
+      for (std::size_t i = 2; i < surviving.size(); ++i) {
+        ASSERT_TRUE(q.pop(&v));
+        EXPECT_EQ(v, surviving[i]);  // FIFO preserved across restart
+      }
+      EXPECT_FALSE(q.pop(&v));
     });
   }
   std::filesystem::remove(path + ".q0");

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace hcl {
 namespace {
@@ -268,6 +270,86 @@ TEST(UnorderedMap, PersistenceRecoversAfterRestart) {
       EXPECT_EQ(v, "updated");
       ASSERT_TRUE(map.find(42, &v));
       EXPECT_EQ(v, "v42");
+    });
+  }
+  for (int p = 0; p < 8; ++p) std::filesystem::remove(path + ".p" + std::to_string(p));
+}
+
+// Coalesced bulk ops journal one per-op record each (not one record per
+// bundle), so recovery is independent of how ops were batched on the wire —
+// including bundles where an injected fault dropped a constituent: the
+// dropped op never executed, so it must be absent after replay.
+TEST(UnorderedMap, PersistenceRecoversAfterBatchedInserts) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hcl_umap_batch_persist").string();
+  for (int p = 0; p < 8; ++p) std::filesystem::remove(path + ".p" + std::to_string(p));
+  constexpr int kKeys = 60;
+  std::vector<int> dropped, erased;
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.batch.max_ops = 8;
+    options.batch.max_delay_ns = 0;
+    unordered_map<int, std::string> map(ctx, options);
+
+    // Drop the 3rd constituent of the first bundle delivered to node 1.
+    auto plan = std::make_shared<fabric::FaultPlan>(11);
+    plan->trigger_at(1, fabric::OpClass::kBatchOp, 2, fabric::FaultKind::kDrop);
+    ctx.set_fault_plan(plan);
+
+    ctx.run_one(0, [&](Actor&) {
+      std::vector<int> keys;
+      std::vector<std::string> values;
+      for (int i = 0; i < kKeys; ++i) {
+        keys.push_back(i);
+        values.push_back("v" + std::to_string(i));
+      }
+      std::vector<Status> statuses;
+      const auto ok = map.insert_batch(keys, values, &statuses);
+      for (int i = 0; i < kKeys; ++i) {
+        if (!statuses[static_cast<std::size_t>(i)].ok()) {
+          dropped.push_back(i);
+        } else {
+          EXPECT_TRUE(ok[static_cast<std::size_t>(i)]);
+        }
+      }
+    });
+    ASSERT_EQ(dropped.size(), 1u);  // exactly the triggered constituent
+
+    ctx.set_fault_plan(nullptr);
+    ctx.run_one(0, [&](Actor&) {
+      std::vector<int> evens;
+      for (int i = 0; i < kKeys; i += 6) evens.push_back(i);
+      const auto ok = map.erase_batch(evens);
+      for (std::size_t i = 0; i < evens.size(); ++i) {
+        if (ok[i]) erased.push_back(evens[i]);
+      }
+    });
+  }  // "crash"
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    unordered_map<int, std::string> map(ctx, options);
+    std::vector<bool> gone(kKeys, false);
+    for (const int k : dropped) gone[static_cast<std::size_t>(k)] = true;
+    for (const int k : erased) gone[static_cast<std::size_t>(k)] = true;
+    std::size_t expected = 0;
+    for (int i = 0; i < kKeys; ++i) {
+      if (!gone[static_cast<std::size_t>(i)]) ++expected;
+    }
+    EXPECT_EQ(map.size(), expected);
+    ctx.run_one(0, [&](Actor&) {
+      for (int i = 0; i < kKeys; ++i) {
+        std::string v;
+        if (gone[static_cast<std::size_t>(i)]) {
+          EXPECT_FALSE(map.find(i, &v)) << "key " << i;
+        } else {
+          ASSERT_TRUE(map.find(i, &v)) << "key " << i;
+          EXPECT_EQ(v, "v" + std::to_string(i));
+        }
+      }
     });
   }
   for (int p = 0; p < 8; ++p) std::filesystem::remove(path + ".p" + std::to_string(p));

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -349,6 +350,339 @@ TEST_P(FaultSweep, MapStaysConsistentUnderInjectedFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FaultSweep,
                          ::testing::Values(101u, 202u, 303u));
+
+// ---------------------------------------------------------------------------
+// Batched-vs-scalar equivalence: the same seeded op stream applied through
+// the coalesced bulk APIs (insert_batch/find_batch/erase_batch, push_batch)
+// and one-at-a-time must produce identical per-op results and identical
+// final state, for every topology shape / partition count / flush policy.
+// Coalescing is a transport optimization — it must never be observable.
+// ---------------------------------------------------------------------------
+
+struct BatchEquivCase {
+  int nodes;
+  int procs;
+  int partitions;       // -1 = default (one per node)
+  std::size_t max_ops;  // bundle flush threshold under test
+  std::uint64_t seed;
+};
+
+class BatchedScalarEquivalence : public ::testing::TestWithParam<BatchEquivCase> {};
+
+TEST_P(BatchedScalarEquivalence, MapBulkOpsMatchScalarOps) {
+  const auto& param = GetParam();
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  Context scalar_ctx(cfg);
+  Context batched_ctx(cfg);
+
+  core::ContainerOptions scalar_opts;
+  scalar_opts.num_partitions = param.partitions;
+  core::ContainerOptions batched_opts = scalar_opts;
+  batched_opts.batch.max_ops = param.max_ops;
+  batched_opts.batch.max_bytes = 1 << 20;
+  batched_opts.batch.max_delay_ns = 0;
+  unordered_map<std::uint64_t, std::uint64_t> scalar_map(scalar_ctx, scalar_opts);
+  unordered_map<std::uint64_t, std::uint64_t> batched_map(batched_ctx, batched_opts);
+
+  constexpr int kPerRank = 96;
+  const auto ranks = static_cast<std::size_t>(scalar_ctx.topology().num_ranks());
+  const std::uint64_t seed = param.seed;
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank + static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [seed](std::uint64_t k) { return k * 0x9E3779B97F4A7C15ULL + seed; };
+
+  // Phase 1+2: fresh inserts (all land), then duplicate inserts (all reject).
+  std::vector<std::vector<bool>> scalar_ins(ranks), batched_ins(ranks);
+  std::vector<std::vector<bool>> scalar_dup(ranks), batched_dup(ranks);
+  scalar_ctx.run([&](sim::Actor& self) {
+    auto& ins = scalar_ins[static_cast<std::size_t>(self.rank())];
+    auto& dup = scalar_dup[static_cast<std::size_t>(self.rank())];
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = key_of(self.rank(), i);
+      ins.push_back(scalar_map.insert(k, val_of(k)));
+    }
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = key_of(self.rank(), i);
+      dup.push_back(scalar_map.insert(k, val_of(k) + 1));
+    }
+  });
+  batched_ctx.run([&](sim::Actor& self) {
+    std::vector<std::uint64_t> keys, values;
+    for (int i = 0; i < kPerRank; ++i) {
+      keys.push_back(key_of(self.rank(), i));
+      values.push_back(val_of(keys.back()));
+    }
+    batched_ins[static_cast<std::size_t>(self.rank())] =
+        batched_map.insert_batch(keys, values);
+    for (auto& v : values) ++v;
+    batched_dup[static_cast<std::size_t>(self.rank())] =
+        batched_map.insert_batch(keys, values);
+  });
+  EXPECT_EQ(scalar_ins, batched_ins);
+  EXPECT_EQ(scalar_dup, batched_dup);
+  EXPECT_EQ(scalar_map.size(), batched_map.size());
+
+  // Phase 3: find a shifted rank's keys (mix of local and remote partitions).
+  std::vector<std::vector<std::optional<std::uint64_t>>> scalar_found(ranks),
+      batched_found(ranks);
+  scalar_ctx.run([&](sim::Actor& self) {
+    const int other = (self.rank() + 1) % scalar_ctx.topology().num_ranks();
+    auto& found = scalar_found[static_cast<std::size_t>(self.rank())];
+    for (int i = 0; i < kPerRank; ++i) {
+      std::uint64_t v = 0;
+      found.push_back(scalar_map.find(key_of(other, i), &v)
+                          ? std::optional<std::uint64_t>(v)
+                          : std::nullopt);
+    }
+  });
+  batched_ctx.run([&](sim::Actor& self) {
+    const int other = (self.rank() + 1) % batched_ctx.topology().num_ranks();
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < kPerRank; ++i) keys.push_back(key_of(other, i));
+    batched_found[static_cast<std::size_t>(self.rank())] =
+        batched_map.find_batch(keys);
+  });
+  EXPECT_EQ(scalar_found, batched_found);
+
+  // Phase 4: erase own even keys, then re-erase them (now all misses).
+  std::vector<std::vector<bool>> scalar_erased(ranks), batched_erased(ranks);
+  std::vector<std::vector<bool>> scalar_missed(ranks), batched_missed(ranks);
+  scalar_ctx.run([&](sim::Actor& self) {
+    auto& erased = scalar_erased[static_cast<std::size_t>(self.rank())];
+    auto& missed = scalar_missed[static_cast<std::size_t>(self.rank())];
+    for (int i = 0; i < kPerRank; i += 2) {
+      erased.push_back(scalar_map.erase(key_of(self.rank(), i)));
+    }
+    for (int i = 0; i < kPerRank; i += 2) {
+      missed.push_back(scalar_map.erase(key_of(self.rank(), i)));
+    }
+  });
+  batched_ctx.run([&](sim::Actor& self) {
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < kPerRank; i += 2) keys.push_back(key_of(self.rank(), i));
+    batched_erased[static_cast<std::size_t>(self.rank())] =
+        batched_map.erase_batch(keys);
+    batched_missed[static_cast<std::size_t>(self.rank())] =
+        batched_map.erase_batch(keys);
+  });
+  EXPECT_EQ(scalar_erased, batched_erased);
+  EXPECT_EQ(scalar_missed, batched_missed);
+  EXPECT_EQ(scalar_map.size(), batched_map.size());
+
+  // Final state: every key the scalar map can answer, the batched map answers
+  // identically (one full-keyspace sweep from rank 0).
+  std::vector<std::optional<std::uint64_t>> scalar_state, batched_state;
+  scalar_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        scalar_state.push_back(scalar_map.find(key_of(static_cast<int>(r), i), &v)
+                                   ? std::optional<std::uint64_t>(v)
+                                   : std::nullopt);
+      }
+    }
+  });
+  batched_ctx.run_one(0, [&](sim::Actor&) {
+    std::vector<std::uint64_t> keys;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) keys.push_back(key_of(static_cast<int>(r), i));
+    }
+    batched_state = batched_map.find_batch(keys);
+  });
+  EXPECT_EQ(scalar_state, batched_state);
+}
+
+TEST_P(BatchedScalarEquivalence, QueuePushBatchPreservesFifo) {
+  const auto& param = GetParam();
+  if (param.nodes < 2) GTEST_SKIP() << "needs a remote queue host";
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  Context scalar_ctx(cfg);
+  Context batched_ctx(cfg);
+
+  core::ContainerOptions scalar_opts;
+  scalar_opts.first_node = 1;  // rank 0 pushes remotely, through the coalescer
+  core::ContainerOptions batched_opts = scalar_opts;
+  batched_opts.batch.max_ops = param.max_ops;
+  batched_opts.batch.max_delay_ns = 0;
+  queue<std::uint64_t> scalar_q(scalar_ctx, scalar_opts);
+  queue<std::uint64_t> batched_q(batched_ctx, batched_opts);
+
+  constexpr int kTotal = 192;
+  Rng rng(param.seed);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < kTotal; ++i) values.push_back(rng.next());
+
+  scalar_ctx.run_one(0, [&](sim::Actor&) {
+    for (const auto v : values) ASSERT_TRUE(scalar_q.push(v));
+  });
+  batched_ctx.run_one(0, [&](sim::Actor&) {
+    const auto ok = batched_q.push_batch(values);
+    EXPECT_TRUE(std::all_of(ok.begin(), ok.end(), [](bool b) { return b; }));
+  });
+
+  // Coalescing must preserve FIFO: both queues drain to the same sequence.
+  std::vector<std::uint64_t> scalar_drained, batched_drained;
+  scalar_ctx.run_one(0, [&](sim::Actor&) {
+    std::uint64_t out;
+    while (scalar_q.pop(&out)) scalar_drained.push_back(out);
+  });
+  batched_ctx.run_one(0, [&](sim::Actor&) {
+    std::uint64_t out;
+    while (batched_q.pop(&out)) batched_drained.push_back(out);
+  });
+  EXPECT_EQ(scalar_drained, values);
+  EXPECT_EQ(scalar_drained, batched_drained);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchedScalarEquivalence,
+    ::testing::Values(BatchEquivCase{2, 2, -1, 8, 17},
+                      BatchEquivCase{4, 4, -1, 32, 29},
+                      BatchEquivCase{4, 2, 2, 4, 41},
+                      BatchEquivCase{3, 5, 7, 16, 53},
+                      BatchEquivCase{8, 2, -1, 1, 67}));  // max_ops=1: scalar ship
+
+// Under a seeded fault mix (bundle-level transport faults + per-constituent
+// faults inside delivered bundles) every batched op must still resolve to a
+// definite per-op status, and after repairing exactly the reported failures
+// the batched map converges to the same final state as a fault-free scalar
+// run of the same stream.
+class BatchedFaultEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedFaultEquivalence, RepairedBatchedRunMatchesFaultFreeScalarRun) {
+  auto plan = std::make_shared<fabric::FaultPlan>(GetParam());
+  fabric::FaultProbabilities rpc_p;
+  rpc_p.drop = 0.02;  // whole-bundle transport loss, absorbed by retries
+  rpc_p.unavailable = 0.03;
+  plan->set(fabric::OpClass::kRpc, rpc_p);
+  fabric::FaultProbabilities op_p;
+  op_p.drop = 0.04;  // constituent dropped from a delivered bundle
+  op_p.throw_handler = 0.03;
+  op_p.unavailable = 0.03;
+  op_p.duplicate = 0.02;
+  plan->set(fabric::OpClass::kBatchOp, op_p);
+
+  Context::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 4;
+  cfg.model = sim::CostModel::zero();
+  Context scalar_ctx(cfg);
+
+  Context::Config faulty_cfg = cfg;
+  faulty_cfg.rpc_options.timeout_ns = 2 * sim::kMillisecond;
+  faulty_cfg.rpc_options.max_retries = 4;
+  faulty_cfg.fault_plan = plan;
+  Context batched_ctx(faulty_cfg);
+
+  core::ContainerOptions scalar_opts;
+  core::ContainerOptions batched_opts;
+  batched_opts.batch.max_ops = 16;
+  batched_opts.batch.max_delay_ns = 0;
+  unordered_map<std::uint64_t, std::uint64_t> scalar_map(scalar_ctx, scalar_opts);
+  unordered_map<std::uint64_t, std::uint64_t> batched_map(batched_ctx, batched_opts);
+
+  constexpr int kPerRank = 128;
+  const auto ranks = static_cast<std::size_t>(scalar_ctx.topology().num_ranks());
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank + static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [](std::uint64_t k) { return k ^ 0xBEEFCAFEULL; };
+
+  // The intended stream: insert all own keys, then erase the even ones.
+  scalar_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = key_of(self.rank(), i);
+      ASSERT_TRUE(scalar_map.insert(k, val_of(k)));
+    }
+  });
+  scalar_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; i += 2) {
+      ASSERT_TRUE(scalar_map.erase(key_of(self.rank(), i)));
+    }
+  });
+
+  // Batched run under faults: per-op statuses captured, never a throw/hang.
+  std::vector<std::vector<std::uint64_t>> failed_inserts(ranks);
+  batched_ctx.run([&](sim::Actor& self) {
+    std::vector<std::uint64_t> keys, vals;
+    for (int i = 0; i < kPerRank; ++i) {
+      keys.push_back(key_of(self.rank(), i));
+      vals.push_back(val_of(keys.back()));
+    }
+    std::vector<Status> statuses;
+    (void)batched_map.insert_batch(keys, vals, &statuses);
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      if (statuses[i].ok()) continue;
+      ASSERT_TRUE(statuses[i].code() == StatusCode::kInternal ||
+                  statuses[i].code() == StatusCode::kDeadlineExceeded ||
+                  statuses[i].code() == StatusCode::kUnavailable)
+          << "indefinite per-op status: " << statuses[i].to_string();
+      failed_inserts[static_cast<std::size_t>(self.rank())].push_back(keys[i]);
+    }
+  });
+  // Repair exactly what was reported failed, fault-free (upsert covers both
+  // never-executed and executed-but-reported-failed constituents).
+  batched_ctx.set_fault_plan(nullptr);
+  batched_ctx.run([&](sim::Actor& self) {
+    for (const auto k : failed_inserts[static_cast<std::size_t>(self.rank())]) {
+      (void)batched_map.upsert(k, val_of(k));
+    }
+  });
+
+  // Erase phase, faults back on.
+  batched_ctx.set_fault_plan(plan);
+  std::vector<std::vector<std::uint64_t>> failed_erases(ranks);
+  batched_ctx.run([&](sim::Actor& self) {
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < kPerRank; i += 2) keys.push_back(key_of(self.rank(), i));
+    std::vector<Status> statuses;
+    (void)batched_map.erase_batch(keys, &statuses);
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) {
+        failed_erases[static_cast<std::size_t>(self.rank())].push_back(keys[i]);
+      }
+    }
+  });
+  batched_ctx.set_fault_plan(nullptr);
+  batched_ctx.run([&](sim::Actor& self) {
+    for (const auto k : failed_erases[static_cast<std::size_t>(self.rank())]) {
+      (void)batched_map.erase(k);
+    }
+  });
+
+  // Convergence: repaired batched state == fault-free scalar state.
+  EXPECT_EQ(batched_map.size(), scalar_map.size());
+  std::vector<std::optional<std::uint64_t>> scalar_state, batched_state;
+  scalar_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        scalar_state.push_back(scalar_map.find(key_of(static_cast<int>(r), i), &v)
+                                   ? std::optional<std::uint64_t>(v)
+                                   : std::nullopt);
+      }
+    }
+  });
+  batched_ctx.run_one(0, [&](sim::Actor&) {
+    std::vector<std::uint64_t> keys;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) keys.push_back(key_of(static_cast<int>(r), i));
+    }
+    batched_state = batched_map.find_batch(keys);
+  });
+  EXPECT_EQ(scalar_state, batched_state);
+  EXPECT_GT(plan->counters().total(), 0) << "fault plan never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchedFaultEquivalence,
+                         ::testing::Values(401u, 502u, 603u));
 
 // ---------------------------------------------------------------------------
 // Cost-model monotonicity: with the Ares model, simulated time must grow
