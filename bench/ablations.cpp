@@ -18,10 +18,16 @@
 //       packed response, per-op dispatch amortized) vs. unbatched
 //       one-insert-per-invocation, at small value sizes where per-op
 //       overhead dominates the wire bytes.
+//   A7. Client-side read cache (DESIGN.md §5d): a Zipfian read-heavy
+//       workload against a remote partition with the epoch-lease cache on
+//       vs. off (hits are charged local check+hit time instead of a fabric
+//       round trip), plus the uniform write-heavy control where every write
+//       bumps the partition epoch and the cache cannot help.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "rpc/engine.h"
 
 namespace {
@@ -249,6 +255,103 @@ int main(int argc, char** argv) {
                 "unbatched %.3f ms -> %.1fx\n",
                 std::size_t{32}, batched * 1e3, bundles, scalar * 1e3,
                 scalar / batched);
+  }
+
+  // --- A7: client-side read cache (DESIGN.md §5d) ---------------------------
+  {
+    // Small warm keyspace, long read stream: the steady state is what the
+    // cache accelerates; cold-miss fill is a one-time cost the stream
+    // amortizes (YCSB-C runs orders of magnitude more ops than keys).
+    constexpr std::uint64_t kKeys = 1024;
+    const std::int64_t cache_ops = 2 * ops;
+    auto make_opts = [&](bool cached) {
+      core::ContainerOptions o;
+      o.num_partitions = 1;
+      o.first_node = 1;  // every client op is remote — the cacheable path
+      if (cached) {
+        o.cache.mode = cache::CacheMode::kInvalidate;
+        o.cache.ttl_ns = 10 * sim::kMillisecond;
+        o.cache.capacity = kKeys;
+      } else {
+        o.cache.mode = cache::CacheMode::kOff;
+      }
+      return o;
+    };
+    auto populate = [&](Context& ctx, auto& m) {
+      ctx.run_one(0, [&](sim::Actor&) {
+        for (std::uint64_t k = 0; k < kKeys; ++k) (void)m.upsert(k, k);
+      });
+    };
+    // Read-heavy: Zipfian (theta=0.99, YCSB-C-style) reads of a warm
+    // keyspace. Hot keys repeat, so a lease-valid entry answers most reads.
+    auto zipf_reads = [&](Context& ctx, auto& m) {
+      ctx.reset_measurement();
+      ctx.run([&](sim::Actor& self) {
+        if (self.node() != 0) return;
+        Rng rng(static_cast<std::uint64_t>(self.rank()) + 1);
+        ZipfGen zipf(kKeys, 0.99, rng);
+        std::uint64_t v = 0;
+        for (std::int64_t i = 0; i < cache_ops; ++i) {
+          (void)m.find(zipf.next_scrambled(), &v);
+        }
+      });
+      return ctx.elapsed_seconds();
+    };
+    // Write-heavy control: uniform 50/50 upsert/find. Every write bumps the
+    // partition epoch, so cached entries go stale about as fast as they are
+    // filled — the cache must cost (nearly) nothing here, not help.
+    auto uniform_rw = [&](Context& ctx, auto& m) {
+      ctx.reset_measurement();
+      ctx.run([&](sim::Actor& self) {
+        if (self.node() != 0) return;
+        Rng rng(static_cast<std::uint64_t>(self.rank()) + 101);
+        std::uint64_t v = 0;
+        for (std::int64_t i = 0; i < cache_ops; ++i) {
+          const auto k = rng.next_below(kKeys);
+          if (i % 2 == 0) {
+            (void)m.upsert(k, k + 1);
+          } else {
+            (void)m.find(k, &v);
+          }
+        }
+      });
+      return ctx.elapsed_seconds();
+    };
+
+    double zipf_off = 0, zipf_on = 0, rw_off = 0, rw_on = 0;
+    cache::CacheStats zipf_stats{}, rw_stats{};
+    for (const bool cached : {false, true}) {
+      Context ctx({.num_nodes = 2, .procs_per_node = clients});
+      unordered_map<std::uint64_t, std::uint64_t> m(ctx, make_opts(cached));
+      populate(ctx, m);
+      const double secs = zipf_reads(ctx, m);
+      (cached ? zipf_on : zipf_off) = secs;
+      if (cached) zipf_stats = m.cache_stats();
+    }
+    for (const bool cached : {false, true}) {
+      Context ctx({.num_nodes = 2, .procs_per_node = clients});
+      unordered_map<std::uint64_t, std::uint64_t> m(ctx, make_opts(cached));
+      populate(ctx, m);
+      const double secs = uniform_rw(ctx, m);
+      (cached ? rw_on : rw_off) = secs;
+      if (cached) rw_stats = m.cache_stats();
+    }
+    const auto hit_rate = [](const cache::CacheStats& s) {
+      const auto consults = s.hits + s.misses;
+      return consults > 0 ? 100.0 * static_cast<double>(s.hits) /
+                                static_cast<double>(consults)
+                          : 0.0;
+    };
+    std::printf("A7 read cache (zipf .99)  : cached %.3f ms vs uncached %.3f ms -> %.1fx "
+                "(hit rate %.1f%%, %" PRId64 " hits / %" PRId64 " misses / %" PRId64
+                " stale)\n",
+                zipf_on * 1e3, zipf_off * 1e3, zipf_off / zipf_on,
+                hit_rate(zipf_stats), zipf_stats.hits, zipf_stats.misses,
+                zipf_stats.stale_reads);
+    std::printf("A7 control (uniform 50%%w) : cached %.3f ms vs uncached %.3f ms -> %.2fx "
+                "(hit rate %.1f%%, %" PRId64 " invalidations)\n",
+                rw_on * 1e3, rw_off * 1e3, rw_off / rw_on, hit_rate(rw_stats),
+                rw_stats.invalidations);
   }
 
   std::printf("\nEach mechanism is a net win, as the paper claims (§III.C).\n");

@@ -16,6 +16,7 @@
 
 #include "bcl/bcl.h"
 #include "bench_util.h"
+#include "common/rng.h"
 
 namespace {
 
@@ -27,6 +28,7 @@ struct Series {
   std::vector<double> nic_util;      // fraction per bucket
   std::vector<double> packets_per_s;
   std::vector<double> memory_mb;
+  std::vector<double> cache_hits_per_s;  // client-cache hits the NIC never saw
 };
 
 Series sample(Context& ctx, sim::NodeId target, sim::NodeId client_node) {
@@ -53,6 +55,9 @@ Series sample(Context& ctx, sim::NodeId target, sim::NodeId client_node) {
                               sim::to_seconds(width));
     const double bytes = static_cast<double>(mem0[b] + mem1[b]);
     s.memory_mb.push_back(bytes / (1 << 20));
+    s.cache_hits_per_s.push_back(
+        static_cast<double>(counters.cache_hits.bucket(b)) /
+        sim::to_seconds(width));
   }
   return s;
 }
@@ -162,6 +167,67 @@ int main(int argc, char** argv) {
   std::printf("peak memory: HCL %.1f MB (dynamic ramp)  BCL %.1f MB (static from t=0)\n",
               *std::max_element(hcl_series.memory_mb.begin(), hcl_series.memory_mb.end()),
               *std::max_element(bcl_series.memory_mb.begin(), bcl_series.memory_mb.end()));
+
+  // ---- Read cache: RPC traffic a warm cache removes (DESIGN.md §5d) -------
+  // Same topology, Zipfian read-back of a warm keyspace, cache off vs. on.
+  // Hits are absorbed client-side, so the target NIC's packet rate and
+  // compute utilization drop by the hit fraction; cache_hits/s shows where
+  // the reads went instead.
+  {
+    constexpr std::uint64_t kKeys = 1024;
+    Series cold, warm;
+    std::int64_t hits = 0, misses = 0;
+    for (const bool cached : {false, true}) {
+      Context::Config read_cfg = cfg;
+      Context rctx(read_cfg);
+      core::ContainerOptions options;
+      options.num_partitions = 1;
+      options.first_node = 1;
+      if (cached) {
+        options.cache.mode = cache::CacheMode::kInvalidate;
+        options.cache.ttl_ns = 10 * sim::kMillisecond;
+        options.cache.capacity = kKeys;
+      } else {
+        options.cache.mode = cache::CacheMode::kOff;
+      }
+      unordered_map<std::uint64_t, std::uint64_t> map(rctx, options);
+      rctx.run_one(0, [&](sim::Actor&) {
+        for (std::uint64_t k = 0; k < kKeys; ++k) (void)map.upsert(k, k);
+      });
+      rctx.reset_measurement();
+      rctx.run([&](sim::Actor& self) {
+        if (self.node() != 0) return;
+        Rng rng(static_cast<std::uint64_t>(self.rank()) + 1);
+        ZipfGen zipf(kKeys, 0.99, rng);
+        std::uint64_t v = 0;
+        for (std::int64_t i = 0; i < ops; ++i) {
+          (void)map.find(zipf.next_scrambled(), &v);
+        }
+      });
+      (cached ? warm : cold) = sample(rctx, 1, 0);
+      if (cached) {
+        const auto stats = map.cache_stats();
+        hits = stats.hits;
+        misses = stats.misses;
+      }
+    }
+    // Totals, not rates: the cached run finishes sooner at a similar service
+    // rate, so the removed traffic shows up as fewer packets end to end.
+    auto total_packets = [&](const Series& s) {
+      return mean_nonzero(s.packets_per_s) * s.seconds;
+    };
+    std::printf(
+        "\nread-back (zipf .99, %" PRId64 " reads/client): cache-off %.2f ms vs "
+        "cache-on %.2f ms (%.1fx)\n"
+        "  target NIC: %.0fk -> %.0fk packets total, util %.1f%% -> %.1f%%; "
+        "%.0f cache hits/s absorbed client-side (%" PRId64 " hits, %" PRId64
+        " misses)\n",
+        ops, cold.seconds * 1e3, warm.seconds * 1e3,
+        cold.seconds / warm.seconds, total_packets(cold) / 1e3,
+        total_packets(warm) / 1e3, 100 * mean_nonzero(cold.nic_util),
+        100 * mean_nonzero(warm.nic_util),
+        mean_nonzero(warm.cache_hits_per_s), hits, misses);
+  }
   print_footer();
   return 0;
 }

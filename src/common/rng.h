@@ -5,6 +5,7 @@
 // rather than implementation-defined std::default_random_engine.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -80,6 +81,56 @@ class Rng {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t state_[4];
+};
+
+/// Zipfian key generator (YCSB-style, Gray et al.'s rejection-free inverse
+/// method). Draws keys in [0, n) where key rank r has probability
+/// proportional to 1/(r+1)^theta; theta=0.99 is the YCSB default and models
+/// the skewed access pattern of real key-value traces. The raw draw is
+/// scrambled through a fixed hash so the popular keys are scattered across
+/// the keyspace (and therefore across partitions) instead of clustered at 0.
+class ZipfGen {
+ public:
+  ZipfGen(std::uint64_t n, double theta, Rng& rng)
+      : n_(n), theta_(theta), rng_(rng) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - pow2(2.0 / static_cast<double>(n_))) / (1.0 - zeta2 / zetan_);
+  }
+
+  /// Next key in [0, n); rank-0 (most popular) first in probability.
+  std::uint64_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + pow2(0.5)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * pow3(eta_ * u - eta_ + 1.0));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  /// Like next(), but scrambled so hot keys spread over the keyspace. The
+  /// salt keeps rank 0 off the mix64 fixed point at 0.
+  std::uint64_t next_scrambled() {
+    return mix64(next() + 0x9e3779b97f4a7c15ULL) % n_;
+  }
+
+ private:
+  double pow2(double x) const { return std::pow(x, 1.0 - theta_); }
+  double pow3(double x) const { return std::pow(x, alpha_); }
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Rng& rng_;
+  double zetan_, alpha_, eta_;
 };
 
 }  // namespace hcl

@@ -1,0 +1,64 @@
+// Shared bulk-operation plumbing for keyed containers (Table I's bulk rows).
+//
+// Every *_batch API follows the same shape: co-located ops run inline on the
+// hybrid shared-memory path, remote ops enqueue into a per-destination
+// rpc::Batcher, and settle_batch() flushes the bundles and fans the per-op
+// outcomes back into the caller's result slots. One bundle = one remote
+// invocation (F paid once per bundle, not once per element).
+//
+// Failure semantics: with `statuses == nullptr` the first failed op throws
+// HclError (scalar semantics). With a `statuses` vector, every op's own
+// Status is recorded — a fault mid-bundle fails only the ops it touched —
+// and nothing throws.
+//
+// `post(i, future, ok)` runs after each constituent resolves (ok == the op
+// neither threw nor failed); the read-cache layer uses it to harvest the
+// piggybacked partition epoch (Future::response_epoch, DESIGN.md §5d) and
+// refresh or finalize entries.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/op_stats.h"
+#include "rpc/batch.h"
+#include "rpc/engine.h"
+#include "rpc/future.h"
+#include "sim/actor.h"
+
+namespace hcl::core {
+
+template <typename R, typename Results, typename Post>
+void settle_batch(OpStats& stats, rpc::Batcher& batcher, sim::Actor& self,
+                  std::vector<std::pair<std::size_t, rpc::Future<R>>>& remote,
+                  Results& results, std::vector<Status>* statuses, Post&& post) {
+  batcher.flush_all(self);
+  stats.remote_invocations.fetch_add(batcher.flushes(),
+                                     std::memory_order_relaxed);
+  for (auto& [i, future] : remote) {
+    bool ok = true;
+    try {
+      results[i] = future.get(self);
+    } catch (const HclError& e) {
+      ok = false;
+      if (statuses == nullptr) {
+        post(i, future, ok);
+        throw;
+      }
+      (*statuses)[i] = Status(e.code(), e.what());
+    }
+    post(i, future, ok);
+  }
+}
+
+template <typename R, typename Results>
+void settle_batch(OpStats& stats, rpc::Batcher& batcher, sim::Actor& self,
+                  std::vector<std::pair<std::size_t, rpc::Future<R>>>& remote,
+                  Results& results, std::vector<Status>* statuses) {
+  settle_batch(stats, batcher, self, remote, results, statuses,
+               [](std::size_t, const rpc::Future<R>&, bool) {});
+}
+
+}  // namespace hcl::core

@@ -20,7 +20,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
+#include "cache/read_cache.h"
 #include "fabric/fabric.h"
 #include "memory/segment.h"
 #include "rpc/engine.h"
@@ -83,12 +86,37 @@ class Context {
   void run(const std::function<void(sim::Actor&)>& fn, unsigned max_threads = 0) {
     cluster_.run(fn, max_threads);
     fabric_.drain_all();  // quiesce outstanding async RPCs / replication
+    revoke_cache_leases();
   }
 
   /// Run `fn` on a single rank (driver-style sections of tests/benches).
   void run_one(sim::Rank rank, const std::function<void(sim::Actor&)>& fn) {
     cluster_.run_ranks(rank, rank + 1, fn);
     fabric_.drain_all();
+    revoke_cache_leases();
+  }
+
+  /// Container read caches register their invalidate_all here so every
+  /// run()/run_one() edge revokes all leases (DESIGN.md §5d: BSP-barrier
+  /// lease revocation — cross-phase reads are always authoritative).
+  /// Returns a token for unregister_cache_hook (container destructor).
+  std::uint64_t register_cache_hook(std::function<void()> hook) {
+    std::lock_guard<std::mutex> guard(cache_hooks_mutex_);
+    const std::uint64_t id = next_cache_hook_id_++;
+    cache_hooks_.emplace(id, std::move(hook));
+    return id;
+  }
+
+  void unregister_cache_hook(std::uint64_t id) {
+    std::lock_guard<std::mutex> guard(cache_hooks_mutex_);
+    cache_hooks_.erase(id);
+  }
+
+  /// Revoke every registered cache's leases. Called at run edges (above);
+  /// also safe to call manually between phases.
+  void revoke_cache_leases() {
+    std::lock_guard<std::mutex> guard(cache_hooks_mutex_);
+    for (auto& [id, hook] : cache_hooks_) hook();
   }
 
   /// BSP phases with simulated-time barriers between them.
@@ -120,6 +148,10 @@ class Context {
   fabric::Fabric fabric_;
   rpc::Engine engine_;
   core::OpStats op_stats_;
+
+  std::mutex cache_hooks_mutex_;
+  std::uint64_t next_cache_hook_id_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void()>> cache_hooks_;
 };
 
 namespace core {
@@ -147,6 +179,11 @@ struct ContainerOptions {
   /// erase_batch/push_batch. Oversized batches are chunked automatically:
   /// each per-destination bundle ships when this policy trips.
   rpc::BatchPolicy batch{};
+  /// Client-side read cache with epoch leases (DESIGN.md §5d). Off by
+  /// default; default_policy() honors HCL_CACHE_MODE / HCL_CACHE_TTL_NS /
+  /// HCL_CACHE_CAPACITY and -DHCL_CACHE_DEFAULT_ON so whole suites can run
+  /// cache-on without code changes (the CI cache-on matrix leg).
+  cache::CachePolicy cache = cache::default_policy();
 };
 
 /// Helpers shared by container implementations.

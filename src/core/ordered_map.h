@@ -13,17 +13,22 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cache/read_cache.h"
 #include "common/hash.h"
+#include "core/bulk.h"
 #include "core/context.h"
 #include "core/persist_log.h"
 #include "lf/skiplist_map.h"
+#include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
 
@@ -54,6 +59,16 @@ class map {
       }
       partitions_.push_back(std::move(part));
     }
+    std::vector<sim::NodeId> owners;
+    owners.reserve(partitions_.size());
+    for (const auto& part : partitions_) owners.push_back(part->node);
+    cache_ = std::make_unique<cache::ReadCache<K, V, HashFn>>(
+        ctx_->fabric(), options_.cache, ctx_->topology().num_ranks(),
+        std::move(owners));
+    if (cache_->enabled()) {
+      cache_hook_ = ctx_->register_cache_hook(
+          [c = cache_.get()] { c->invalidate_all(); });
+    }
     bind_handlers();
   }
 
@@ -61,6 +76,7 @@ class map {
   map& operator=(const map&) = delete;
 
   ~map() {
+    if (cache_hook_ != 0) ctx_->unregister_cache_hook(cache_hook_);
     ctx_->fabric().drain_all();
     for (auto id : bound_ids_) ctx_->rpc().unbind(id);
     ctx_->fabric().drain_all();
@@ -78,8 +94,14 @@ class map {
       return ok;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, part.node, insert_id_, p, key,
-                                             value);
+    cache_->begin_write(self, p, key);
+    auto future = ctx_->rpc().template async_invoke<bool>(self, part.node,
+                                                          insert_id_, p, key, value);
+    const bool ok = future.get(self);
+    const std::optional<V> known(value);
+    cache_->complete_write(self, p, key, future.response_epoch(),
+                           ok ? &known : nullptr);
+    return ok;
   }
 
   /// Lookup. Cost: F + L·log N + R.
@@ -95,9 +117,19 @@ class map {
       if (hit && out != nullptr) *out = std::move(tmp);
       return hit;
     }
+    {
+      V tmp{};
+      bool present = false;
+      if (cache_->lookup(self, p, key, &tmp, &present)) {
+        if (present && out != nullptr) *out = std::move(tmp);
+        return present;
+      }
+    }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto result = ctx_->rpc().template invoke<std::optional<V>>(self, part.node,
-                                                                find_id_, p, key);
+    auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
+        self, part.node, find_id_, p, key);
+    auto result = future.get(self);
+    cache_->store_read(self, p, key, result, future.response_epoch());
     if (!result.has_value()) return false;
     if (out != nullptr) *out = std::move(*result);
     return true;
@@ -116,7 +148,133 @@ class map {
       return ok;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, part.node, erase_id_, p, key);
+    cache_->begin_write(self, p, key);
+    auto future =
+        ctx_->rpc().template async_invoke<bool>(self, part.node, erase_id_, p, key);
+    const bool ok = future.get(self);
+    const std::optional<V> absent;
+    cache_->complete_write(self, p, key, future.response_epoch(), &absent);
+    return ok;
+  }
+
+  // ------------------------------------------------------------------
+  // Bulk API: same coalescing contract as hcl::unordered_map — ops group
+  // per destination node and ship as bundled invocations of the scalar
+  // handlers under `options.batch`; co-located ops run inline on the hybrid
+  // path. With `statuses == nullptr` the first failed op throws HclError;
+  // with a vector every op records its own Status and nothing throws.
+  // ------------------------------------------------------------------
+
+  /// Bulk insert; results[i] is insert(keys[i], values[i]).
+  std::vector<bool> insert_batch(const std::vector<K>& keys,
+                                 const std::vector<V>& values,
+                                 std::vector<Status>* statuses = nullptr) {
+    if (keys.size() != values.size()) {
+      throw HclError(
+          Status::InvalidArgument("insert_batch: keys/values size mismatch"));
+    }
+    sim::Actor& self = sim::this_actor();
+    std::vector<bool> results(keys.size(), false);
+    if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<std::pair<std::size_t, rpc::Future<bool>>> remote;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int p = partition_of(keys[i]);
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (part.node == self.node()) {
+        charge_local(self, part, wire_bytes(keys[i], values[i]), /*write=*/true);
+        const bool ok = apply_insert(part, keys[i], values[i]);
+        if (ok) replicate_upsert(p, self.now(), keys[i], values[i]);
+        results[i] = ok;
+      } else {
+        cache_->begin_write(self, p, keys[i]);
+        remote.emplace_back(i, batcher.enqueue<bool>(self, part.node, insert_id_,
+                                                     p, keys[i], values[i]));
+      }
+    }
+    core::settle_batch(
+        ctx_->op_stats(), batcher, self, remote, results, statuses,
+        [&](std::size_t i, const rpc::Future<bool>& future, bool ok) {
+          const std::optional<V> known(values[i]);
+          cache_->complete_write(self, partition_of(keys[i]), keys[i],
+                                 future.response_epoch(),
+                                 (ok && results[i]) ? &known : nullptr);
+        });
+    return results;
+  }
+
+  /// Bulk lookup; results[i] is the value found for keys[i], if any.
+  std::vector<std::optional<V>> find_batch(const std::vector<K>& keys,
+                                           std::vector<Status>* statuses = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    std::vector<std::optional<V>> results(keys.size());
+    if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<std::pair<std::size_t, rpc::Future<std::optional<V>>>> remote;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int p = partition_of(keys[i]);
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (part.node == self.node()) {
+        V tmp{};
+        const bool hit = part.list.find_value(keys[i], &tmp);
+        charge_local(self, part,
+                     hit ? wire_bytes(keys[i], tmp) : key_bytes(keys[i]),
+                     /*write=*/false);
+        if (hit) results[i] = std::move(tmp);
+      } else {
+        V tmp{};
+        bool present = false;
+        if (cache_->lookup(self, p, keys[i], &tmp, &present)) {
+          if (present) results[i] = std::move(tmp);
+        } else {
+          remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
+                                     self, part.node, find_id_, p, keys[i]));
+        }
+      }
+    }
+    core::settle_batch(
+        ctx_->op_stats(), batcher, self, remote, results, statuses,
+        [&](std::size_t i, const rpc::Future<std::optional<V>>& future, bool ok) {
+          if (!ok) return;
+          cache_->store_read(self, partition_of(keys[i]), keys[i], results[i],
+                             future.response_epoch());
+        });
+    return results;
+  }
+
+  /// Bulk erase; results[i] is erase(keys[i]).
+  std::vector<bool> erase_batch(const std::vector<K>& keys,
+                                std::vector<Status>* statuses = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    std::vector<bool> results(keys.size(), false);
+    if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<std::pair<std::size_t, rpc::Future<bool>>> remote;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int p = partition_of(keys[i]);
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (part.node == self.node()) {
+        charge_local(self, part, key_bytes(keys[i]), /*write=*/true);
+        const bool ok = apply_erase(part, keys[i]);
+        if (ok) replicate_erase(p, self.now(), keys[i]);
+        results[i] = ok;
+      } else {
+        cache_->begin_write(self, p, keys[i]);
+        remote.emplace_back(
+            i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
+      }
+    }
+    core::settle_batch(
+        ctx_->op_stats(), batcher, self, remote, results, statuses,
+        [&](std::size_t i, const rpc::Future<bool>& future, bool ok) {
+          const std::optional<V> absent;
+          cache_->complete_write(self, partition_of(keys[i]), keys[i],
+                                 future.response_epoch(), ok ? &absent : nullptr);
+        });
+    return results;
   }
 
   /// Table I resize: F + N·log N (R + W). The skiplist needs no physical
@@ -137,6 +295,9 @@ class map {
   rpc::Future<bool> async_insert(const K& key, const V& value) {
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
+    // Invalidate before the write ships (the completion runs on the NIC
+    // executor thread, so the epoch is not harvested; the entry stays cold).
+    cache_->begin_write(self, p, key);
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
     return ctx_->rpc().template async_invoke<bool>(
         self, partitions_[static_cast<std::size_t>(p)]->node, insert_id_, p, key,
@@ -168,6 +329,18 @@ class map {
     return partitions_[static_cast<std::size_t>(p)]->replicas.size();
   }
 
+  /// Aggregate read-cache counters across all ranks (DESIGN.md §5d).
+  [[nodiscard]] cache::CacheStats cache_stats() const { return cache_->stats(); }
+  [[nodiscard]] const cache::CachePolicy& cache_policy() const {
+    return cache_->policy();
+  }
+
+  /// Current mutation epoch of partition `p` (diagnostics / tests).
+  [[nodiscard]] std::uint64_t partition_epoch(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->epoch.load(
+        std::memory_order_acquire);
+  }
+
   /// Globally ordered visit: per-partition ordered snapshots merged P-ways.
   template <typename F>
   void for_each_ordered(F&& fn) const {
@@ -194,6 +367,8 @@ class map {
     lf::SkipListMap<K, V, Less> list;
     lf::SkipListMap<K, V, Less> replicas;
     std::unique_ptr<core::PersistLog> log;
+    /// Mutation epoch, piggybacked on every response (DESIGN.md §5d).
+    std::atomic<std::uint64_t> epoch{0};
   };
 
   static std::int64_t key_bytes(const K& key) {
@@ -232,7 +407,13 @@ class map {
     stats.local_ops.fetch_add(core::depth_levels(part.list.size()),
                               std::memory_order_relaxed);
     const auto& m = ctx_->model();
-    const sim::Nanos base = write ? m.mem_insert_base_ns : m.mem_find_base_ns;
+    // Inside a coalesced bundle only the first constituent pays the
+    // structure-op base term (tables warm in cache); the O(log n) descent is
+    // inherently per-op and is charged for every constituent.
+    const sim::Nanos base =
+        sctx.batch_index == 0
+            ? (write ? m.mem_insert_base_ns : m.mem_find_base_ns)
+            : 0;
     const sim::Nanos start = sctx.start + base + descent_cost(part);
     sctx.finish = write ? ctx_->fabric().local_write(sctx.node, start, bytes)
                         : ctx_->fabric().local_read(sctx.node, start, bytes);
@@ -256,12 +437,18 @@ class map {
 
   bool apply_insert(Partition& part, const K& key, const V& value) {
     const bool ok = part.list.insert(key, value);
-    if (ok) journal(part, LogOp::kInsert, key, &value);
+    if (ok) {
+      journal(part, LogOp::kInsert, key, &value);
+      part.epoch.fetch_add(1, std::memory_order_release);
+    }
     return ok;
   }
   bool apply_erase(Partition& part, const K& key) {
     const bool ok = part.list.erase(key);
-    if (ok) journal(part, LogOp::kErase, key, nullptr);
+    if (ok) {
+      journal(part, LogOp::kErase, key, nullptr);
+      part.epoch.fetch_add(1, std::memory_order_release);
+    }
     return ok;
   }
 
@@ -316,11 +503,14 @@ class map {
               charge_server(sctx, part, wire_bytes(key, value), /*write=*/true);
           const bool ok = apply_insert(part, key, value);
           if (ok) replicate_upsert(p, ready, key, value);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return ok;
         });
     find_id_ = engine.bind<std::optional<V>, int, K>(
         [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          // Epoch BEFORE the read: conservative under concurrent writes.
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           V value{};
           const bool hit = part.list.find_value(key, &value);
           charge_server(sctx, part, hit ? wire_bytes(key, value) : key_bytes(key),
@@ -334,6 +524,7 @@ class map {
               charge_server(sctx, part, key_bytes(key), /*write=*/true);
           const bool ok = apply_erase(part, key);
           if (ok) replicate_erase(p, ready, key);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return ok;
         });
     resize_id_ = engine.bind<bool, int>(
@@ -345,6 +536,7 @@ class map {
               ctx_->fabric().local_read(sctx.node, sctx.start, n * levels * 64);
           sctx.finish =
               ctx_->fabric().local_write(sctx.node, t, n * levels * 64);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
     replica_upsert_id_ = engine.bind<bool, int, K, V>(
@@ -352,6 +544,9 @@ class map {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
           charge_server(sctx, part, wire_bytes(key, value), /*write=*/true);
           part.replicas.upsert(key, [&](V& v) { v = value; }, value);
+          // Replication writes mutate this partition's state: bump (§5d).
+          part.epoch.fetch_add(1, std::memory_order_release);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
     replica_erase_id_ = engine.bind<bool, int, K>(
@@ -359,6 +554,8 @@ class map {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
           charge_server(sctx, part, key_bytes(key), /*write=*/true);
           part.replicas.erase(key);
+          part.epoch.fetch_add(1, std::memory_order_release);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
     bound_ids_ = {insert_id_, find_id_, erase_id_, resize_id_,
@@ -374,6 +571,11 @@ class map {
               replica_upsert_id_ = 0, replica_erase_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
   HashFn hash_;
+
+  /// Client-side read cache (DESIGN.md §5d); constructed even when disabled
+  /// so call sites stay branch-free (every method no-ops off).
+  std::unique_ptr<cache::ReadCache<K, V, HashFn>> cache_;
+  std::uint64_t cache_hook_ = 0;
 };
 
 }  // namespace hcl

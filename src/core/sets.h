@@ -45,6 +45,27 @@ class unordered_set {
     return impl_.async_insert(key, core::Unit{});
   }
 
+  // Bulk API (op coalescing; same contract as unordered_map's *_batch).
+  std::vector<bool> insert_batch(const std::vector<K>& keys,
+                                 std::vector<Status>* statuses = nullptr) {
+    return impl_.insert_batch(keys, std::vector<core::Unit>(keys.size()),
+                              statuses);
+  }
+  /// Bulk membership test; results[i] is find(keys[i]).
+  std::vector<bool> find_batch(const std::vector<K>& keys,
+                               std::vector<Status>* statuses = nullptr) {
+    auto found = impl_.find_batch(keys, statuses);
+    std::vector<bool> results(found.size(), false);
+    for (std::size_t i = 0; i < found.size(); ++i) {
+      results[i] = found[i].has_value();
+    }
+    return results;
+  }
+  std::vector<bool> erase_batch(const std::vector<K>& keys,
+                                std::vector<Status>* statuses = nullptr) {
+    return impl_.erase_batch(keys, statuses);
+  }
+
   [[nodiscard]] std::size_t size() const { return impl_.size(); }
   [[nodiscard]] int num_partitions() const noexcept {
     return impl_.num_partitions();
@@ -54,6 +75,9 @@ class unordered_set {
   }
   [[nodiscard]] sim::NodeId partition_owner(int p) const {
     return impl_.partition_owner(p);
+  }
+  [[nodiscard]] cache::CacheStats cache_stats() const {
+    return impl_.cache_stats();
   }
 
   template <typename F>
@@ -84,6 +108,27 @@ class set {
     return impl_.async_insert(key, core::Unit{});
   }
 
+  // Bulk API (op coalescing; same contract as hcl::map's *_batch).
+  std::vector<bool> insert_batch(const std::vector<K>& keys,
+                                 std::vector<Status>* statuses = nullptr) {
+    return impl_.insert_batch(keys, std::vector<core::Unit>(keys.size()),
+                              statuses);
+  }
+  /// Bulk membership test; results[i] is find(keys[i]).
+  std::vector<bool> find_batch(const std::vector<K>& keys,
+                               std::vector<Status>* statuses = nullptr) {
+    auto found = impl_.find_batch(keys, statuses);
+    std::vector<bool> results(found.size(), false);
+    for (std::size_t i = 0; i < found.size(); ++i) {
+      results[i] = found[i].has_value();
+    }
+    return results;
+  }
+  std::vector<bool> erase_batch(const std::vector<K>& keys,
+                                std::vector<Status>* statuses = nullptr) {
+    return impl_.erase_batch(keys, statuses);
+  }
+
   [[nodiscard]] std::size_t size() const { return impl_.size(); }
   [[nodiscard]] int num_partitions() const noexcept {
     return impl_.num_partitions();
@@ -93,6 +138,9 @@ class set {
   }
   [[nodiscard]] sim::NodeId partition_owner(int p) const {
     return impl_.partition_owner(p);
+  }
+  [[nodiscard]] cache::CacheStats cache_stats() const {
+    return impl_.cache_stats();
   }
 
   /// Visit keys in comparator order across all partitions.

@@ -21,13 +21,16 @@
 //     (BCL-style) designs fundamentally cannot express in one round trip.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/read_cache.h"
 #include "common/hash.h"
+#include "core/bulk.h"
 #include "core/context.h"
 #include "core/persist_log.h"
 #include "lf/cuckoo_map.h"
@@ -63,6 +66,16 @@ class unordered_map {
       }
       partitions_.push_back(std::move(part));
     }
+    std::vector<sim::NodeId> owners;
+    owners.reserve(partitions_.size());
+    for (const auto& part : partitions_) owners.push_back(part->node);
+    cache_ = std::make_unique<cache::ReadCache<K, V, HashFn>>(
+        ctx_->fabric(), options_.cache, ctx_->topology().num_ranks(),
+        std::move(owners));
+    if (cache_->enabled()) {
+      cache_hook_ = ctx_->register_cache_hook(
+          [c = cache_.get()] { c->invalidate_all(); });
+    }
     bind_handlers();
   }
 
@@ -70,6 +83,7 @@ class unordered_map {
   unordered_map& operator=(const unordered_map&) = delete;
 
   ~unordered_map() {
+    if (cache_hook_ != 0) ctx_->unregister_cache_hook(cache_hook_);
     // No server stub may run once members start dying.
     ctx_->fabric().drain_all();
     for (auto id : bound_ids_) ctx_->rpc().unbind(id);
@@ -93,8 +107,15 @@ class unordered_map {
       return ok;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, part.node, insert_id_, p, key,
-                                             value);
+    cache_->begin_write(self, p, key);
+    auto future = ctx_->rpc().template async_invoke<bool>(self, part.node,
+                                                          insert_id_, p, key, value);
+    const bool ok = future.get(self);
+    // A rejected insert leaves someone else's value in place: outcome unknown.
+    const std::optional<V> known(value);
+    cache_->complete_write(self, p, key, future.response_epoch(),
+                           ok ? &known : nullptr);
+    return ok;
   }
 
   /// Insert-or-overwrite; true when newly inserted.
@@ -109,8 +130,13 @@ class unordered_map {
       return fresh;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, part.node, upsert_id_, p, key,
-                                             value);
+    cache_->begin_write(self, p, key);
+    auto future = ctx_->rpc().template async_invoke<bool>(self, part.node,
+                                                          upsert_id_, p, key, value);
+    const bool fresh = future.get(self);
+    const std::optional<V> known(value);
+    cache_->complete_write(self, p, key, future.response_epoch(), &known);
+    return fresh;
   }
 
   /// Lookup; returns true and fills `out`. Cost: F + L + R (remote) or
@@ -126,9 +152,19 @@ class unordered_map {
       if (hit && out != nullptr) *out = std::move(tmp);
       return hit;
     }
+    {
+      V tmp{};
+      bool present = false;
+      if (cache_->lookup(self, p, key, &tmp, &present)) {
+        if (present && out != nullptr) *out = std::move(tmp);
+        return present;
+      }
+    }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto result = ctx_->rpc().template invoke<std::optional<V>>(self, part.node,
-                                                                find_id_, p, key);
+    auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
+        self, part.node, find_id_, p, key);
+    auto result = future.get(self);
+    cache_->store_read(self, p, key, result, future.response_epoch());
     if (!result.has_value()) return false;
     if (out != nullptr) *out = std::move(*result);
     return true;
@@ -148,7 +184,14 @@ class unordered_map {
       return ok;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, part.node, erase_id_, p, key);
+    cache_->begin_write(self, p, key);
+    auto future =
+        ctx_->rpc().template async_invoke<bool>(self, part.node, erase_id_, p, key);
+    const bool ok = future.get(self);
+    // After an erase the key is definitely absent (false = was already gone).
+    const std::optional<V> absent;
+    cache_->complete_write(self, p, key, future.response_epoch(), &absent);
+    return ok;
   }
 
   /// Explicitly resize one partition (Table I: F + N(R + W)).
@@ -204,11 +247,19 @@ class unordered_map {
         if (ok) replicate_upsert(p, self.now(), keys[i], values[i]);
         results[i] = ok;
       } else {
+        cache_->begin_write(self, p, keys[i]);
         remote.emplace_back(i, batcher.enqueue<bool>(self, part.node, insert_id_,
                                                      p, keys[i], values[i]));
       }
     }
-    settle(batcher, self, remote, results, statuses);
+    core::settle_batch(
+        ctx_->op_stats(), batcher, self, remote, results, statuses,
+        [&](std::size_t i, const rpc::Future<bool>& future, bool ok) {
+          const std::optional<V> known(values[i]);
+          cache_->complete_write(self, partition_of(keys[i]), keys[i],
+                                 future.response_epoch(),
+                                 (ok && results[i]) ? &known : nullptr);
+        });
     return results;
   }
 
@@ -231,11 +282,23 @@ class unordered_map {
                           hit ? wire_bytes(keys[i], tmp) : key_bytes(keys[i]));
         if (hit) results[i] = std::move(tmp);
       } else {
-        remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
-                                   self, part.node, find_id_, p, keys[i]));
+        V tmp{};
+        bool present = false;
+        if (cache_->lookup(self, p, keys[i], &tmp, &present)) {
+          if (present) results[i] = std::move(tmp);
+        } else {
+          remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
+                                     self, part.node, find_id_, p, keys[i]));
+        }
       }
     }
-    settle(batcher, self, remote, results, statuses);
+    core::settle_batch(
+        ctx_->op_stats(), batcher, self, remote, results, statuses,
+        [&](std::size_t i, const rpc::Future<std::optional<V>>& future, bool ok) {
+          if (!ok) return;
+          cache_->store_read(self, partition_of(keys[i]), keys[i], results[i],
+                             future.response_epoch());
+        });
     return results;
   }
 
@@ -257,11 +320,18 @@ class unordered_map {
         replicate_erase(p, self.now(), keys[i]);
         results[i] = ok;
       } else {
+        cache_->begin_write(self, p, keys[i]);
         remote.emplace_back(
             i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
       }
     }
-    settle(batcher, self, remote, results, statuses);
+    core::settle_batch(
+        ctx_->op_stats(), batcher, self, remote, results, statuses,
+        [&](std::size_t i, const rpc::Future<bool>& future, bool ok) {
+          const std::optional<V> absent;
+          cache_->complete_write(self, partition_of(keys[i]), keys[i],
+                                 future.response_epoch(), ok ? &absent : nullptr);
+        });
     return results;
   }
 
@@ -272,6 +342,10 @@ class unordered_map {
   rpc::Future<bool> async_insert(const K& key, const V& value) {
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
+    // Invalidate before the write ships; the completion epoch is harvested
+    // lazily (the continuation runs on the NIC executor thread, which must
+    // not touch this rank's store), so the entry simply stays cold.
+    cache_->begin_write(self, p, key);
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
     return ctx_->rpc().template async_invoke<bool>(
         self, partitions_[static_cast<std::size_t>(p)]->node, insert_id_, p, key,
@@ -334,9 +408,14 @@ class unordered_map {
       return apply_mutator(part, key, mutator, raw, init).fresh;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, part.node, apply_id_, p, key,
-                                             static_cast<std::uint32_t>(mutator),
-                                             raw, init);
+    cache_->begin_write(self, p, key);
+    auto future = ctx_->rpc().template async_invoke<bool>(
+        self, part.node, apply_id_, p, key, static_cast<std::uint32_t>(mutator),
+        raw, init);
+    const bool fresh = future.get(self);
+    // Mutator outcome is server-computed: note the epoch, never re-cache.
+    cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
+    return fresh;
   }
 
   /// Like apply(), but returns the value the mutator computed (fetch-and-
@@ -360,9 +439,12 @@ class unordered_map {
       return result;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto bytes = ctx_->rpc().template invoke<std::vector<std::byte>>(
+    cache_->begin_write(self, p, key);
+    auto future = ctx_->rpc().template async_invoke<std::vector<std::byte>>(
         self, part.node, apply_fetch_id_, p, key,
         static_cast<std::uint32_t>(mutator), raw, init);
+    auto bytes = future.get(self);
+    cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
     serial::InArchive in{std::span<const std::byte>(bytes)};
     R result{};
     serial::load(in, result);
@@ -394,6 +476,18 @@ class unordered_map {
     return partitions_[static_cast<std::size_t>(p)]->replicas.size();
   }
 
+  /// Aggregate read-cache counters across all ranks (DESIGN.md §5d).
+  [[nodiscard]] cache::CacheStats cache_stats() const { return cache_->stats(); }
+  [[nodiscard]] const cache::CachePolicy& cache_policy() const {
+    return cache_->policy();
+  }
+
+  /// Current mutation epoch of partition `p` (diagnostics / tests).
+  [[nodiscard]] std::uint64_t partition_epoch(int p) const {
+    return partitions_[static_cast<std::size_t>(p)]->epoch.load(
+        std::memory_order_acquire);
+  }
+
   /// Visit every (key, value) in every partition — local introspection for
   /// tests/apps; not a consistent global snapshot under concurrency.
   template <typename F>
@@ -417,6 +511,11 @@ class unordered_map {
     lf::CuckooMap<K, V, HashFn> map{2};
     lf::CuckooMap<K, V, HashFn> replicas{2};
     std::unique_ptr<core::PersistLog> log;
+    /// Mutation epoch (DESIGN.md §5d): bumped by every state change —
+    /// insert/erase that took effect, every upsert/mutator, every batched
+    /// constituent, and replication writes landing here. Piggybacked on
+    /// every RPC response so client read caches learn of staleness lazily.
+    std::atomic<std::uint64_t> epoch{0};
   };
 
   // ---- cost charging ------------------------------------------------
@@ -473,26 +572,6 @@ class unordered_map {
     return sctx.finish;
   }
 
-  /// Flush a bulk call's batcher and fan its per-op outcomes back into the
-  /// caller's result slots. One bundle = one remote invocation (Table I: F
-  /// is paid once per bundle, not once per element).
-  template <typename R, typename Results>
-  void settle(rpc::Batcher& batcher, sim::Actor& self,
-              std::vector<std::pair<std::size_t, rpc::Future<R>>>& remote,
-              Results& results, std::vector<Status>* statuses) {
-    batcher.flush_all(self);
-    ctx_->op_stats().remote_invocations.fetch_add(batcher.flushes(),
-                                                  std::memory_order_relaxed);
-    for (auto& [i, future] : remote) {
-      try {
-        results[i] = future.get(self);
-      } catch (const HclError& e) {
-        if (statuses == nullptr) throw;
-        (*statuses)[i] = Status(e.code(), e.what());
-      }
-    }
-  }
-
   // ---- real structure mutation + journal ----------------------------
 
   bool apply_insert(Partition& part, const K& key, const V& value,
@@ -501,6 +580,7 @@ class unordered_map {
     if (ok) {
       charge_entry_memory(part, wire_bytes(key, value), t);
       journal(part, LogOp::kInsert, key, &value);
+      part.epoch.fetch_add(1, std::memory_order_release);
     }
     return ok;
   }
@@ -509,6 +589,7 @@ class unordered_map {
     const bool fresh = part.map.upsert(key, value);
     if (fresh) charge_entry_memory(part, wire_bytes(key, value), t);
     journal(part, LogOp::kUpsert, key, &value);
+    part.epoch.fetch_add(1, std::memory_order_release);
     return fresh;
   }
 
@@ -522,7 +603,10 @@ class unordered_map {
   }
   bool apply_erase(Partition& part, const K& key) {
     const bool ok = part.map.erase(key);
-    if (ok) journal(part, LogOp::kErase, key, nullptr);
+    if (ok) {
+      journal(part, LogOp::kErase, key, nullptr);
+      part.epoch.fetch_add(1, std::memory_order_release);
+    }
     return ok;
   }
   struct MutatorOutcome {
@@ -545,6 +629,7 @@ class unordered_map {
         },
         init);
     journal(part, LogOp::kUpsert, key, &snapshot);
+    part.epoch.fetch_add(1, std::memory_order_release);
     return outcome;
   }
 
@@ -607,6 +692,7 @@ class unordered_map {
           const sim::Nanos ready = charge_server_write(sctx, wire_bytes(key, value));
           const bool ok = apply_insert(part, key, value, ready);
           if (ok) replicate_upsert(p, ready, key, value);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return ok;
         });
     upsert_id_ = engine.bind<bool, int, K, V>(
@@ -615,11 +701,15 @@ class unordered_map {
           const sim::Nanos ready = charge_server_write(sctx, wire_bytes(key, value));
           const bool fresh = apply_upsert(part, key, value, ready);
           replicate_upsert(p, ready, key, value);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return fresh;
         });
     find_id_ = engine.bind<std::optional<V>, int, K>(
         [this](rpc::ServerCtx& sctx, const int& p, const K& key) {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          // Epoch BEFORE the read: a concurrent write can only make the
+          // piggybacked epoch conservatively stale, never too fresh.
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           V value{};
           const bool hit = part.map.find(key, &value);
           charge_server_read(sctx, hit ? wire_bytes(key, value) : key_bytes(key));
@@ -631,6 +721,7 @@ class unordered_map {
           const sim::Nanos ready = charge_server_write(sctx, key_bytes(key));
           const bool ok = apply_erase(part, key);
           replicate_erase(p, ready, key);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return ok;
         });
     resize_id_ = engine.bind<bool, int, std::uint64_t>(
@@ -642,6 +733,7 @@ class unordered_map {
           ctx_->op_stats().local_reads.fetch_add(n, std::memory_order_relaxed);
           ctx_->op_stats().local_writes.fetch_add(n, std::memory_order_relaxed);
           part.map.reserve(static_cast<std::size_t>(buckets));
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
     apply_id_ = engine.bind<bool, int, K, std::uint32_t, std::vector<std::byte>, V>(
@@ -651,7 +743,9 @@ class unordered_map {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
           charge_server_write(sctx,
                               key_bytes(key) + static_cast<std::int64_t>(raw.size()));
-          return apply_mutator(part, key, mutator, raw, init).fresh;
+          const bool fresh = apply_mutator(part, key, mutator, raw, init).fresh;
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
+          return fresh;
         });
     apply_fetch_id_ =
         engine.bind<std::vector<std::byte>, int, K, std::uint32_t,
@@ -662,13 +756,19 @@ class unordered_map {
               Partition& part = *partitions_[static_cast<std::size_t>(p)];
               charge_server_write(
                   sctx, key_bytes(key) + static_cast<std::int64_t>(raw.size()));
-              return apply_mutator(part, key, mutator, raw, init).result;
+              auto result = apply_mutator(part, key, mutator, raw, init).result;
+              sctx.epoch = part.epoch.load(std::memory_order_acquire);
+              return result;
             });
     replica_upsert_id_ = engine.bind<bool, int, K, V>(
         [this](rpc::ServerCtx& sctx, const int& p, const K& key, const V& value) {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
           charge_server_write(sctx, wire_bytes(key, value));
           part.replicas.upsert(key, value);
+          // Replication writes mutate this partition's state, so they bump
+          // its epoch: clients holding leases on it revalidate (§5d).
+          part.epoch.fetch_add(1, std::memory_order_release);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
     replica_erase_id_ = engine.bind<bool, int, K>(
@@ -676,6 +776,8 @@ class unordered_map {
           Partition& part = *partitions_[static_cast<std::size_t>(p)];
           charge_server_write(sctx, key_bytes(key));
           part.replicas.erase(key);
+          part.epoch.fetch_add(1, std::memory_order_release);
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
     bound_ids_ = {insert_id_,         upsert_id_, find_id_,
@@ -696,6 +798,11 @@ class unordered_map {
               replica_upsert_id_ = 0, replica_erase_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
   HashFn hash_;
+
+  /// Client-side read cache (DESIGN.md §5d); constructed even when disabled
+  /// so call sites stay branch-free (every method no-ops off).
+  std::unique_ptr<cache::ReadCache<K, V, HashFn>> cache_;
+  std::uint64_t cache_hook_ = 0;
 };
 
 }  // namespace hcl

@@ -14,7 +14,8 @@ struct NicCounters {
   NicCounters(sim::Nanos bucket_width, std::size_t num_buckets)
       : packets(bucket_width, num_buckets),
         busy(bucket_width, num_buckets),
-        atomic_busy(bucket_width, num_buckets) {}
+        atomic_busy(bucket_width, num_buckets),
+        cache_hits(bucket_width, num_buckets) {}
 
   /// Packets handled per simulated-time bucket (Fig. 4c).
   sim::TimeSeries packets;
@@ -23,6 +24,10 @@ struct NicCounters {
   sim::TimeSeries busy;
   /// Remote-atomic execution nanoseconds per bucket (one RMW context).
   sim::TimeSeries atomic_busy;
+  /// Client-cache hits against partitions this NIC hosts, per bucket —
+  /// remote reads that did NOT cross the wire. Plotted next to packets/s to
+  /// show the RPC traffic a warm cache removes (fig4 --cache).
+  sim::TimeSeries cache_hits;
 
   std::atomic<std::int64_t> total_packets{0};
   std::atomic<std::int64_t> total_bytes{0};
@@ -42,6 +47,14 @@ struct NicCounters {
   std::atomic<std::int64_t> atomic_count{0};
   std::atomic<std::int64_t> read_count{0};
   std::atomic<std::int64_t> write_count{0};
+  /// Client read-cache traffic against this NIC's partitions (DESIGN.md
+  /// §5d): hits (no RPC issued), misses (fell through to the authoritative
+  /// RPC), entries dropped by write-invalidation or piggybacked-epoch
+  /// staleness, and stale-epoch reads specifically.
+  std::atomic<std::int64_t> cache_hit_count{0};
+  std::atomic<std::int64_t> cache_miss_count{0};
+  std::atomic<std::int64_t> cache_invalidation_count{0};
+  std::atomic<std::int64_t> cache_stale_count{0};
 
   void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
     packets.add(t, n);
@@ -64,6 +77,11 @@ struct NicCounters {
     atomic_count.store(0);
     read_count.store(0);
     write_count.store(0);
+    cache_hits.reset();
+    cache_hit_count.store(0);
+    cache_miss_count.store(0);
+    cache_invalidation_count.store(0);
+    cache_stale_count.store(0);
   }
 };
 

@@ -99,6 +99,11 @@ struct ServerCtx {
   /// use it to amortize the per-op base term across a bundle (Table I's bulk
   /// shape F + L + E·W: one L, then per-element byte costs).
   std::uint32_t batch_index = 0;
+  /// Partition mutation epoch the handler publishes with its response
+  /// (DESIGN.md §5d). Every container stub — read or write — sets this to
+  /// its partition's current epoch; the engine piggybacks it on the scalar
+  /// or per-op batch response so clients can validate cached entries.
+  std::uint64_t epoch = 0;
 };
 
 /// Type-erased server stub: (ctx, request payload) -> response payload.
@@ -328,12 +333,13 @@ class Engine {
         std::string message;
         serial::load(in, message);
         const sim::Nanos op_ready = in.i64();
+        const std::uint64_t op_epoch = in.u64();
         const std::uint64_t len = in.u64();
         std::vector<std::byte> payload(len);
         if (len > 0) in.raw_bytes(payload.data(), len);
         ops[next].state->batch_pull = pull;
         ops[next].state->fulfill(std::move(payload), op_ready,
-                                 Status(code, std::move(message)));
+                                 Status(code, std::move(message)), op_epoch);
       }
     } catch (const std::exception& e) {
       // A torn packed response must still resolve every remaining future.
@@ -419,7 +425,7 @@ class Engine {
 
  private:
   static constexpr std::size_t kHeaderBytes = 24;          // id + lens + caller
-  static constexpr std::size_t kResponseHeaderBytes = 16;  // status + len
+  static constexpr std::size_t kResponseHeaderBytes = 24;  // status + len + epoch
 
   /// Outcome of one server-side execution: a well-formed status plus the
   /// simulated time the response buffer was written. Never an exception.
@@ -427,6 +433,7 @@ class Engine {
     std::vector<std::byte> payload;
     sim::Nanos ready = 0;
     Status status = Status::Ok();
+    std::uint64_t epoch = 0;  // piggybacked partition epoch (ServerCtx::epoch)
   };
 
   /// The attempt loop behind every client stub. Exactly one fulfill() on
@@ -515,7 +522,8 @@ class Engine {
                       Status::DeadlineExceeded("response after deadline"));
         return;
       }
-      state.fulfill(std::move(done.payload), done.ready, std::move(done.status));
+      state.fulfill(std::move(done.payload), done.ready, std::move(done.status),
+                    done.epoch);
       return;
     }
   }
@@ -587,6 +595,7 @@ class Engine {
     fabric_->nic(target).counters().busy.add(dispatch_start,
                                              ctx.finish - dispatch_start);
     done.ready = ctx.finish;
+    done.epoch = ctx.epoch;
     return done;
   }
 
@@ -622,6 +631,7 @@ class Engine {
 
       Status st = Status::Ok();
       std::vector<std::byte> result;
+      std::uint64_t op_epoch = 0;
       sim::Nanos op_finish = cursor + pickup;
       if (fault.drop) {
         // The work item fell off the bundle's queue: the op never ran, no
@@ -664,6 +674,7 @@ class Engine {
             st = Status::Internal("handler threw a non-exception type");
           }
           op_finish = std::max(op_ctx.finish, op_finish);
+          op_epoch = op_ctx.epoch;
         }
       }
       op_finish += fault.delay_ns;
@@ -672,6 +683,7 @@ class Engine {
       out.u64(static_cast<std::uint64_t>(st.code()));
       serial::save(out, st.message());
       out.i64(op_finish);
+      out.u64(op_epoch);
       out.u64(result.size());
       if (!result.empty()) out.raw_bytes(result.data(), result.size());
     }

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -50,19 +51,26 @@ struct FutureState {
   std::vector<std::byte> payload;     // serialized response
   sim::Nanos response_ready_ns = 0;   // when the response buffer was written
   Status status = Status::Ok();       // handler-level failure
+  /// Partition mutation epoch piggybacked on the response (DESIGN.md §5d:
+  /// the coherence signal for the client-side read cache). 0 when the
+  /// response never reached the handler (transport failure) or the handler
+  /// does not publish one.
+  std::uint64_t epoch = 0;
   /// Non-null when this future is one constituent of a coalesced batch: all
   /// siblings share one BatchPull so the packed response crosses the wire
   /// once. Set by Engine::send_batch before fulfill() publishes the state.
   std::shared_ptr<BatchPull> batch_pull;
   std::vector<std::function<void(const FutureState&)>> continuations;
 
-  void fulfill(std::vector<std::byte> bytes, sim::Nanos ready, Status st) {
+  void fulfill(std::vector<std::byte> bytes, sim::Nanos ready, Status st,
+               std::uint64_t response_epoch = 0) {
     std::vector<std::function<void(const FutureState&)>> to_run;
     {
       std::lock_guard<std::mutex> guard(mutex);
       payload = std::move(bytes);
       response_ready_ns = ready;
       status = std::move(st);
+      epoch = response_epoch;
       done = true;
       to_run.swap(continuations);
     }
@@ -118,6 +126,13 @@ class Future {
   [[nodiscard]] sim::Nanos response_ready_ns() const {
     require_state("Future::response_ready_ns");
     return state_->response_ready_ns;
+  }
+
+  /// Partition mutation epoch piggybacked on the response (DESIGN.md §5d).
+  /// Meaningful only after the future resolved; 0 on transport failure.
+  [[nodiscard]] std::uint64_t response_epoch() const {
+    require_state("Future::response_epoch");
+    return state_->epoch;
   }
 
   /// Block (really) until the server stub completes, charge `caller`'s clock

@@ -64,6 +64,16 @@ struct CostModel {
   /// (the amortization Table I's bulk rows and ablation A6 measure).
   Nanos nic_batch_op_ns = 150;
 
+  // ---- Client-side read cache (DESIGN.md §5d) ----
+  /// Client-core cost of consulting the per-rank read cache (hash probe +
+  /// epoch/lease check). Charged on EVERY consult, hit or miss — the miss
+  /// penalty a disabled cache never pays.
+  Nanos cache_check_ns = 60;
+  /// Additional client-core cost of serving a hit (entry copy-out). Hits
+  /// never touch the fabric, the wire, or the target NIC — that is the
+  /// entire point.
+  Nanos cache_hit_ns = 250;
+
   // ---- Node memory system (local/hybrid path) ----
   /// Base cost of one local *mutating* structure op (hash, probe, cuckoo
   /// displacement, allocator) — per-actor latency, not a shared resource.
@@ -130,6 +140,8 @@ struct CostModel {
     m.nic_atomic_service_ns = 0;
     m.nic_rpc_dispatch_ns = 0;
     m.nic_batch_op_ns = 0;
+    m.cache_check_ns = 0;
+    m.cache_hit_ns = 0;
     m.mem_insert_base_ns = 0;
     m.mem_find_base_ns = 0;
     m.mem_level_ns = 0;

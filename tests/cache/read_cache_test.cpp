@@ -1,0 +1,375 @@
+// Client-side read cache with epoch leases (DESIGN.md §5d): hits skip the
+// wire, writes invalidate before they ship, piggybacked epochs drop stale
+// leases, barriers revoke everything, and ttl_ns = 0 degrades to exact
+// consistency. Counter assertions pin the protocol down op by op.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/read_cache.h"
+#include "core/hcl.h"
+
+namespace hcl {
+namespace {
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = sim::CostModel::zero();
+  return cfg;
+}
+
+cache::CachePolicy invalidate_policy(sim::Nanos ttl = 100 * sim::kMicrosecond) {
+  return {.capacity = 1024, .ttl_ns = ttl, .mode = cache::CacheMode::kInvalidate};
+}
+
+/// First key (counting up from `from`) whose partition is NOT hosted on
+/// node 0, so rank 0 reaches it through the RPC path and may cache it.
+template <typename Map>
+std::uint64_t remote_key(const Map& map, std::uint64_t from = 0) {
+  std::uint64_t k = from;
+  while (map.partition_owner(map.partition_of(k)) == 0) ++k;
+  return k;
+}
+
+std::int64_t remote_invocations(Context& ctx) {
+  return ctx.op_stats().remote_invocations.load();
+}
+
+TEST(ReadCache, HitAfterFirstReadSkipsTheRpc) {
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) { ASSERT_TRUE(map.insert(k, 7)); });
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    const auto before = remote_invocations(ctx);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));  // authoritative, populates the cache
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+    v = 0;
+    ASSERT_TRUE(map.find(k, &v));  // served from the cache: no RPC
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+  });
+  const auto stats = map.cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_GE(stats.misses, 1);
+}
+
+TEST(ReadCache, NegativeResultsAreCachedToo) {
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    const auto before = remote_invocations(ctx);
+    EXPECT_FALSE(map.find(k));  // authoritative miss, caches "absent"
+    EXPECT_FALSE(map.find(k));  // absence served from the cache
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+  });
+  EXPECT_EQ(map.cache_stats().hits, 1);
+}
+
+TEST(ReadCache, OwnWriteInvalidatesBeforeItShips) {
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 1));
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));  // cached at the pre-write value
+    EXPECT_EQ(v, 1u);
+    map.upsert(k, 2);  // begin_write drops the entry before the RPC
+    v = 0;
+    ASSERT_TRUE(map.find(k, &v));  // refetched: never the stale 1
+    EXPECT_EQ(v, 2u);
+  });
+  EXPECT_GE(map.cache_stats().invalidations, 1);
+}
+
+TEST(ReadCache, UpdateModeServesOwnWriteWithoutRefetch) {
+  auto policy = invalidate_policy();
+  policy.mode = cache::CacheMode::kUpdate;
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, {.cache = policy});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    map.upsert(k, 42);  // kUpdate re-caches the known outcome
+    const auto before = remote_invocations(ctx);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_EQ(remote_invocations(ctx), before);  // hit, no RPC
+  });
+  EXPECT_GE(map.cache_stats().hits, 1);
+}
+
+TEST(ReadCache, PiggybackedEpochDropsStaleSibling) {
+  Context ctx(zero_config(2, 1));
+  core::ContainerOptions opts;
+  opts.num_partitions = 1;  // both keys share one partition (and one epoch)
+  opts.first_node = 1;      // hosted remotely from rank 0
+  opts.cache = invalidate_policy();
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, opts);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(1, 10));
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(1, &v));  // key 1 cached at the current epoch
+    // Writing key 2 bumps the partition epoch; the response's piggyback
+    // raises this rank's last-seen watermark above key 1's lease.
+    ASSERT_TRUE(map.insert(2, 20));
+    const auto before = remote_invocations(ctx);
+    v = 0;
+    ASSERT_TRUE(map.find(1, &v));  // stale lease: refetched, not served
+    EXPECT_EQ(v, 10u);
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+  });
+  const auto stats = map.cache_stats();
+  EXPECT_GE(stats.stale_reads, 1);
+}
+
+TEST(ReadCache, BarrierRevokesAllLeases) {
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) { ASSERT_TRUE(map.insert(k, 5)); });
+  ctx.run_one(0, [&](sim::Actor&) { ASSERT_TRUE(map.find(k)); });  // cached
+  ctx.run_one(0, [&](sim::Actor&) {
+    const auto before = remote_invocations(ctx);
+    ASSERT_TRUE(map.find(k));  // new phase: lease revoked, authoritative
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+  });
+}
+
+TEST(ReadCache, ZeroTtlRevalidatesEveryRead) {
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy(/*ttl=*/0)});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 3));
+    const auto before = remote_invocations(ctx);
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(map.find(k));
+    EXPECT_EQ(remote_invocations(ctx), before + 4);  // exact consistency
+  });
+  EXPECT_EQ(map.cache_stats().hits, 0);
+}
+
+TEST(ReadCache, LeaseExpiresUnderRealCosts) {
+  Context::Config cfg;  // Ares model: simulated time actually advances
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  Context ctx(cfg);
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy(/*ttl=*/1)});  // 1 ns lease
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 9));
+    const auto before = remote_invocations(ctx);
+    ASSERT_TRUE(map.find(k));  // populates
+    ASSERT_TRUE(map.find(k));  // >1 ns later: lease expired, refetch
+    EXPECT_EQ(remote_invocations(ctx), before + 2);
+  });
+  const auto stats = map.cache_stats();
+  EXPECT_GE(stats.expired, 1);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(ReadCache, CapacityEvictsFifo) {
+  auto policy = invalidate_policy();
+  policy.capacity = 2;
+  Context ctx(zero_config(2, 1));
+  core::ContainerOptions opts;
+  opts.num_partitions = 1;
+  opts.first_node = 1;
+  opts.cache = policy;
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, opts);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    for (std::uint64_t k = 1; k <= 3; ++k) ASSERT_TRUE(map.insert(k, k));
+    // Reads in insertion order fill the 2-entry store; the third read
+    // evicts key 1 (FIFO).
+    for (std::uint64_t k = 1; k <= 3; ++k) ASSERT_TRUE(map.find(k));
+    const auto before = remote_invocations(ctx);
+    ASSERT_TRUE(map.find(1));  // evicted: authoritative again
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+    ASSERT_TRUE(map.find(3));  // still resident: hit
+    EXPECT_EQ(remote_invocations(ctx), before + 1);
+  });
+  EXPECT_GE(map.cache_stats().evictions, 1);
+}
+
+TEST(ReadCache, BatchFindPopulatesAndServes) {
+  Context ctx(zero_config(2, 1));
+  core::ContainerOptions opts;
+  opts.cache = invalidate_policy();
+  opts.batch.max_ops = 8;
+  opts.batch.max_delay_ns = 0;
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, opts);
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = remote_key(map); keys.size() < 4;
+       k = remote_key(map, k + 1)) {
+    keys.push_back(k);
+  }
+  ctx.run_one(0, [&](sim::Actor&) {
+    for (const auto k : keys) ASSERT_TRUE(map.insert(k, k * 3));
+    auto first = map.find_batch(keys);  // one bundle, populates the cache
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(first[i].has_value());
+      EXPECT_EQ(*first[i], keys[i] * 3);
+    }
+    const auto before = remote_invocations(ctx);
+    auto second = map.find_batch(keys);  // all hits: nothing ships
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(remote_invocations(ctx), before);
+  });
+  EXPECT_GE(map.cache_stats().hits, 4);
+}
+
+// The ISSUE's fault requirement: a retried write must never leave its issuer
+// serving the pre-write cached value. The first upsert attempt is dropped on
+// the wire; the retry lands; the next read must see the new value.
+TEST(ReadCache, RetriedWriteNeverServesPreWriteValue) {
+  auto plan = std::make_shared<fabric::FaultPlan>(7);
+  Context::Config cfg = zero_config(2, 1);
+  cfg.rpc_options.timeout_ns = 2 * sim::kMillisecond;
+  cfg.rpc_options.max_retries = 4;
+  cfg.fault_plan = plan;
+  Context ctx(cfg);
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+  const auto target = map.partition_owner(map.partition_of(k));
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 100));
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));  // v=100 cached
+    EXPECT_EQ(v, 100u);
+  });
+
+  // Drop the next RPC into the target node: the upsert's first attempt.
+  plan->trigger_at(target, fabric::OpClass::kRpc, 2, fabric::FaultKind::kDrop);
+  ctx.run_one(0, [&](sim::Actor&) {
+    map.upsert(k, 200);  // retried transparently after the drop
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));
+    EXPECT_EQ(v, 200u) << "served a pre-write cached value past a retry";
+  });
+  EXPECT_GT(plan->counters().total(), 0) << "fault never fired";
+}
+
+TEST(ReadCache, ReplicationWriteBumpsReplicaPartitionEpoch) {
+  Context ctx(zero_config(4, 1));
+  core::ContainerOptions opts;
+  opts.replication = 1;
+  opts.cache = invalidate_policy();
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, opts);
+
+  const auto k = remote_key(map);
+  const int p = map.partition_of(k);
+  const int replica = (p + 1) % map.num_partitions();
+  const auto before = map.partition_epoch(replica);
+  ctx.run_one(0, [&](sim::Actor&) { ASSERT_TRUE(map.insert(k, 1)); });
+  // run_one drained replication; the replica partition's epoch must have
+  // moved even though no primary write touched it.
+  EXPECT_GT(map.partition_epoch(replica), before);
+  EXPECT_EQ(map.replica_size(replica), 1u);
+}
+
+TEST(ReadCache, OrderedMapCachesReadsToo) {
+  Context ctx(zero_config(2, 1));
+  hcl::map<std::uint64_t, std::uint64_t> map(ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 11));
+    const auto before = remote_invocations(ctx);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));
+    ASSERT_TRUE(map.find(k, &v));
+    EXPECT_EQ(v, 11u);
+    EXPECT_EQ(remote_invocations(ctx), before + 1);  // second was a hit
+  });
+  EXPECT_EQ(map.cache_stats().hits, 1);
+}
+
+TEST(ReadCache, HitsLandInOwnerNicCounters) {
+  Context ctx(zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy()});
+  const auto k = remote_key(map);
+  const auto owner = map.partition_owner(map.partition_of(k));
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 1));
+    ASSERT_TRUE(map.find(k));
+    ASSERT_TRUE(map.find(k));
+  });
+  auto& counters = ctx.fabric().nic(owner).counters();
+  EXPECT_EQ(counters.cache_hit_count.load(), 1);
+  EXPECT_GE(counters.cache_miss_count.load(), 1);
+}
+
+TEST(ReadCache, DisabledPolicyNeverCountsAnything) {
+  Context ctx(zero_config(2, 1));
+  // Pin mode=kOff explicitly: the built-in default is off, but the cache-on
+  // CI leg overrides the default via HCL_CACHE_MODE and this test is about
+  // disabled behavior, not about the default.
+  core::ContainerOptions options;
+  options.cache.mode = cache::CacheMode::kOff;
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, options);
+  const auto k = remote_key(map);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    ASSERT_TRUE(map.insert(k, 1));
+    const auto before = remote_invocations(ctx);
+    ASSERT_TRUE(map.find(k));
+    ASSERT_TRUE(map.find(k));
+    EXPECT_EQ(remote_invocations(ctx), before + 2);  // every read ships
+  });
+  const auto stats = map.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.invalidations, 0);
+}
+
+TEST(ReadCache, CacheHitTimeComesFromTheCostModel) {
+  Context::Config cfg;  // Ares model
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  Context ctx(cfg);
+  unordered_map<std::uint64_t, std::uint64_t> map(
+      ctx, {.cache = invalidate_policy(/*ttl=*/10 * sim::kMillisecond)});
+  const auto k = remote_key(map);
+
+  sim::Nanos hit_cost = 0;
+  ctx.run_one(0, [&](sim::Actor& self) {
+    ASSERT_TRUE(map.insert(k, 2));
+    ASSERT_TRUE(map.find(k));  // populate
+    const sim::Nanos t0 = self.now();
+    ASSERT_TRUE(map.find(k));  // hit
+    hit_cost = self.now() - t0;
+  });
+  const auto& m = ctx.model();
+  EXPECT_EQ(hit_cost, m.cache_check_ns + m.cache_hit_ns);
+}
+
+}  // namespace
+}  // namespace hcl

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <map>
 #include <set>
 
 namespace hcl {
@@ -73,6 +75,43 @@ TEST(Rng, NoShortCycle) {
   std::set<std::uint64_t> seen;
   for (int i = 0; i < 10'000; ++i) seen.insert(r.next());
   EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(ZipfGen, RespectsRangeAndIsDeterministic) {
+  Rng ra(7), rb(7);
+  ZipfGen za(1000, 0.99, ra), zb(1000, 0.99, rb);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto k = za.next();
+    EXPECT_LT(k, 1000u);
+    EXPECT_EQ(k, zb.next());
+  }
+}
+
+TEST(ZipfGen, HotKeysDominate) {
+  Rng r(21);
+  ZipfGen z(10'000, 0.99, r);
+  constexpr int kDraws = 50'000;
+  int top10 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.next() < 10) ++top10;
+  }
+  // theta=0.99 over 10k keys: the 10 hottest ranks carry roughly a third of
+  // the mass; uniform would give 0.1%. Assert well above uniform.
+  EXPECT_GT(top10, kDraws / 10);
+}
+
+TEST(ZipfGen, ScrambleSpreadsHotKeysButKeepsSkew) {
+  Rng r(33);
+  ZipfGen z(10'000, 0.99, r);
+  std::map<std::uint64_t, int> freq;
+  for (int i = 0; i < 50'000; ++i) ++freq[z.next_scrambled()];
+  // Still heavily skewed: the most frequent scrambled key dominates...
+  int max_count = 0;
+  for (const auto& [k, c] : freq) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 1'000);
+  // ...but it is no longer key 0 with overwhelming probability (mix64(0)
+  // lands elsewhere), i.e. hot keys scatter over the keyspace.
+  EXPECT_LT(freq[0], max_count);
 }
 
 }  // namespace

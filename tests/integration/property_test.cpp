@@ -685,6 +685,381 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BatchedFaultEquivalence,
                          ::testing::Values(401u, 502u, 603u));
 
 // ---------------------------------------------------------------------------
+// Cache transparency: the same phased op stream run with the client-side
+// read cache ON and OFF must produce identical per-op results and identical
+// final state — for every topology shape, partition count, replication
+// factor, batching policy, cache mode, and lease TTL (including ttl_ns=0,
+// the exact-consistency setting). Phases are separated by run() barriers
+// (which revoke leases), and within a phase no rank writes a key another
+// rank reads, so bounded staleness ≤ TTL collapses to exact equivalence —
+// caching is a latency optimization, never an observable one.
+// ---------------------------------------------------------------------------
+
+struct CacheEquivCase {
+  int nodes;
+  int procs;
+  int partitions;        // -1 = default (one per node)
+  int replication;       // async replica partitions per update
+  std::size_t batch_ops; // 0 = scalar API; >0 = bulk API with this flush size
+  cache::CacheMode mode;
+  sim::Nanos ttl_ns;
+  std::uint64_t seed;
+};
+
+class CacheTransparencySweep : public ::testing::TestWithParam<CacheEquivCase> {};
+
+TEST_P(CacheTransparencySweep, CachedRunMatchesUncachedRun) {
+  const auto& param = GetParam();
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  Context plain_ctx(cfg);
+  Context cached_ctx(cfg);
+
+  core::ContainerOptions plain_opts;
+  plain_opts.num_partitions = param.partitions;
+  plain_opts.replication = param.replication;
+  plain_opts.cache.mode = cache::CacheMode::kOff;
+  if (param.batch_ops > 0) {
+    plain_opts.batch.max_ops = param.batch_ops;
+    plain_opts.batch.max_delay_ns = 0;
+  }
+  core::ContainerOptions cached_opts = plain_opts;
+  cached_opts.cache.mode = param.mode;
+  cached_opts.cache.ttl_ns = param.ttl_ns;
+  cached_opts.cache.capacity = 64;  // small enough to exercise eviction
+  unordered_map<std::uint64_t, std::uint64_t> plain_map(plain_ctx, plain_opts);
+  unordered_map<std::uint64_t, std::uint64_t> cached_map(cached_ctx, cached_opts);
+
+  constexpr int kPerRank = 64;
+  const auto ranks = static_cast<std::size_t>(plain_ctx.topology().num_ranks());
+  const std::uint64_t seed = param.seed;
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank + static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [seed](std::uint64_t k) { return k * 0x9E3779B97F4A7C15ULL + seed; };
+
+  // One phased workload, applied identically to both maps. Reads repeat so
+  // the cached run serves genuine hits; writes to read keys happen only in
+  // later phases, across lease-revoking barriers.
+  auto run_insert_phase = [&](Context& ctx, auto& map) {
+    ctx.run([&](sim::Actor& self) {
+      if (param.batch_ops > 0) {
+        std::vector<std::uint64_t> keys, vals;
+        for (int i = 0; i < kPerRank; ++i) {
+          keys.push_back(key_of(self.rank(), i));
+          vals.push_back(val_of(keys.back()));
+        }
+        const auto ok = map.insert_batch(keys, vals);
+        for (const bool b : ok) ASSERT_TRUE(b);
+      } else {
+        for (int i = 0; i < kPerRank; ++i) {
+          const auto k = key_of(self.rank(), i);
+          ASSERT_TRUE(map.insert(k, val_of(k)));
+        }
+      }
+    });
+  };
+  // Reads a shifted rank's keys kRepeats times; returns per-rank result rows.
+  auto run_find_phase = [&](Context& ctx, auto& map, int shift, int repeats) {
+    std::vector<std::vector<std::optional<std::uint64_t>>> found(ranks);
+    ctx.run([&](sim::Actor& self) {
+      const int other = (self.rank() + shift) % ctx.topology().num_ranks();
+      auto& row = found[static_cast<std::size_t>(self.rank())];
+      for (int rep = 0; rep < repeats; ++rep) {
+        if (param.batch_ops > 0) {
+          std::vector<std::uint64_t> keys;
+          for (int i = 0; i < kPerRank; ++i) keys.push_back(key_of(other, i));
+          auto results = map.find_batch(keys);
+          for (auto& r : results) row.push_back(std::move(r));
+        } else {
+          for (int i = 0; i < kPerRank; ++i) {
+            std::uint64_t v = 0;
+            row.push_back(map.find(key_of(other, i), &v)
+                              ? std::optional<std::uint64_t>(v)
+                              : std::nullopt);
+          }
+        }
+      }
+    });
+    return found;
+  };
+  auto run_upsert_phase = [&](Context& ctx, auto& map) {
+    ctx.run([&](sim::Actor& self) {
+      for (int i = 0; i < kPerRank; i += 2) {
+        const auto k = key_of(self.rank(), i);
+        (void)map.upsert(k, val_of(k) + 7);
+      }
+    });
+  };
+  auto run_erase_phase = [&](Context& ctx, auto& map) {
+    std::vector<std::vector<bool>> erased(ranks);
+    ctx.run([&](sim::Actor& self) {
+      std::vector<std::uint64_t> keys;
+      for (int i = 0; i < kPerRank; i += 3) keys.push_back(key_of(self.rank(), i));
+      auto& row = erased[static_cast<std::size_t>(self.rank())];
+      if (param.batch_ops > 0) {
+        const auto ok = map.erase_batch(keys);
+        row.insert(row.end(), ok.begin(), ok.end());
+        const auto again = map.erase_batch(keys);  // all misses now
+        row.insert(row.end(), again.begin(), again.end());
+      } else {
+        for (const auto k : keys) row.push_back(map.erase(k));
+        for (const auto k : keys) row.push_back(map.erase(k));
+      }
+    });
+    return erased;
+  };
+  auto final_state = [&](Context& ctx, auto& map) {
+    std::vector<std::optional<std::uint64_t>> state;
+    ctx.run_one(0, [&](sim::Actor&) {
+      for (std::size_t r = 0; r < ranks; ++r) {
+        for (int i = 0; i < kPerRank; ++i) {
+          std::uint64_t v = 0;
+          state.push_back(map.find(key_of(static_cast<int>(r), i), &v)
+                              ? std::optional<std::uint64_t>(v)
+                              : std::nullopt);
+        }
+      }
+    });
+    return state;
+  };
+
+  run_insert_phase(plain_ctx, plain_map);
+  run_insert_phase(cached_ctx, cached_map);
+  EXPECT_EQ(plain_map.size(), cached_map.size());
+
+  // Repeated remote reads: the cached run serves hits, results must agree.
+  EXPECT_EQ(run_find_phase(plain_ctx, plain_map, 1, 3),
+            run_find_phase(cached_ctx, cached_map, 1, 3));
+
+  // Cross-rank writes, then re-reads of the same keys from a different
+  // shift: the epoch piggyback + barrier revocation must surface every
+  // update, cached or not.
+  run_upsert_phase(plain_ctx, plain_map);
+  run_upsert_phase(cached_ctx, cached_map);
+  EXPECT_EQ(run_find_phase(plain_ctx, plain_map, 2, 2),
+            run_find_phase(cached_ctx, cached_map, 2, 2));
+
+  EXPECT_EQ(run_erase_phase(plain_ctx, plain_map),
+            run_erase_phase(cached_ctx, cached_map));
+  EXPECT_EQ(plain_map.size(), cached_map.size());
+
+  // Re-read after erasure (negative caching must agree with ground truth),
+  // then the full-keyspace state sweep.
+  EXPECT_EQ(run_find_phase(plain_ctx, plain_map, 1, 2),
+            run_find_phase(cached_ctx, cached_map, 1, 2));
+  EXPECT_EQ(final_state(plain_ctx, plain_map), final_state(cached_ctx, cached_map));
+
+  const auto stats = cached_map.cache_stats();
+  if (cached_opts.cache.enabled() && param.ttl_ns > 0 && ranks > 1) {
+    EXPECT_GT(stats.hits, 0) << "cache-on sweep never served a hit";
+  }
+  if (param.ttl_ns == 0) {
+    EXPECT_EQ(stats.hits, 0) << "ttl_ns=0 must revalidate every read";
+  }
+  if (param.replication > 0) {
+    // Replica partitions saw the async writes: their epochs advanced.
+    std::uint64_t replica_epochs = 0;
+    for (int p = 0; p < cached_map.num_partitions(); ++p) {
+      replica_epochs += cached_map.partition_epoch(p);
+    }
+    EXPECT_GT(replica_epochs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheTransparencySweep,
+    ::testing::Values(
+        // Scalar ops, invalidate mode, across topology shapes.
+        CacheEquivCase{2, 2, -1, 0, 0, cache::CacheMode::kInvalidate,
+                       100 * sim::kMicrosecond, 11},
+        CacheEquivCase{4, 4, -1, 0, 0, cache::CacheMode::kInvalidate,
+                       100 * sim::kMicrosecond, 13},
+        CacheEquivCase{3, 5, 7, 0, 0, cache::CacheMode::kInvalidate,
+                       100 * sim::kMicrosecond, 17},
+        // Update mode (write-through re-cache of the writer's own outcome).
+        CacheEquivCase{4, 2, 2, 0, 0, cache::CacheMode::kUpdate,
+                       100 * sim::kMicrosecond, 19},
+        // ttl_ns=0: exact consistency, every consult revalidates.
+        CacheEquivCase{4, 4, -1, 0, 0, cache::CacheMode::kInvalidate, 0, 23},
+        // Batched ops through the coalescer, cache on.
+        CacheEquivCase{4, 4, -1, 0, 8, cache::CacheMode::kInvalidate,
+                       100 * sim::kMicrosecond, 29},
+        CacheEquivCase{3, 5, 7, 0, 16, cache::CacheMode::kUpdate,
+                       100 * sim::kMicrosecond, 31},
+        // Replication × cache (satellite: replica epochs must advance).
+        CacheEquivCase{4, 2, -1, 1, 0, cache::CacheMode::kInvalidate,
+                       100 * sim::kMicrosecond, 37},
+        CacheEquivCase{4, 4, -1, 2, 8, cache::CacheMode::kUpdate,
+                       100 * sim::kMicrosecond, 41}));
+
+// Under a seeded fault mix, a cached run must (a) never serve a pre-write
+// value past its lease after a retried write — the writer invalidates its
+// own entry before the first attempt ships — and (b) converge, after
+// repairing exactly the reported failures, to the same final state as a
+// fault-free uncached run of the intended stream. Per-op equivalence under
+// faults is not meaningful (a cache hit skips the fault draw an uncached
+// read would consume, shifting the seeded sequence), so convergence is the
+// property: faults change timing, never correctness.
+class CacheFaultConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheFaultConvergence, RepairedCachedRunMatchesFaultFreeUncachedRun) {
+  auto plan = std::make_shared<fabric::FaultPlan>(GetParam());
+  fabric::FaultProbabilities p;
+  p.drop = 0.03;
+  p.throw_handler = 0.02;
+  p.unavailable = 0.03;
+  p.duplicate = 0.02;
+  plan->set(fabric::OpClass::kRpc, p);
+
+  Context::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 4;
+  cfg.model = sim::CostModel::zero();
+  Context plain_ctx(cfg);
+
+  Context::Config faulty_cfg = cfg;
+  faulty_cfg.rpc_options.timeout_ns = 2 * sim::kMillisecond;
+  faulty_cfg.rpc_options.max_retries = 4;
+  faulty_cfg.fault_plan = plan;
+  Context cached_ctx(faulty_cfg);
+
+  core::ContainerOptions plain_opts;
+  plain_opts.cache.mode = cache::CacheMode::kOff;
+  core::ContainerOptions cached_opts = plain_opts;
+  cached_opts.cache.mode = cache::CacheMode::kInvalidate;
+  cached_opts.cache.ttl_ns = 100 * sim::kMicrosecond;
+  unordered_map<std::uint64_t, std::uint64_t> plain_map(plain_ctx, plain_opts);
+  unordered_map<std::uint64_t, std::uint64_t> cached_map(cached_ctx, cached_opts);
+
+  constexpr int kPerRank = 96;
+  const auto ranks = static_cast<std::size_t>(plain_ctx.topology().num_ranks());
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank + static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [](std::uint64_t k) { return k ^ 0xCAC4EDULL; };
+
+  // Intended stream, fault-free and uncached: insert all, overwrite evens.
+  plain_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = key_of(self.rank(), i);
+      ASSERT_TRUE(plain_map.insert(k, val_of(k)));
+    }
+  });
+  plain_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; i += 2) {
+      const auto k = key_of(self.rank(), i);
+      (void)plain_map.upsert(k, val_of(k) + 1);
+    }
+  });
+
+  // Cached run under faults. Reads are interleaved after the writes so the
+  // cache is hot while retries and failures are in flight.
+  std::vector<std::vector<std::uint64_t>> failed(ranks);
+  auto record_failure = [&](int rank, std::uint64_t k, const HclError& e) {
+    ASSERT_TRUE(e.code() == StatusCode::kInternal ||
+                e.code() == StatusCode::kDeadlineExceeded ||
+                e.code() == StatusCode::kUnavailable)
+        << "unexpected terminal code: " << e.what();
+    failed[static_cast<std::size_t>(rank)].push_back(k);
+  };
+  cached_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = key_of(self.rank(), i);
+      try {
+        (void)cached_map.insert(k, val_of(k));
+      } catch (const HclError& e) {
+        record_failure(self.rank(), k, e);
+      }
+      // Read back through the cache immediately — under faults the write
+      // may have taken retries; the value served must never be older than
+      // the attempted write (the writer's entry was invalidated up front).
+      try {
+        std::uint64_t v = 0;
+        if (cached_map.find(k, &v)) EXPECT_EQ(v, val_of(k));
+      } catch (const HclError&) {
+        // A failed read is acceptable under faults; staleness is not.
+      }
+    }
+  });
+  // Read-only phase, faults still on: with no writers in flight the epochs
+  // are quiescent, so the second sweep is served from lease-valid entries —
+  // genuine hits while transport faults are still being drawn for misses.
+  cached_ctx.run([&](sim::Actor& self) {
+    for (int rep = 0; rep < 2; ++rep) {
+      for (int i = 0; i < kPerRank; ++i) {
+        const auto k = key_of(self.rank(), i);
+        try {
+          std::uint64_t v = 0;
+          if (cached_map.find(k, &v)) EXPECT_EQ(v, val_of(k));
+        } catch (const HclError&) {
+        }
+      }
+    }
+  });
+
+  cached_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; i += 2) {
+      const auto k = key_of(self.rank(), i);
+      bool wrote = true;
+      try {
+        (void)cached_map.upsert(k, val_of(k) + 1);
+      } catch (const HclError& e) {
+        wrote = false;  // old value may legitimately survive until repair
+        record_failure(self.rank(), k, e);
+      }
+      if (!wrote) continue;
+      try {
+        std::uint64_t v = 0;
+        if (cached_map.find(k, &v)) EXPECT_EQ(v, val_of(k) + 1);
+      } catch (const HclError&) {
+      }
+    }
+  });
+
+  // Repair exactly the reported failures, fault-free.
+  cached_ctx.set_fault_plan(nullptr);
+  cached_ctx.run([&](sim::Actor& self) {
+    for (const auto k : failed[static_cast<std::size_t>(self.rank())]) {
+      const auto i = static_cast<int>(k % kPerRank);
+      (void)cached_map.upsert(k, i % 2 == 0 ? val_of(k) + 1 : val_of(k));
+    }
+  });
+
+  // Convergence: cached+faulty+repaired state == uncached fault-free state.
+  EXPECT_EQ(cached_map.size(), plain_map.size());
+  std::vector<std::optional<std::uint64_t>> plain_state, cached_state;
+  plain_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        plain_state.push_back(plain_map.find(key_of(static_cast<int>(r), i), &v)
+                                  ? std::optional<std::uint64_t>(v)
+                                  : std::nullopt);
+      }
+    }
+  });
+  cached_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        cached_state.push_back(cached_map.find(key_of(static_cast<int>(r), i), &v)
+                                   ? std::optional<std::uint64_t>(v)
+                                   : std::nullopt);
+      }
+    }
+  });
+  EXPECT_EQ(plain_state, cached_state);
+  EXPECT_GT(plan->counters().total(), 0) << "fault plan never fired";
+  EXPECT_GT(cached_map.cache_stats().hits, 0) << "cache never exercised";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheFaultConvergence,
+                         ::testing::Values(701u, 802u, 903u));
+
+// ---------------------------------------------------------------------------
 // Cost-model monotonicity: with the Ares model, simulated time must grow
 // with payload size for every remote container op.
 // ---------------------------------------------------------------------------
