@@ -10,7 +10,9 @@
 //       grows dynamically,
 //   (c) packets per second — BCL moves ~4x more packets for the same
 //       payload (per-op CAS round trips) and is slower to saturate.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,63 @@ Series sample(Context& ctx, sim::NodeId target, sim::NodeId client_node) {
   return s;
 }
 
+// Per-stage RoR pipeline breakdown from the tracer's stage histograms
+// (DESIGN.md §5e) — the span-level view behind Fig. 4's utilization curves.
+void print_stage_breakdown(hcl::Context& ctx, sim::NodeId target) {
+  auto& tracer = ctx.tracer();
+  if (!tracer.enabled()) return;
+  std::printf("\nper-stage pipeline breakdown at node %d (%lld spans):\n",
+              static_cast<int>(target),
+              static_cast<long long>(tracer.recorded()));
+  std::printf("  %-9s %10s %12s %12s %12s %12s\n", "stage", "ops", "mean ns",
+              "p50 ns", "p99 ns", "max ns");
+  for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    if (stage == obs::Stage::kInject) continue;  // subsumed by the wire stage
+    const auto& h = tracer.stage_histogram(target, stage);
+    if (h.count() == 0) continue;
+    std::printf("  %-9s %10lld %12.0f %12lld %12lld %12lld\n",
+                std::string(obs::to_string(stage)).c_str(),
+                static_cast<long long>(h.count()), h.mean(),
+                static_cast<long long>(h.percentile(50)),
+                static_cast<long long>(h.percentile(99)),
+                static_cast<long long>(h.max()));
+  }
+}
+
+// Cross-check the span-level stage sums against the fabric's independent
+// counters; the two accountings must agree within 1% (they are exact on
+// fault-free runs). Returns 1 on divergence so CI fails loudly.
+int check_reconciliation(hcl::Context& ctx, int num_nodes) {
+  auto& tracer = ctx.tracer();
+  if (!tracer.enabled()) return 0;
+  const auto pct = [](double a, double b) {
+    const double denom = std::max(std::abs(a), std::abs(b));
+    return denom > 0 ? 100.0 * std::abs(a - b) / denom : 0.0;
+  };
+  int rc = 0;
+  long long span_handler = 0, busy = 0, span_packets = 0, packets = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    span_handler += tracer.accounted_handler_ns(n);
+    busy += ctx.fabric().nic(n).counters().handler_busy_ns.load();
+    span_packets += tracer.accounted_packets(n);
+    packets += ctx.fabric().nic(n).counters().total_packets.load();
+  }
+  const double handler_delta = pct(static_cast<double>(span_handler),
+                                   static_cast<double>(busy));
+  const double packet_delta = pct(static_cast<double>(span_packets),
+                                  static_cast<double>(packets));
+  std::printf("span/counter reconciliation: handler %lld vs %lld ns "
+              "(d=%.3f%%); packets %lld vs %lld (d=%.3f%%)\n",
+              span_handler, busy, handler_delta, span_packets, packets,
+              packet_delta);
+  if (handler_delta > 1.0 || packet_delta > 1.0) {
+    std::fprintf(stderr, "FAIL: span stage sums diverge >1%% from counters\n");
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,7 +138,15 @@ int main(int argc, char** argv) {
   cfg.procs_per_node = clients;
   cfg.fabric_options.series_bucket = 10 * sim::kMillisecond;
   cfg.fabric_options.series_len = 4096;
+  // Trace the HCL phase for the per-stage breakdown (free in simulated time:
+  // trace_span_ns defaults to 0, so the Fig. 4 curves are unchanged). The
+  // path stays empty — the Chrome-trace export happens in the dedicated
+  // section at the end, from its own Context.
+  cfg.trace.enabled = true;
+  cfg.trace.sample_every = 64;
+  cfg.trace.path.clear();
   Context ctx(cfg);
+  int rc = 0;
 
   // ---- HCL: distributed map, partition on node 1 -------------------------
   Series hcl_series;
@@ -97,6 +164,10 @@ int main(int argc, char** argv) {
       }
     });
     hcl_series = sample(ctx, 1, 0);
+    // Span-level view of the same run, printed before the BCL phase resets
+    // the measurement window (which clears the tracer too).
+    print_stage_breakdown(ctx, 1);
+    rc |= check_reconciliation(ctx, 2);
   }
 
   // ---- BCL: static hashmap, partition on node 1 --------------------------
@@ -228,6 +299,57 @@ int main(int argc, char** argv) {
         100 * mean_nonzero(warm.nic_util),
         mean_nonzero(warm.cache_hits_per_s), hits, misses);
   }
+  // ---- Traced batched+cached Zipfian read-back: Chrome-trace export ------
+  // A fully-sampled run of the coalesced + cached read path, exported as
+  // Chrome trace events (load in Perfetto or chrome://tracing). The CI
+  // trace leg json-parses the file to keep the exporter well-formed.
+  {
+    const char* env_path = std::getenv("HCL_TRACE_PATH");
+    const std::string trace_path =
+        env_path != nullptr ? env_path : "fig4_trace.json";
+    constexpr std::uint64_t kTraceKeys = 512;
+    Context::Config tcfg = cfg;
+    tcfg.trace.enabled = true;
+    tcfg.trace.sample_every = 4;
+    tcfg.trace.path.clear();  // exported explicitly below
+    Context tctx(tcfg);
+    core::ContainerOptions options;
+    options.num_partitions = 1;
+    options.first_node = 1;
+    options.cache.mode = cache::CacheMode::kInvalidate;
+    options.cache.ttl_ns = 10 * sim::kMillisecond;
+    options.cache.capacity = kTraceKeys;
+    unordered_map<std::uint64_t, std::uint64_t> map(tctx, options);
+    tctx.run_one(0, [&](sim::Actor&) {
+      std::vector<std::uint64_t> keys(kTraceKeys), values(kTraceKeys);
+      for (std::uint64_t k = 0; k < kTraceKeys; ++k) keys[k] = values[k] = k;
+      (void)map.insert_batch(keys, values);  // batch parent + per-op spans
+    });
+    tctx.run([&](sim::Actor& self) {
+      if (self.node() != 0) return;
+      Rng rng(static_cast<std::uint64_t>(self.rank()) + 101);
+      ZipfGen zipf(kTraceKeys, 0.99, rng);
+      std::vector<std::uint64_t> keys(64);
+      for (int round = 0; round < 4; ++round) {
+        for (auto& k : keys) k = zipf.next_scrambled();
+        (void)map.find_batch(keys);  // cache hit/miss + batched RPC spans
+      }
+    });
+    auto& tracer = tctx.tracer();
+    const Status exported = tracer.export_json(trace_path);
+    if (exported.ok()) {
+      std::printf("\ntrace: %lld spans recorded, %lld retained (1-in-%llu) -> %s\n",
+                  static_cast<long long>(tracer.recorded()),
+                  static_cast<long long>(tracer.retained()),
+                  static_cast<unsigned long long>(tracer.policy().sample_every),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   exported.to_string().c_str());
+      rc = 1;
+    }
+    rc |= check_reconciliation(tctx, 2);
+  }
   print_footer();
-  return 0;
+  return rc;
 }

@@ -49,6 +49,7 @@
 
 #include "common/hash.h"
 #include "fabric/fabric.h"
+#include "obs/trace.h"
 #include "sim/actor.h"
 #include "sim/time.h"
 #include "sim/topology.h"
@@ -130,10 +131,12 @@ template <typename K, typename V, typename HashFn = Hash<K>>
 class ReadCache {
  public:
   ReadCache(fabric::Fabric& fabric, CachePolicy policy, int num_ranks,
-            std::vector<sim::NodeId> partition_nodes)
+            std::vector<sim::NodeId> partition_nodes,
+            obs::Tracer* tracer = nullptr)
       : fabric_(&fabric),
         policy_(policy),
-        partition_nodes_(std::move(partition_nodes)) {
+        partition_nodes_(std::move(partition_nodes)),
+        tracer_(tracer) {
     if (policy_.enabled()) {
       stores_.resize(static_cast<std::size_t>(num_ranks));
       for (auto& rs : stores_) {
@@ -157,11 +160,12 @@ class ReadCache {
               bool* present) {
     if (!enabled()) return false;
     RankStore& rs = store(self);
+    const sim::Nanos consult_start = self.now();
     self.advance(fabric_->model().cache_check_ns);
     auto& counters = nic_counters(partition);
     auto it = rs.entries.find(key);
     if (it == rs.entries.end()) {
-      return miss(counters);
+      return miss(self, partition, counters, consult_start);
     }
     Entry& entry = it->second;
     if (entry.epoch < rs.last_seen[static_cast<std::size_t>(partition)]) {
@@ -172,18 +176,19 @@ class ReadCache {
       stats_invalidations_.fetch_add(1, std::memory_order_relaxed);
       counters.cache_stale_count.fetch_add(1, std::memory_order_relaxed);
       counters.cache_invalidation_count.fetch_add(1, std::memory_order_relaxed);
-      return miss(counters);
+      return miss(self, partition, counters, consult_start);
     }
     if (policy_.ttl_ns <= 0 || self.now() - entry.read_at >= policy_.ttl_ns) {
       // Lease expired (ttl_ns == 0: every consult revalidates).
       rs.entries.erase(it);
       stats_expired_.fetch_add(1, std::memory_order_relaxed);
-      return miss(counters);
+      return miss(self, partition, counters, consult_start);
     }
     self.advance(fabric_->model().cache_hit_ns);
     stats_hits_.fetch_add(1, std::memory_order_relaxed);
     counters.cache_hit_count.fetch_add(1, std::memory_order_relaxed);
     counters.cache_hits.add(self.now(), 1);
+    record_span(self, partition, obs::SpanKind::kCacheHit, consult_start);
     *present = entry.present;
     if (entry.present && out != nullptr) *out = entry.value;
     return true;
@@ -277,10 +282,29 @@ class ReadCache {
         .counters();
   }
 
-  bool miss(fabric::NicCounters& counters) {
+  bool miss(sim::Actor& self, int partition, fabric::NicCounters& counters,
+            sim::Nanos consult_start) {
     stats_misses_.fetch_add(1, std::memory_order_relaxed);
     counters.cache_miss_count.fetch_add(1, std::memory_order_relaxed);
+    record_span(self, partition, obs::SpanKind::kCacheMiss, consult_start);
     return false;
+  }
+
+  /// Client-side consult span (DESIGN.md §5e): no server stages, just the
+  /// probe window. The authoritative RPC a miss falls through to records its
+  /// own full-pipeline span.
+  void record_span(sim::Actor& self, int partition, obs::SpanKind kind,
+                   sim::Nanos consult_start) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    auto span = std::make_shared<obs::Span>();
+    span->kind = kind;
+    span->target = partition_nodes_[static_cast<std::size_t>(partition)];
+    span->client_rank = self.rank();
+    span->issue_ns = consult_start;
+    span->inject_done_ns = consult_start;
+    span->arrival_ns = consult_start;
+    span->ready_ns = self.now();
+    tracer_->commit(span);
   }
 
   static void note_epoch(RankStore& rs, int partition, std::uint64_t epoch) {
@@ -292,6 +316,13 @@ class ReadCache {
            std::uint64_t epoch, sim::Nanos now) {
     auto it = rs.entries.find(key);
     if (it != rs.entries.end()) {
+      if (epoch < it->second.epoch) {
+        // No-downgrade: an older (or epoch-0 transport-failure) piggyback
+        // must never replace a fresher entry or restart its lease. Fresh
+        // inserts at epoch 0 stay allowed — a never-mutated partition
+        // legitimately publishes epoch 0.
+        return;
+      }
       it->second = Entry{epoch, now, present, value != nullptr ? *value : V{}};
       return;
     }
@@ -314,6 +345,7 @@ class ReadCache {
   fabric::Fabric* fabric_;
   CachePolicy policy_;
   std::vector<sim::NodeId> partition_nodes_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<RankStore> stores_;
 
   std::atomic<std::int64_t> stats_hits_{0};

@@ -50,14 +50,21 @@ class Context {
     /// Optional fabric fault plan, installed before any traffic. When null
     /// (default), the fabric is fault-free.
     std::shared_ptr<fabric::FaultPlan> fault_plan = nullptr;
+    /// Pipeline tracing & latency histograms (DESIGN.md §5e). Off by
+    /// default; default_trace_policy() honors HCL_TRACE / HCL_TRACE_SAMPLE /
+    /// HCL_TRACE_PATH so whole suites can run trace-on without code changes
+    /// (the CI trace-on matrix leg).
+    obs::TracePolicy trace = obs::default_trace_policy();
   };
 
   explicit Context(const Config& config)
       : topology_(config.num_nodes, config.procs_per_node),
         cluster_(topology_, config.seed),
         fabric_(topology_, config.model, config.fabric_options),
+        tracer_(config.trace, config.num_nodes),
         engine_(fabric_) {
     engine_.set_default_options(config.rpc_options);
+    engine_.set_tracer(&tracer_);
     if (config.fault_plan != nullptr) {
       fabric_.set_fault_plan(config.fault_plan);
     }
@@ -74,6 +81,15 @@ class Context {
     return fabric_.model();
   }
   [[nodiscard]] core::OpStats& op_stats() noexcept { return op_stats_; }
+
+  /// The pipeline tracer (DESIGN.md §5e): per-node/per-op-class latency and
+  /// stage histograms plus sampled spans for the Chrome-trace exporter.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  /// Non-null only when tracing is on — the form container internals pass
+  /// down so the default-off path stays a null check.
+  [[nodiscard]] obs::Tracer* tracer_if_enabled() noexcept {
+    return tracer_.enabled() ? &tracer_ : nullptr;
+  }
 
   /// Install or clear (nullptr) the fabric fault plan between phases;
   /// quiesces outstanding server-side work first so the swap is safe.
@@ -139,6 +155,7 @@ class Context {
     fabric_.drain_all();
     cluster_.reset_clocks();
     fabric_.reset_metrics();
+    tracer_.reset();
     op_stats_.reset();
   }
 
@@ -146,6 +163,7 @@ class Context {
   sim::Topology topology_;
   sim::Cluster cluster_;
   fabric::Fabric fabric_;
+  obs::Tracer tracer_;
   rpc::Engine engine_;
   core::OpStats op_stats_;
 
@@ -184,6 +202,10 @@ struct ContainerOptions {
   /// HCL_CACHE_CAPACITY and -DHCL_CACHE_DEFAULT_ON so whole suites can run
   /// cache-on without code changes (the CI cache-on matrix leg).
   cache::CachePolicy cache = cache::default_policy();
+  /// Span tracing for this container's cache hit/miss path (DESIGN.md §5e).
+  /// Only consulted when the owning Context's tracer is enabled; the policy
+  /// here lets a single container opt its cache spans out.
+  obs::TracePolicy trace = obs::default_trace_policy();
 };
 
 /// Helpers shared by container implementations.

@@ -64,7 +64,8 @@ class map {
     for (const auto& part : partitions_) owners.push_back(part->node);
     cache_ = std::make_unique<cache::ReadCache<K, V, HashFn>>(
         ctx_->fabric(), options_.cache, ctx_->topology().num_ranks(),
-        std::move(owners));
+        std::move(owners),
+        options_.trace.enabled ? ctx_->tracer_if_enabled() : nullptr);
     if (cache_->enabled()) {
       cache_hook_ = ctx_->register_cache_hook(
           [c = cache_.get()] { c->invalidate_all(); });

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/context.h"
+#include "core/persist_log.h"
 #include "lf/priority_queue.h"
+#include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
 
@@ -27,7 +29,17 @@ class priority_queue {
   using value_type = T;
 
   priority_queue(Context& ctx, core::ContainerOptions options = {})
-      : ctx_(&ctx), node_(core::partition_node(options, ctx.topology(), 0)) {
+      : ctx_(&ctx),
+        node_(core::partition_node(options, ctx.topology(), 0)),
+        options_(options) {
+    if (!options_.persist_path.empty()) {
+      auto log = core::PersistLog::open(ctx_->fabric().memory(node_),
+                                        options_.persist_path + ".pq0",
+                                        options_.sync_mode);
+      throw_if_error(log.status());
+      log_ = std::move(log.value());
+      recover();
+    }
     bind_handlers();
   }
 
@@ -45,7 +57,7 @@ class priority_queue {
     sim::Actor& self = sim::this_actor();
     if (node_ == self.node()) {
       charge_local_push(self, bytes_of(value));
-      impl_.push(value);
+      apply_push(value);
       return true;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +71,7 @@ class priority_queue {
       std::int64_t bytes = 0;
       for (const auto& v : values) bytes += bytes_of(v);
       charge_local_push(self, bytes);
-      for (const auto& v : values) impl_.push(v);
+      for (const auto& v : values) apply_push(v);
       return true;
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
@@ -71,7 +83,7 @@ class priority_queue {
     sim::Actor& self = sim::this_actor();
     if (node_ == self.node()) {
       T tmp{};
-      const bool ok = impl_.pop(&tmp);
+      const bool ok = apply_pop(&tmp);
       charge_local_pop(self, ok ? bytes_of(tmp) : 8);
       if (ok && out != nullptr) *out = std::move(tmp);
       return ok;
@@ -91,7 +103,7 @@ class priority_queue {
       const std::size_t before = out->size();
       std::int64_t bytes = 0;
       T tmp{};
-      while (out->size() - before < count && impl_.pop(&tmp)) {
+      while (out->size() - before < count && apply_pop(&tmp)) {
         bytes += bytes_of(tmp);
         out->push_back(std::move(tmp));
       }
@@ -106,10 +118,70 @@ class priority_queue {
     return n;
   }
 
+  /// Coalesced bulk push, mirroring hcl::queue::push_batch: per-op
+  /// invocations bundled under `options.batch`, each journaled as its own
+  /// record, so a fault mid-bundle fails only the elements it touched.
+  std::vector<bool> push_batch(const std::vector<T>& values,
+                               std::vector<Status>* statuses = nullptr) {
+    sim::Actor& self = sim::this_actor();
+    std::vector<bool> results(values.size(), false);
+    if (statuses != nullptr) statuses->assign(values.size(), Status::Ok());
+    if (node_ == self.node()) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        charge_local_push(self, bytes_of(values[i]));
+        apply_push(values[i]);
+        results[i] = true;
+      }
+      return results;
+    }
+    rpc::Batcher batcher(ctx_->rpc(), options_.batch,
+                         ctx_->rpc().default_options());
+    std::vector<rpc::Future<bool>> remote;
+    remote.reserve(values.size());
+    for (const auto& v : values) {
+      remote.push_back(batcher.enqueue<bool>(self, node_, push_id_, v));
+    }
+    batcher.flush_all(self);
+    ctx_->op_stats().remote_invocations.fetch_add(batcher.flushes(),
+                                                  std::memory_order_relaxed);
+    for (std::size_t i = 0; i < remote.size(); ++i) {
+      try {
+        results[i] = remote[i].get(self);
+      } catch (const HclError& e) {
+        if (statuses == nullptr) throw;
+        (*statuses)[i] = Status(e.code(), e.what());
+      }
+    }
+    return results;
+  }
+
+  /// Async push. Co-located callers take the hybrid shared-memory path (the
+  /// returned future is already resolved, awaiting it is free); only remote
+  /// callers cross the wire and count as remote invocations.
   rpc::Future<bool> async_push(const T& value) {
     sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      charge_local_push(self, bytes_of(value));
+      apply_push(value);
+      return ctx_->rpc().template resolved_future<bool>(self, node_, true);
+    }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
     return ctx_->rpc().template async_invoke<bool>(self, node_, push_id_, value);
+  }
+
+  /// Async pop-min (hybrid fast path as async_push; nullopt when empty).
+  rpc::Future<std::optional<T>> async_pop() {
+    sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      T tmp{};
+      const bool ok = apply_pop(&tmp);
+      charge_local_pop(self, ok ? bytes_of(tmp) : 8);
+      return ctx_->rpc().template resolved_future<std::optional<T>>(
+          self, node_, ok ? std::optional<T>(std::move(tmp)) : std::nullopt);
+    }
+    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+    return ctx_->rpc().template async_invoke<std::optional<T>>(self, node_,
+                                                               pop_id_);
   }
 
   [[nodiscard]] sim::NodeId host_node() const noexcept { return node_; }
@@ -117,8 +189,47 @@ class priority_queue {
   [[nodiscard]] bool empty() const { return impl_.empty(); }
 
  private:
+  enum class LogOp : std::uint8_t { kPush = 1, kPop = 2 };
+
   static std::int64_t bytes_of(const T& v) {
     return static_cast<std::int64_t>(serial::packed_size(v));
+  }
+
+  void apply_push(const T& value) {
+    impl_.push(value);
+    journal(LogOp::kPush, &value);
+  }
+  bool apply_pop(T* out) {
+    const bool ok = impl_.pop(out);
+    if (ok) journal(LogOp::kPop, nullptr);
+    return ok;
+  }
+
+  void journal(LogOp op, const T* value) {
+    if (log_ == nullptr) return;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(op));
+    if (value != nullptr) serial::save(out, *value);
+    throw_if_error(log_->append(std::span<const std::byte>(out.buffer())));
+  }
+
+  /// Sequential replay. Unlike the FIFO queue (where skipping the first
+  /// `pops` pushes is equivalent), pop-min depends on WHICH elements were
+  /// live at the time, so each record replays in order: a push inserts, a
+  /// pop removes the then-minimum — converging exactly to the survivors.
+  void recover() {
+    log_->replay([&](std::span<const std::byte> record) {
+      serial::InArchive in(record);
+      const auto op = static_cast<LogOp>(in.u64());
+      if (op == LogOp::kPush) {
+        T v{};
+        serial::load(in, v);
+        impl_.push(std::move(v));
+      } else {
+        T discard{};
+        (void)impl_.pop(&discard);
+      }
+    });
   }
 
   [[nodiscard]] sim::Nanos descent_cost() const {
@@ -150,10 +261,11 @@ class priority_queue {
       stats.local_ops.fetch_add(core::depth_levels(impl_.size()),
                                 std::memory_order_relaxed);
       stats.local_writes.fetch_add(1, std::memory_order_relaxed);
+      const sim::Nanos base =
+          sctx.batch_index == 0 ? ctx_->model().mem_insert_base_ns : 0;
       sctx.finish = ctx_->fabric().local_write(
-          sctx.node, sctx.start + ctx_->model().mem_insert_base_ns + descent_cost(),
-          bytes_of(value));
-      impl_.push(value);
+          sctx.node, sctx.start + base + descent_cost(), bytes_of(value));
+      apply_push(value);
       return true;
     });
     push_bulk_id_ = engine.bind<bool, std::vector<T>>(
@@ -164,12 +276,12 @@ class priority_queue {
               sctx.node,
               sctx.start + ctx_->model().mem_insert_base_ns + descent_cost(),
               bytes);
-          for (const auto& v : values) impl_.push(v);
+          for (const auto& v : values) apply_push(v);
           return true;
         });
     pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
       T v{};
-      const bool ok = impl_.pop(&v);
+      const bool ok = apply_pop(&v);
       auto& stats = ctx_->op_stats();
       stats.local_ops.fetch_add(1, std::memory_order_relaxed);
       stats.local_reads.fetch_add(1, std::memory_order_relaxed);
@@ -183,7 +295,7 @@ class priority_queue {
           std::vector<T> got;
           T v{};
           std::int64_t bytes = 0;
-          while (got.size() < count && impl_.pop(&v)) {
+          while (got.size() < count && apply_pop(&v)) {
             bytes += bytes_of(v);
             got.push_back(std::move(v));
           }
@@ -197,7 +309,9 @@ class priority_queue {
 
   Context* ctx_;
   sim::NodeId node_;
+  core::ContainerOptions options_;
   lf::PriorityQueue<T, Less> impl_;
+  std::unique_ptr<core::PersistLog> log_;
   rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
 };

@@ -158,14 +158,31 @@ class queue {
     return n;
   }
 
+  /// Async push. Co-located callers take the hybrid shared-memory path —
+  /// the op applies immediately at local cost and the returned future is
+  /// already resolved (awaiting it is free); only remote callers cross the
+  /// wire and count as remote invocations.
   rpc::Future<bool> async_push(const T& value) {
     sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      charge_local(self, bytes_of(value), /*write=*/true);
+      apply_push(value);
+      return ctx_->rpc().template resolved_future<bool>(self, node_, true);
+    }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
     return ctx_->rpc().template async_invoke<bool>(self, node_, push_id_, value);
   }
 
+  /// Async pop (hybrid fast path as async_push; nullopt when empty).
   rpc::Future<std::optional<T>> async_pop() {
     sim::Actor& self = sim::this_actor();
+    if (node_ == self.node()) {
+      T tmp{};
+      const bool ok = apply_pop(&tmp);
+      charge_local(self, ok ? bytes_of(tmp) : 8, /*write=*/false);
+      return ctx_->rpc().template resolved_future<std::optional<T>>(
+          self, node_, ok ? std::optional<T>(std::move(tmp)) : std::nullopt);
+    }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
     return ctx_->rpc().template async_invoke<std::optional<T>>(self, node_,
                                                                pop_id_);

@@ -44,6 +44,10 @@ struct NicCounters {
   std::atomic<std::int64_t> rpc_batched_ops{0};
   /// Server-stub execution time on the NIC cores (handler simulated spans).
   std::atomic<std::int64_t> handler_busy_ns{0};
+  /// Time delivered WQEs spent queued behind other work before their NIC-core
+  /// dispatch began (Fig. 4's queue stage; cross-checked by the tracer's
+  /// per-span queue durations).
+  std::atomic<std::int64_t> rpc_queue_wait_ns{0};
   std::atomic<std::int64_t> atomic_count{0};
   std::atomic<std::int64_t> read_count{0};
   std::atomic<std::int64_t> write_count{0};
@@ -74,6 +78,7 @@ struct NicCounters {
     rpc_batches.store(0);
     rpc_batched_ops.store(0);
     handler_busy_ns.store(0);
+    rpc_queue_wait_ns.store(0);
     atomic_count.store(0);
     read_count.store(0);
     write_count.store(0);

@@ -285,7 +285,11 @@ class Fabric {
   }
 
   /// Steps 3-4: a NIC core picks the request off the work queue and
-  /// de-marshals it. Returns when the server stub may start executing.
+  /// de-marshals it. Returns when the server stub may start executing —
+  /// i.e. the DISPATCH COMPLETION time. Anything beyond the dispatch
+  /// service itself was spent queued behind other WQEs; the engine
+  /// attributes that gap to the NIC-queue stage (rpc_queue_wait_ns, and the
+  /// queue stage of traced spans — DESIGN.md §5e).
   sim::Nanos nic_begin(sim::NodeId target, sim::Nanos arrival,
                        sim::Nanos extra_service = 0) {
     return node(target).nic.cores().reserve(

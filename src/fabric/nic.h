@@ -75,6 +75,11 @@ class Nic {
   NicCounters& counters() noexcept { return counters_; }
   sim::Resource& ingress() noexcept { return ingress_; }
   sim::Resource& atomic_unit() noexcept { return atomic_unit_; }
+  /// The k-lane NIC-core reservoir RPC dispatch reserves on (Fabric::
+  /// nic_begin). A reservation's completion time minus its arrival, minus
+  /// the dispatch service itself, is time the request waited for a free
+  /// core — surfaced as counters().rpc_queue_wait_ns and as the queue
+  /// stage of traced spans (DESIGN.md §5e).
   sim::Resource& cores() noexcept { return cores_; }
 
   /// Submit a server-stub invocation to the NIC work queue (RDMA_SEND landed

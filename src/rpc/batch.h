@@ -65,7 +65,7 @@ class Batcher {
       Pending& dest = pending_[target];
       if (dest.ops.empty()) dest.opened_at = caller.now();
       dest.bytes += out.size() + kPerOpHeaderBytes;
-      dest.ops.push_back(detail::PendingOp{id, out.take(), state});
+      dest.ops.push_back(detail::PendingOp{id, out.take(), state, caller.now()});
       if (tripped(dest, caller.now())) ready = take_locked(dest);
     }
     if (!ready.empty()) ship(caller, target, std::move(ready));

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <shared_mutex>
 #include <stdexcept>
@@ -46,6 +47,7 @@
 #include <vector>
 
 #include "fabric/fabric.h"
+#include "obs/trace.h"
 #include "rpc/future.h"
 #include "serial/databox.h"
 #include "sim/actor.h"
@@ -70,6 +72,11 @@ struct InvokeOptions {
   /// (multiplied by backoff_multiplier).
   sim::Nanos backoff_ns = 2 * sim::kMicrosecond;
   double backoff_multiplier = 2.0;
+  /// Ceiling on the grown back-off. Without one, a long retry budget
+  /// overflows the sim::Nanos product and re-sends go BACKWARDS in simulated
+  /// time; with it, back-off growth saturates (standard capped exponential
+  /// back-off). <= 0 disables the cap (overflow is still prevented).
+  sim::Nanos max_backoff_ns = 100 * sim::kMillisecond;
 };
 
 /// Flush policy for the client-side op coalescer (rpc::Batcher and the
@@ -118,6 +125,9 @@ struct PendingOp {
   FuncId id = 0;
   std::vector<std::byte> request;
   std::shared_ptr<FutureState> state;
+  /// Simulated time the op entered the coalescer — the constituent span's
+  /// issue point, so client-side linger shows up in its inject/wire stages.
+  sim::Nanos enqueued_at = 0;
 };
 
 }  // namespace detail
@@ -142,6 +152,14 @@ class Engine {
   }
 
   [[nodiscard]] fabric::Fabric& fabric() noexcept { return *fabric_; }
+
+  /// Attach the Context's tracer (DESIGN.md §5e). Null (the default) or a
+  /// disabled tracer keeps every span hook a branch-and-skip.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+  [[nodiscard]] bool tracing() const noexcept {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
 
   /// Default reliability policy applied to every invoke/async_invoke that
   /// does not pass explicit options. Set before traffic (not synchronized
@@ -295,6 +313,7 @@ class Engine {
                    *op.state);
       return;
     }
+    const std::size_t bundle_size = ops.size();
     serial::OutArchive bundle;
     bundle.u64(ops.size());
     for (const auto& op : ops) {
@@ -311,11 +330,15 @@ class Engine {
     // fulfills it synchronously because handlers execute inline.
     detail::FutureState parent;
     run_attempts(caller, target, batch_exec_id_, {}, request, wire_bytes,
-                 options, parent);
+                 options, parent, obs::SpanKind::kBatch);
+    if (parent.span != nullptr) {
+      parent.span->bundle_ops = static_cast<std::uint32_t>(bundle_size);
+    }
 
     auto pull = std::make_shared<detail::BatchPull>();
     pull->total_bytes = parent.payload.size();
     pull->ready = parent.response_ready_ns;
+    pull->span = parent.span;  // the ONE shared pull is recorded there
     if (!parent.status.ok()) {
       // Whole-bundle transport failure: every constituent gets the parent's
       // status (no response to unpack, so the shared pull is empty).
@@ -327,6 +350,13 @@ class Engine {
     }
     serial::InArchive in{std::span<const std::byte>(parent.payload)};
     std::size_t next = 0;
+    // Constituent spans: the server records each op's finish time in its
+    // packed slot, so client-side we can reconstruct the bundle's internal
+    // timeline exactly — op i picks up at (previous finish + nic_batch_op_ns)
+    // and its pickup+handler stages telescope to the bundle's busy span.
+    const bool traced = tracing() && parent.span != nullptr;
+    const sim::Nanos pickup = fabric_->model().nic_batch_op_ns;
+    sim::Nanos op_cursor = traced ? parent.span->exec_start_ns : 0;
     try {
       for (; next < ops.size(); ++next) {
         const auto code = static_cast<StatusCode>(in.u64());
@@ -337,6 +367,27 @@ class Engine {
         const std::uint64_t len = in.u64();
         std::vector<std::byte> payload(len);
         if (len > 0) in.raw_bytes(payload.data(), len);
+        if (traced && op_cursor >= 0) {
+          auto span = std::make_shared<obs::Span>();
+          span->kind = obs::SpanKind::kBatchOp;
+          span->func_id = ops[next].id;
+          span->target = target;
+          span->client_rank = parent.span->client_rank;
+          span->batch_index = static_cast<std::uint32_t>(next);
+          span->attempts = parent.span->attempts;
+          span->status = code;
+          span->issue_ns = ops[next].enqueued_at;
+          span->inject_done_ns = parent.span->inject_done_ns;
+          span->arrival_ns = parent.span->arrival_ns;
+          span->dispatch_ns = pickup;
+          span->exec_start_ns = op_cursor + pickup;
+          span->handler_end_ns = std::max(op_ready, span->exec_start_ns);
+          span->ready_ns = span->handler_end_ns;
+          // Packets stay on the kBatch parent: one wire crossing, one pull.
+          op_cursor = span->handler_end_ns;
+          ops[next].state->span = span;
+          tracer_->commit(span);
+        }
         ops[next].state->batch_pull = pull;
         ops[next].state->fulfill(std::move(payload), op_ready,
                                  Status(code, std::move(message)), op_epoch);
@@ -380,20 +431,43 @@ class Engine {
     // Fire-and-forget: the completion (including any failure status) is
     // dropped, but execute() still contains every exception, so a crashing
     // replication handler can never unwind into the primary's stub.
-    (void)execute(target, id, {}, *request, arrival);
+    Completion done = execute(target, id, {}, *request, arrival);
+    if (tracing()) {
+      auto span = std::make_shared<obs::Span>();
+      span->kind = obs::SpanKind::kReplication;
+      span->func_id = id;
+      span->target = target;
+      span->status = done.status.code();
+      span->issue_ns = ready;
+      span->inject_done_ns = ready;  // no client WQE: originates server-side
+      span->arrival_ns = arrival;
+      span->dispatch_ns = fabric_->model().nic_rpc_dispatch_ns;
+      span->exec_start_ns = done.exec_start;
+      span->handler_end_ns = done.ready;
+      span->ready_ns = done.ready;
+      // No packets attributed: send_request/pull_response never ran for the
+      // fan-out (replication rides the simulated ingress reservation only),
+      // so counters reconciliation stays exact.
+      tracer_->commit(span);
+    }
   }
 
   // ------------------------------------------------------------------
   // Used by Future<R>::get
   // ------------------------------------------------------------------
 
-  /// Charge the caller for pulling `bytes` of response that became ready at
-  /// `ready` on `target` (Fig. 2 steps 6-7).
-  void charge_pull(sim::Actor& caller, sim::NodeId target, std::size_t bytes,
-                   sim::Nanos ready) {
-    fabric_->pull_response(caller, target,
-                           static_cast<std::int64_t>(bytes + kResponseHeaderBytes),
-                           ready);
+  /// Charge the caller for pulling the response that became ready on
+  /// `target` (Fig. 2 steps 6-7) and record the pull on the op's span.
+  void charge_pull(sim::Actor& caller, sim::NodeId target,
+                   detail::FutureState& state) {
+    const auto bytes =
+        static_cast<std::int64_t>(state.payload.size() + kResponseHeaderBytes);
+    fabric_->pull_response(caller, target, bytes, state.response_ready_ns);
+    if (tracing() && state.span != nullptr && state.span->pull_done_ns < 0) {
+      tracer_->record_pull(
+          *state.span, caller.now(),
+          target != caller.node() ? fabric_->model().packets(bytes) : 0);
+    }
   }
 
   /// Charge the ONE pull of a packed batch response, shared by every
@@ -403,15 +477,40 @@ class Engine {
                          detail::BatchPull& pull) {
     std::lock_guard<std::mutex> guard(pull.mutex);
     if (!pull.charged) {
-      fabric_->pull_response(
-          caller, target,
-          static_cast<std::int64_t>(pull.total_bytes + kResponseHeaderBytes),
-          pull.ready);
+      const auto bytes =
+          static_cast<std::int64_t>(pull.total_bytes + kResponseHeaderBytes);
+      fabric_->pull_response(caller, target, bytes, pull.ready);
       pull.charged = true;
       pull.completion = caller.now();
+      if (tracing() && pull.span != nullptr && pull.span->pull_done_ns < 0) {
+        tracer_->record_pull(
+            *pull.span, caller.now(),
+            target != caller.node() ? fabric_->model().packets(bytes) : 0);
+      }
       return;
     }
     caller.advance_to(pull.completion);
+  }
+
+  /// An already-resolved future carrying `value` — the hybrid shared-memory
+  /// fast path's async shape (§III.C.5: co-located callers bypass the wire).
+  /// The caller has already applied the op and charged its local cost;
+  /// awaiting the returned future charges nothing (pre-charged pull, the
+  /// same idiom as Batcher::fail_pending) and no span is committed (cache
+  /// hit/miss spans cover the client-side story; there is no pipeline here).
+  template <typename R>
+  Future<R> resolved_future(sim::Actor& caller, sim::NodeId node,
+                            const R& value) {
+    serial::OutArchive out;
+    serial::save(out, value);
+    auto state = std::make_shared<detail::FutureState>();
+    auto no_pull = std::make_shared<detail::BatchPull>();
+    no_pull->charged = true;
+    no_pull->ready = caller.now();
+    no_pull->completion = caller.now();
+    state->batch_pull = std::move(no_pull);
+    state->fulfill(out.take(), caller.now(), Status::Ok());
+    return Future<R>(std::move(state), this, node);
   }
 
   /// Total RPCs that crossed the wire (for Table I accounting).
@@ -432,6 +531,7 @@ class Engine {
   struct Completion {
     std::vector<std::byte> payload;
     sim::Nanos ready = 0;
+    sim::Nanos exec_start = 0;  // handler start = NIC dispatch completion
     Status status = Status::Ok();
     std::uint64_t epoch = 0;  // piggybacked partition epoch (ServerCtx::epoch)
   };
@@ -439,17 +539,42 @@ class Engine {
   /// The attempt loop behind every client stub. Exactly one fulfill() on
   /// `state`, no matter which faults fire: injected drops resolve after a
   /// timeout, transient statuses retry with exponential backoff in simulated
-  /// time, and everything else surfaces as the completion's status.
+  /// time, and everything else surfaces as the completion's status. When
+  /// tracing, the op's span records the LAST attempt's stage boundaries
+  /// (earlier attempts show up as the attempt count plus their wire packets)
+  /// and is committed exactly once, right before the single fulfill().
   void run_attempts(sim::Actor& caller, sim::NodeId target, FuncId id,
                     const std::vector<FuncId>& chain,
                     const std::vector<std::byte>& request,
                     std::int64_t wire_bytes, const InvokeOptions& options,
-                    detail::FutureState& state) {
+                    detail::FutureState& state,
+                    obs::SpanKind kind = obs::SpanKind::kScalar) {
     fabric::FaultPlan* plan = fabric_->fault_plan();
     auto& counters = fabric_->nic(target).counters();
     const int attempts = 1 + std::max(0, options.max_retries);
     sim::Nanos backoff = std::max<sim::Nanos>(options.backoff_ns, 1);
     sim::Nanos resend_at = 0;  // 0 = caller's current clock
+
+    std::shared_ptr<obs::Span> span;
+    if (tracing()) {
+      span = std::make_shared<obs::Span>();
+      span->kind = kind;
+      span->func_id = id;
+      span->target = target;
+      span->client_rank = caller.rank();
+      state.span = span;
+      // Optional client-side bookkeeping charge (default 0: tracing is free
+      // in simulated time, preserving the ablation numbers).
+      if (fabric_->model().trace_span_ns > 0) {
+        caller.advance(fabric_->model().trace_span_ns);
+      }
+    }
+    const auto finish_span = [&](sim::Nanos ready, StatusCode code) {
+      if (span == nullptr) return;
+      span->ready_ns = ready;
+      span->status = code;
+      tracer_->commit(span);
+    };
 
     for (int attempt = 0; attempt < attempts; ++attempt) {
       const bool last = attempt + 1 == attempts;
@@ -464,6 +589,16 @@ class Engine {
           fabric_->send_request(caller, target, wire_bytes, resend_at, &issued);
       const sim::Nanos deadline =
           options.timeout_ns > 0 ? issued + options.timeout_ns : 0;
+      if (span != nullptr) {
+        span->attempts = static_cast<std::uint32_t>(attempt + 1);
+        span->issue_ns = issued;
+        span->inject_done_ns = issued + fabric_->model().wire_overhead_ns;
+        span->arrival_ns = arrival;
+        if (target != caller.node()) {
+          span->request_packets +=
+              static_cast<std::int64_t>(fabric_->model().packets(wire_bytes));
+        }
+      }
 
       if (fault.drop) {
         // Request lost on the wire: the handler never runs; the client
@@ -474,6 +609,8 @@ class Engine {
                           : fabric_->model().rpc_lost_request_timeout_ns);
         if (last) {
           counters.rpc_timeouts.fetch_add(1, std::memory_order_relaxed);
+          clear_exec_stages(span);
+          finish_span(give_up, StatusCode::kDeadlineExceeded);
           state.fulfill({}, give_up,
                         Status::DeadlineExceeded("request dropped; retries exhausted"));
           return;
@@ -486,6 +623,8 @@ class Engine {
         // Transient NACK from the target endpoint (no side effects).
         const sim::Nanos nack = arrival + fabric_->model().net_base_latency_ns;
         if (last) {
+          clear_exec_stages(span);
+          finish_span(nack, StatusCode::kUnavailable);
           state.fulfill({}, nack, Status::Unavailable("injected transient fault"));
           return;
         }
@@ -496,13 +635,21 @@ class Engine {
       if (fault.duplicate) {
         // Duplicate delivery (NIC-level retransmission): the handler runs
         // twice; the client consumes one response. Containers must be
-        // idempotent under this (fault_test proves the contract).
+        // idempotent under this (fault_test proves the contract). The twin
+        // execution is invisible to the span (it charges the counters only),
+        // so busy/span reconciliation is exact only on fault-free runs.
         (void)execute(target, id, chain, request, arrival);
       }
 
       Completion done =
           execute(target, id, chain, request, arrival, fault.throw_handler);
+      const sim::Nanos handler_end = done.ready;  // before any NIC-stall delay
       if (fault.delay_ns > 0) done.ready += fault.delay_ns;  // NIC stall
+      if (span != nullptr) {
+        span->dispatch_ns = fabric_->model().nic_rpc_dispatch_ns;
+        span->exec_start_ns = done.exec_start;
+        span->handler_end_ns = handler_end;
+      }
 
       if (!last && is_retryable(done.status.code())) {
         resend_at = done.ready + backoff;
@@ -518,20 +665,41 @@ class Engine {
           continue;
         }
         counters.rpc_timeouts.fetch_add(1, std::memory_order_relaxed);
+        finish_span(deadline, StatusCode::kDeadlineExceeded);
         state.fulfill({}, deadline,
                       Status::DeadlineExceeded("response after deadline"));
         return;
       }
+      finish_span(done.ready, done.status.code());
       state.fulfill(std::move(done.payload), done.ready, std::move(done.status),
                     done.epoch);
       return;
     }
   }
 
+  /// A final attempt that never reached the handler has no server-side
+  /// stages — wipe them so the span's queue/dispatch/handler durations from
+  /// an EARLIER attempt do not masquerade as this one's.
+  static void clear_exec_stages(const std::shared_ptr<obs::Span>& span) {
+    if (span == nullptr) return;
+    span->dispatch_ns = 0;
+    span->exec_start_ns = -1;
+    span->handler_end_ns = -1;
+  }
+
   static sim::Nanos grow(sim::Nanos backoff, const InvokeOptions& options) {
     const double mult =
         options.backoff_multiplier > 1.0 ? options.backoff_multiplier : 1.0;
-    return static_cast<sim::Nanos>(static_cast<double>(backoff) * mult);
+    const sim::Nanos cap = options.max_backoff_ns > 0
+                               ? options.max_backoff_ns
+                               : std::numeric_limits<sim::Nanos>::max();
+    // Grow in double and compare against the cap BEFORE narrowing: the
+    // product can exceed sim::Nanos range long before the retry budget runs
+    // out, and the old int64 cast wrapped negative (resend_at going
+    // backwards in time).
+    const double next = static_cast<double>(backoff) * mult;
+    if (next >= static_cast<double>(cap)) return cap;
+    return std::max(backoff, static_cast<sim::Nanos>(next));
   }
 
   /// Run the server stub (plus chain) for one delivered request. Contains
@@ -550,8 +718,19 @@ class Engine {
     ctx.start = fabric_->nic_begin(target, arrival);
     ctx.finish = ctx.start;
     const sim::Nanos dispatch_start = ctx.start;
+    auto& counters = fabric_->nic(target).counters();
+    // nic_begin returns the DISPATCH COMPLETION time; anything beyond the
+    // dispatch service itself was spent queued behind other WQEs (Fig. 4's
+    // NIC-queue stage).
+    const sim::Nanos queue_wait =
+        ctx.start - arrival - fabric_->model().nic_rpc_dispatch_ns;
+    if (queue_wait > 0) {
+      counters.rpc_queue_wait_ns.fetch_add(queue_wait,
+                                           std::memory_order_relaxed);
+    }
 
     Completion done;
+    done.exec_start = dispatch_start;
     RawHandler handler = find(id);
     if (!handler) {
       done.status =
@@ -572,9 +751,26 @@ class Engine {
             done.status = Status::NotFound("chained handler missing");
             break;
           }
+          const sim::Nanos prev_finish = ctx.finish;
           ctx.start = fabric_->nic_begin(target, ctx.finish);
           ctx.finish = ctx.start;
           done.payload = chained(ctx, std::span<const std::byte>(done.payload));
+          if (tracing()) {
+            // One span per chained stage: "arrives" when the previous stage
+            // finished, re-dispatches on the same NIC core, runs to finish.
+            // Excluded from accounted_handler_ns (the parent scalar span's
+            // handler stage already covers the whole chain).
+            auto stage = std::make_shared<obs::Span>();
+            stage->kind = obs::SpanKind::kChainStage;
+            stage->func_id = next;
+            stage->target = target;
+            stage->arrival_ns = prev_finish;
+            stage->dispatch_ns = fabric_->model().nic_rpc_dispatch_ns;
+            stage->exec_start_ns = ctx.start;
+            stage->handler_end_ns = ctx.finish;
+            stage->ready_ns = ctx.finish;
+            tracer_->commit(stage);
+          }
         }
       } catch (const HclError& e) {
         done.payload.clear();
@@ -590,10 +786,9 @@ class Engine {
     // Account the stub's execution span as NIC-core busy time (Fig. 4a) on
     // all exits — error paths charge whatever the handler consumed before
     // failing, so utilization under failure is not under-reported.
-    fabric_->nic(target).counters().handler_busy_ns.fetch_add(
-        ctx.finish - dispatch_start, std::memory_order_relaxed);
-    fabric_->nic(target).counters().busy.add(dispatch_start,
-                                             ctx.finish - dispatch_start);
+    counters.handler_busy_ns.fetch_add(ctx.finish - dispatch_start,
+                                       std::memory_order_relaxed);
+    counters.busy.add(dispatch_start, ctx.finish - dispatch_start);
     done.ready = ctx.finish;
     done.epoch = ctx.epoch;
     return done;
@@ -698,6 +893,7 @@ class Engine {
   }
 
   fabric::Fabric* fabric_;
+  obs::Tracer* tracer_ = nullptr;
   std::shared_mutex registry_mutex_;
   std::unordered_map<FuncId, RawHandler> registry_;
   std::atomic<FuncId> next_id_{1};
@@ -716,8 +912,7 @@ R Future<R>::get(sim::Actor& caller) {
   if (state_->batch_pull != nullptr) {
     engine_->charge_batch_pull(caller, target_, *state_->batch_pull);
   } else {
-    engine_->charge_pull(caller, target_, state_->payload.size(),
-                         state_->response_ready_ns);
+    engine_->charge_pull(caller, target_, *state_);
   }
   throw_if_error(state_->status);
   if constexpr (std::is_void_v<R>) {
@@ -737,8 +932,7 @@ Status Future<R>::wait(sim::Actor& caller) {
   if (state_->batch_pull != nullptr) {
     engine_->charge_batch_pull(caller, target_, *state_->batch_pull);
   } else {
-    engine_->charge_pull(caller, target_, state_->payload.size(),
-                         state_->response_ready_ns);
+    engine_->charge_pull(caller, target_, *state_);
   }
   return state_->status;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "sim/time.h"
 #include "sim/topology.h"
 
@@ -40,6 +41,10 @@ struct BatchPull {
   sim::Nanos completion = 0;     // caller-side availability after the pull
   sim::Nanos ready = 0;          // when the packed response buffer was written
   std::size_t total_bytes = 0;   // packed response size (all constituents)
+  /// The bundle parent's trace span, when tracing is on: the one shared pull
+  /// is recorded there (constituents carry zero pull cost, matching the
+  /// counters). Null when tracing is off.
+  std::shared_ptr<obs::Span> span;
 };
 
 /// Type-erased completion state shared between the NIC executor (producer)
@@ -60,6 +65,9 @@ struct FutureState {
   /// siblings share one BatchPull so the packed response crosses the wire
   /// once. Set by Engine::send_batch before fulfill() publishes the state.
   std::shared_ptr<BatchPull> batch_pull;
+  /// This op's trace span when tracing is on (DESIGN.md §5e); the engine
+  /// records the response pull on it when the future is awaited.
+  std::shared_ptr<obs::Span> span;
   std::vector<std::function<void(const FutureState&)>> continuations;
 
   void fulfill(std::vector<std::byte> bytes, sim::Nanos ready, Status st,

@@ -64,6 +64,12 @@ struct CostModel {
   /// (the amortization Table I's bulk rows and ablation A6 measure).
   Nanos nic_batch_op_ns = 150;
 
+  // ---- Observability (DESIGN.md §5e) ----
+  /// Client-core bookkeeping charge per traced op span. Default 0 everywhere
+  /// (tracing is free in simulated time so trace-on runs reproduce trace-off
+  /// numbers); set >0 to model a real tracer's client-side overhead.
+  Nanos trace_span_ns = 0;
+
   // ---- Client-side read cache (DESIGN.md §5d) ----
   /// Client-core cost of consulting the per-rank read cache (hash probe +
   /// epoch/lease check). Charged on EVERY consult, hit or miss — the miss

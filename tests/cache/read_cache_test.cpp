@@ -371,5 +371,88 @@ TEST(ReadCache, CacheHitTimeComesFromTheCostModel) {
   EXPECT_EQ(hit_cost, m.cache_check_ns + m.cache_hit_ns);
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-0 / stale piggybacks (transport failures, reordered responses) must
+// never downgrade or refresh a fresher cached entry — but a fresh insert at
+// epoch 0 is legal (a partition that has never been written reports epoch 0).
+// ---------------------------------------------------------------------------
+
+TEST(ReadCacheUnit, StalePiggybackNeverDowngradesAFreshEntry) {
+  fabric::Fabric fabric(sim::Topology(2, 1), sim::CostModel::zero());
+  cache::ReadCache<std::uint64_t, std::uint64_t> cache(
+      fabric, invalidate_policy(), /*num_ranks=*/1, {1});
+  sim::Actor self(0, 0, 1);
+  cache.store_read(self, 0, 5, std::optional<std::uint64_t>(7), /*epoch=*/5);
+  // A failed-transport response piggybacks epoch 0; a reordered older
+  // response carries epoch 3. Neither may replace the epoch-5 entry.
+  cache.store_read(self, 0, 5, std::optional<std::uint64_t>(9), 0);
+  cache.store_read(self, 0, 5, std::optional<std::uint64_t>(9), 3);
+  std::uint64_t v = 0;
+  bool present = false;
+  ASSERT_TRUE(cache.lookup(self, 0, 5, &v, &present));
+  EXPECT_TRUE(present);
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(ReadCacheUnit, EpochZeroPiggybackDoesNotRestartTheLease) {
+  fabric::Fabric fabric(sim::Topology(2, 1), sim::CostModel::zero());
+  cache::ReadCache<std::uint64_t, std::uint64_t> cache(
+      fabric, invalidate_policy(/*ttl=*/1'000), /*num_ranks=*/1, {1});
+  sim::Actor self(0, 0, 1);
+  cache.store_read(self, 0, 5, std::optional<std::uint64_t>(7), 4);
+  self.advance(600);
+  // The no-op refresh must not move the lease start...
+  cache.store_read(self, 0, 5, std::optional<std::uint64_t>(7), 0);
+  self.advance(600);
+  // ...so at t=1200 the original t=0 lease has expired and the read misses.
+  std::uint64_t v = 0;
+  bool present = false;
+  EXPECT_FALSE(cache.lookup(self, 0, 5, &v, &present));
+  EXPECT_EQ(cache.stats().expired, 1);
+}
+
+TEST(ReadCacheUnit, EpochZeroFreshInsertIsServeable) {
+  fabric::Fabric fabric(sim::Topology(2, 1), sim::CostModel::zero());
+  cache::ReadCache<std::uint64_t, std::uint64_t> cache(
+      fabric, invalidate_policy(), /*num_ranks=*/1, {1});
+  sim::Actor self(0, 0, 1);
+  // An unwritten partition legitimately reports epoch 0; its reads cache.
+  cache.store_read(self, 0, 9, std::optional<std::uint64_t>(3), 0);
+  std::uint64_t v = 0;
+  bool present = false;
+  ASSERT_TRUE(cache.lookup(self, 0, 9, &v, &present));
+  EXPECT_TRUE(present);
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ReadCache, FailedWriteNeverCachesItsOutcome) {
+  auto plan = std::make_shared<fabric::FaultPlan>(7);
+  Context::Config cfg = zero_config(2, 1);
+  cfg.fault_plan = plan;
+  Context ctx(cfg);
+  auto policy = invalidate_policy();
+  policy.mode = cache::CacheMode::kUpdate;  // the mode that re-caches writes
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, {.cache = policy});
+  const auto k = remote_key(map);
+  const auto target = map.partition_owner(map.partition_of(k));
+
+  ctx.run_one(0, [&](sim::Actor&) { ASSERT_TRUE(map.insert(k, 100)); });
+
+  // The upsert (this rank's RPC #1 into the target) throws in the handler:
+  // its response resolves failed, piggybacking no epoch. The failed write
+  // must not cache `200`, and the next read must refetch the truth.
+  plan->trigger_at(target, fabric::OpClass::kRpc, 1, fabric::FaultKind::kThrow);
+  ctx.run_one(0, [&](sim::Actor&) {
+    EXPECT_THROW(map.upsert(k, 200), HclError);
+    const auto before = remote_invocations(ctx);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.find(k, &v));
+    EXPECT_EQ(v, 100u) << "a failed write's outcome was served from cache";
+    EXPECT_EQ(remote_invocations(ctx), before + 1);  // authoritative refetch
+  });
+  EXPECT_GT(plan->counters().total(), 0) << "fault never fired";
+}
+
 }  // namespace
 }  // namespace hcl

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -320,6 +321,203 @@ TEST(PriorityQueue, ConcurrentMixedWorkload) {
     while (pq.pop(&v)) ++drained;
   });
   EXPECT_EQ(pushed.load(), popped.load() + drained);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid async fast path: co-located async ops must stay in shared memory
+// (§III.C.5), exactly like their synchronous siblings. They used to cross
+// the RoR pipeline and count as remote invocations.
+// ---------------------------------------------------------------------------
+
+TEST(Queue, CoLocatedAsyncOpsStayLocal) {
+  Context ctx(zero_config(2, 1));
+  queue<int> q(ctx);  // hosted on node 0, same node as rank 0
+  ctx.run_one(0, [&](Actor& self) {
+    const auto f = ctx.op_stats().remote_invocations.load();
+    const auto rpcs = ctx.fabric().nic(0).counters().rpc_count.load();
+    const auto writes = ctx.op_stats().local_writes.load();
+    auto push = q.async_push(42);
+    EXPECT_TRUE(push.get(self));
+    auto pop = q.async_pop();
+    auto v = pop.get(self);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+    EXPECT_EQ(ctx.op_stats().remote_invocations.load(), f);  // no F charged
+    EXPECT_EQ(ctx.fabric().nic(0).counters().rpc_count.load(), rpcs);
+    EXPECT_GT(ctx.op_stats().local_writes.load(), writes);
+  });
+  // The remote rank still pays the wire: same ops from node 1 are RPCs.
+  ctx.run_one(1, [&](Actor& self) {
+    const auto f = ctx.op_stats().remote_invocations.load();
+    auto push = q.async_push(7);
+    EXPECT_TRUE(push.get(self));
+    auto pop = q.async_pop();
+    EXPECT_EQ(pop.get(self).value(), 7);
+    EXPECT_EQ(ctx.op_stats().remote_invocations.load(), f + 2);
+  });
+}
+
+TEST(PriorityQueue, CoLocatedAsyncOpsStayLocal) {
+  Context ctx(zero_config(2, 1));
+  priority_queue<int> pq(ctx);  // hosted on node 0
+  ctx.run_one(0, [&](Actor& self) {
+    const auto f = ctx.op_stats().remote_invocations.load();
+    const auto rpcs = ctx.fabric().nic(0).counters().rpc_count.load();
+    EXPECT_TRUE(pq.async_push(30).get(self));
+    EXPECT_TRUE(pq.async_push(10).get(self));
+    EXPECT_TRUE(pq.async_push(20).get(self));
+    auto v = pq.async_pop().get(self);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 10);  // min-order preserved through the local path
+    EXPECT_EQ(ctx.op_stats().remote_invocations.load(), f);
+    EXPECT_EQ(ctx.fabric().nic(0).counters().rpc_count.load(), rpcs);
+  });
+  ctx.run_one(1, [&](Actor& self) {
+    const auto f = ctx.op_stats().remote_invocations.load();
+    EXPECT_TRUE(pq.async_push(5).get(self));
+    EXPECT_EQ(pq.async_pop().get(self).value(), 5);
+    EXPECT_EQ(ctx.op_stats().remote_invocations.load(), f + 2);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Persistence under interleaved batched pushes and pops: replay converges to
+// the survivors in order, even when the fault plan kills a mid-bundle op.
+// ---------------------------------------------------------------------------
+
+TEST(Queue, PersistenceRecoversInterleavedBatchedOps) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hcl_queue_interleave_persist")
+          .string();
+  std::filesystem::remove(path + ".q0");
+  std::vector<int> expect;  // model of the host's surviving FIFO
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.first_node = 1;  // rank 0 drives everything through the wire
+    options.batch.max_ops = 4;
+    options.batch.max_delay_ns = 0;
+    queue<int> q(ctx, options);
+
+    auto plan = std::make_shared<fabric::FaultPlan>(17);
+    plan->trigger_at(1, fabric::OpClass::kBatchOp, 5, fabric::FaultKind::kDrop);
+    ctx.set_fault_plan(plan);
+
+    ctx.run_one(0, [&](Actor&) {
+      std::vector<Status> statuses;
+      const std::vector<int> first{0, 1, 2, 3, 4, 5};  // op #5 is dropped
+      const auto ok1 = q.push_batch(first, &statuses);
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(ok1[i], statuses[i].ok());
+        if (statuses[i].ok()) expect.push_back(first[i]);
+      }
+      ASSERT_EQ(expect.size(), 5u);
+
+      int v = 0;
+      for (int i = 0; i < 2; ++i) {  // scalar pops interleave with bundles
+        ASSERT_TRUE(q.pop(&v));
+        EXPECT_EQ(v, expect.front());
+        expect.erase(expect.begin());
+      }
+
+      const std::vector<int> second{6, 7, 8, 9, 10, 11};
+      const auto ok2 = q.push_batch(second, &statuses);
+      for (std::size_t i = 0; i < second.size(); ++i) {
+        ASSERT_TRUE(ok2[i]) << i;
+        expect.push_back(second[i]);
+      }
+
+      ASSERT_TRUE(q.pop(&v));
+      EXPECT_EQ(v, expect.front());
+      expect.erase(expect.begin());
+    });
+  }  // "crash"
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.first_node = 1;
+    queue<int> q(ctx, options);
+    EXPECT_EQ(q.size(), expect.size());
+    ctx.run_one(0, [&](Actor&) {
+      int v = 0;
+      for (const int want : expect) {
+        ASSERT_TRUE(q.pop(&v));
+        EXPECT_EQ(v, want);  // FIFO of the survivors, across the restart
+      }
+      EXPECT_FALSE(q.pop(&v));
+    });
+  }
+  std::filesystem::remove(path + ".q0");
+}
+
+TEST(PriorityQueue, PersistenceRecoversInterleavedBatchedOps) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hcl_pq_interleave_persist")
+          .string();
+  std::filesystem::remove(path + ".pq0");
+  std::vector<int> expect;  // sorted survivors at crash time
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.first_node = 1;
+    options.batch.max_ops = 4;
+    options.batch.max_delay_ns = 0;
+    priority_queue<int> pq(ctx, options);
+
+    auto plan = std::make_shared<fabric::FaultPlan>(19);
+    plan->trigger_at(1, fabric::OpClass::kBatchOp, 2, fabric::FaultKind::kDrop);
+    ctx.set_fault_plan(plan);
+
+    ctx.run_one(0, [&](Actor&) {
+      std::multiset<int> model;
+      std::vector<Status> statuses;
+      const std::vector<int> first{50, 40, 30, 20};  // op #2 (30) is dropped
+      const auto ok1 = pq.push_batch(first, &statuses);
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(ok1[i], statuses[i].ok());
+        if (statuses[i].ok()) model.insert(first[i]);
+      }
+      ASSERT_EQ(model.size(), 3u);
+      ASSERT_FALSE(statuses[2].ok());
+
+      int v = 0;
+      ASSERT_TRUE(pq.pop(&v));  // a pop between the bundles removes the min
+      EXPECT_EQ(v, *model.begin());
+      model.erase(model.begin());
+
+      const std::vector<int> second{10, 60, 25};
+      const auto ok2 = pq.push_batch(second, &statuses);
+      for (std::size_t i = 0; i < second.size(); ++i) {
+        ASSERT_TRUE(ok2[i]) << i;
+        model.insert(second[i]);
+      }
+
+      ASSERT_TRUE(pq.pop(&v));
+      EXPECT_EQ(v, *model.begin());
+      model.erase(model.begin());
+      expect.assign(model.begin(), model.end());
+    });
+  }  // "crash"
+  {
+    Context ctx(zero_config(2, 1));
+    core::ContainerOptions options;
+    options.persist_path = path;
+    options.first_node = 1;
+    priority_queue<int> pq(ctx, options);
+    EXPECT_EQ(pq.size(), expect.size());
+    ctx.run_one(0, [&](Actor&) {
+      int v = 0;
+      for (const int want : expect) {  // replay converged to the survivors
+        ASSERT_TRUE(pq.pop(&v));
+        EXPECT_EQ(v, want);  // and pops still drain in min-order
+      }
+      EXPECT_FALSE(pq.pop(&v));
+    });
+  }
+  std::filesystem::remove(path + ".pq0");
 }
 
 }  // namespace

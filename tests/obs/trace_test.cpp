@@ -1,0 +1,509 @@
+// Op-level tracing for the RoR pipeline (DESIGN.md §5e): spans carry exact
+// simulated-time stage boundaries, histograms/stage sums aggregate every op
+// (sampling only thins the exported records), and the stage sums reconcile
+// EXACTLY against the fabric's handler-busy and packet counters on
+// fault-free runs. Tracing off must cost nothing — same clocks, no spans.
+//
+// Every test passes an explicit TracePolicy (never default_trace_policy())
+// so the suite behaves identically under the CI tier1-trace-on leg, which
+// forces HCL_TRACE=1 for the whole binary.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hcl.h"
+#include "fabric/fault_plan.h"
+#include "obs/histogram.h"
+#include "rpc/batch.h"
+#include "rpc/engine.h"
+
+namespace hcl {
+namespace {
+
+using obs::Histogram;
+using obs::Span;
+using obs::SpanKind;
+using obs::Stage;
+using obs::TracePolicy;
+using obs::Tracer;
+using rpc::Engine;
+using rpc::FuncId;
+using rpc::InvokeOptions;
+using rpc::ServerCtx;
+using sim::Actor;
+using sim::CostModel;
+using sim::Nanos;
+using sim::Topology;
+
+// ---------------------------------------------------------------------------
+// Histogram: log-linear HDR bucketing
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(100), 0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (Nanos v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16);
+  EXPECT_EQ(h.sum(), 120);
+  EXPECT_EQ(h.max(), 15);
+  // Values below 16 land in unit buckets, so percentiles are exact.
+  EXPECT_EQ(h.percentile(100), 15);
+  EXPECT_EQ(h.percentile(50), 7);
+}
+
+TEST(HistogramTest, RelativeErrorIsBounded) {
+  Histogram h;
+  const Nanos v = 1'234'567;
+  h.record(v);
+  EXPECT_EQ(h.percentile(100), v);  // p100 returns the exact max
+  const Nanos p50 = h.percentile(50);
+  EXPECT_GE(p50, v);  // bucket upper bound never undercounts
+  EXPECT_LE(static_cast<double>(p50), static_cast<double>(v) * 1.0625 + 1);
+}
+
+TEST(HistogramTest, BucketBoundsAreConsistent) {
+  for (Nanos v : {0LL, 1LL, 15LL, 16LL, 17LL, 255LL, 4'096LL, 1'000'000LL,
+                  123'456'789'012LL}) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(b)) << "value " << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper_bound(b - 1)) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(99), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level spans (direct Engine + Fabric + Tracer, no Context)
+// ---------------------------------------------------------------------------
+
+TracePolicy trace_on(std::uint64_t sample_every = 1) {
+  TracePolicy p;
+  p.enabled = true;
+  p.sample_every = sample_every;
+  return p;  // path empty: no auto-export from tests
+}
+
+struct TraceTest : ::testing::Test {
+  TraceTest()
+      : fabric(Topology(2, 2), CostModel::ares()),
+        engine(fabric),
+        tracer(trace_on(), 2) {
+    engine.set_tracer(&tracer);
+  }
+  fabric::Fabric fabric;
+  Engine engine;
+  Tracer tracer;
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothingAndChargesNothing) {
+  Tracer off(TracePolicy{}, 2);
+  engine.set_tracer(&off);
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  Actor client(0, 0, 1);
+  EXPECT_EQ((engine.invoke<int>(client, 1, echo, 3)), 3);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.recorded(), 0);
+  EXPECT_EQ(off.retained(), 0);
+  EXPECT_TRUE(off.spans().empty());
+}
+
+TEST_F(TraceTest, ScalarSpanCarriesExactStageBoundaries) {
+  constexpr Nanos kWork = 500;
+  const FuncId busy = engine.bind<int>([](ServerCtx& ctx) {
+    ctx.finish = ctx.start + kWork;
+    return 1;
+  });
+  Actor client(0, 0, 1);
+  EXPECT_EQ((engine.invoke<int>(client, 1, busy)), 1);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const Span& s = *spans[0];
+  const auto& m = fabric.model();
+  EXPECT_EQ(s.kind, SpanKind::kScalar);
+  EXPECT_EQ(s.target, 1);
+  EXPECT_EQ(s.client_rank, 0);
+  EXPECT_EQ(s.attempts, 1u);
+  EXPECT_EQ(s.status, StatusCode::kOk);
+  // Stage boundaries on an idle fabric are fully determined by the model.
+  EXPECT_EQ(s.issue_ns, 0);
+  EXPECT_EQ(s.inject_done_ns, m.wire_overhead_ns);
+  EXPECT_GE(s.arrival_ns, s.issue_ns + m.net_base_latency_ns);
+  EXPECT_GE(s.arrival_ns, s.inject_done_ns);  // the wire subsumes injection
+  EXPECT_EQ(s.dispatch_ns, m.nic_rpc_dispatch_ns);
+  EXPECT_EQ(s.exec_start_ns, s.arrival_ns + m.nic_rpc_dispatch_ns);  // no queue
+  EXPECT_EQ(s.handler_end_ns, s.exec_start_ns + kWork);
+  EXPECT_EQ(s.ready_ns, s.handler_end_ns);
+  EXPECT_GE(s.pull_done_ns, s.ready_ns);  // invoke awaited the future
+  EXPECT_EQ(s.request_packets, 1);
+  EXPECT_EQ(s.pull_packets, 1);
+  // The stage durations tile the end-to-end latency exactly.
+  EXPECT_EQ(s.stage_duration(Stage::kHandler), kWork);
+  EXPECT_EQ(s.stage_duration(Stage::kQueue), 0);
+  EXPECT_EQ(s.latency_ns(), s.stage_duration(Stage::kWire) +
+                                s.stage_duration(Stage::kQueue) +
+                                s.stage_duration(Stage::kDispatch) +
+                                s.stage_duration(Stage::kHandler));
+  EXPECT_EQ(tracer.latency_histogram(1, SpanKind::kScalar).count(), 1);
+  EXPECT_EQ(tracer.stage_sum_ns(1, SpanKind::kScalar, Stage::kHandler), kWork);
+}
+
+TEST_F(TraceTest, HandlerStageSumsReconcileWithBusyCounters) {
+  const FuncId work = engine.bind<int, int>([](ServerCtx& ctx, const int& v) {
+    ctx.finish = ctx.start + 700;
+    return v * 2;
+  });
+  const FuncId stage = engine.bind<int, int>([](ServerCtx& ctx, const int& v) {
+    ctx.finish = ctx.start + 300;
+    return v + 1;
+  });
+  Actor client(0, 0, 1);
+  // Mixed workload: remote scalars, local scalars, a chained invoke, and a
+  // coalesced bundle — every shape the accounting must cover.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((engine.invoke<int>(client, 1, work, i)), i * 2);
+  }
+  EXPECT_EQ((engine.invoke<int>(client, 0, work, 4)), 8);
+  EXPECT_EQ((engine.invoke_chain<int>(client, 1, work, {stage, stage}, 5)), 12);
+  rpc::BatchPolicy policy;
+  policy.max_ops = 64;
+  policy.max_delay_ns = 0;
+  rpc::Batcher batcher(engine, policy);
+  std::vector<rpc::Future<int>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(batcher.enqueue<int>(client, 1, work, i));
+  }
+  batcher.flush_all(client);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(futures[i].get(client), i * 2);
+
+  for (sim::NodeId n = 0; n < 2; ++n) {
+    EXPECT_EQ(tracer.accounted_handler_ns(n),
+              fabric.nic(n).counters().handler_busy_ns.load())
+        << "node " << n;
+  }
+}
+
+TEST_F(TraceTest, PacketSumsReconcileWithFabricTotals) {
+  const FuncId echo = engine.bind<std::vector<std::uint64_t>, std::uint64_t>(
+      [](ServerCtx&, const std::uint64_t& n) {
+        return std::vector<std::uint64_t>(n, 42);  // multi-packet responses
+      });
+  Actor client(0, 0, 1);
+  for (std::uint64_t n : {std::uint64_t{1}, std::uint64_t{100},
+                          std::uint64_t{1000}}) {
+    EXPECT_EQ((engine.invoke<std::vector<std::uint64_t>>(client, 1, echo, n))
+                  .size(),
+              n);
+  }
+  EXPECT_EQ((engine.invoke<std::vector<std::uint64_t>>(client, 0, echo,
+                                                       std::uint64_t{8}))
+                .size(),
+            8u);  // local: zero packets on both sides of the ledger
+  rpc::BatchPolicy policy;
+  policy.max_ops = 64;
+  policy.max_delay_ns = 0;
+  rpc::Batcher batcher(engine, policy);
+  std::vector<rpc::Future<std::vector<std::uint64_t>>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(batcher.enqueue<std::vector<std::uint64_t>>(
+        client, 1, echo, std::uint64_t{200}));
+  }
+  batcher.flush_all(client);
+  for (auto& f : futures) EXPECT_EQ(f.get(client).size(), 200u);
+
+  std::int64_t accounted = 0, counted = 0;
+  for (sim::NodeId n = 0; n < 2; ++n) {
+    accounted += tracer.accounted_packets(n);
+    counted += fabric.nic(n).counters().total_packets.load();
+  }
+  EXPECT_EQ(accounted, counted);
+}
+
+TEST_F(TraceTest, TracingOnAddsNoSimulatedCost) {
+  const auto run = [](Tracer* t) {
+    fabric::Fabric fabric(Topology(2, 2), CostModel::ares());
+    Engine engine(fabric);
+    if (t != nullptr) engine.set_tracer(t);
+    const FuncId work = engine.bind<int, int>([](ServerCtx& ctx, const int& v) {
+      ctx.finish = ctx.start + 400;
+      return v;
+    });
+    Actor client(0, 0, 1);
+    std::vector<rpc::Future<int>> futures;
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(engine.async_invoke<int>(client, 1, work, i));
+    }
+    for (auto& f : futures) (void)f.get(client);
+    return client.now();
+  };
+  Tracer traced(trace_on(), 2);
+  const Nanos with_trace = run(&traced);
+  const Nanos without_trace = run(nullptr);
+  EXPECT_EQ(with_trace, without_trace);
+  EXPECT_EQ(traced.recorded(), 32);
+}
+
+TEST_F(TraceTest, SamplingThinsRecordsButNotHistograms) {
+  Tracer sampled(trace_on(/*sample_every=*/4), 2);
+  engine.set_tracer(&sampled);
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  Actor client(0, 0, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((engine.invoke<int>(client, 1, echo, i)), i);
+  }
+  EXPECT_EQ(sampled.recorded(), 10);
+  EXPECT_EQ(sampled.retained(), 3);  // commits 0, 4, 8
+  EXPECT_EQ(sampled.dropped(), 0);
+  // Aggregation is unsampled: the histogram saw every op.
+  EXPECT_EQ(sampled.latency_histogram(1, SpanKind::kScalar).count(), 10);
+}
+
+TEST_F(TraceTest, MaxSpansCapCountsDrops) {
+  TracePolicy p = trace_on();
+  p.max_spans = 2;
+  Tracer capped(p, 2);
+  engine.set_tracer(&capped);
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  Actor client(0, 0, 1);
+  for (int i = 0; i < 5; ++i) (void)engine.invoke<int>(client, 1, echo, i);
+  EXPECT_EQ(capped.recorded(), 5);
+  EXPECT_EQ(capped.retained(), 2);
+  EXPECT_EQ(capped.dropped(), 3);
+}
+
+TEST_F(TraceTest, BatchConstituentStagesTelescopeToTheParent) {
+  constexpr Nanos kWork = 100;
+  constexpr std::size_t kOps = 8;
+  const FuncId work = engine.bind<int, int>([](ServerCtx& ctx, const int& v) {
+    ctx.finish = ctx.start + kWork;
+    return v;
+  });
+  Actor client(0, 0, 1);
+  rpc::BatchPolicy policy;
+  policy.max_ops = 64;
+  policy.max_delay_ns = 0;
+  rpc::Batcher batcher(engine, policy);
+  std::vector<rpc::Future<int>> futures;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    futures.push_back(
+        batcher.enqueue<int>(client, 1, work, static_cast<int>(i)));
+  }
+  batcher.flush_all(client);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(futures[i].get(client), static_cast<int>(i));
+  }
+
+  EXPECT_EQ(tracer.span_count(1, SpanKind::kBatch), 1);
+  EXPECT_EQ(tracer.span_count(1, SpanKind::kBatchOp),
+            static_cast<std::int64_t>(kOps));
+  // The bundle's constituents (pickup + handler each) tile the parent's
+  // handler stage exactly — no gap, no overlap.
+  EXPECT_EQ(tracer.stage_sum_ns(1, SpanKind::kBatchOp, Stage::kDispatch) +
+                tracer.stage_sum_ns(1, SpanKind::kBatchOp, Stage::kHandler),
+            tracer.stage_sum_ns(1, SpanKind::kBatch, Stage::kHandler));
+  EXPECT_EQ(tracer.stage_sum_ns(1, SpanKind::kBatchOp, Stage::kHandler),
+            static_cast<Nanos>(kOps) * kWork);
+
+  std::uint32_t seen_parent = 0;
+  std::vector<bool> seen_index(kOps, false);
+  for (const auto& span : tracer.spans()) {
+    if (span->kind == SpanKind::kBatch) {
+      ++seen_parent;
+      EXPECT_EQ(span->bundle_ops, kOps);
+      EXPECT_GT(span->request_packets, 0);
+      EXPECT_GT(span->pull_packets, 0);  // one pull, charged to the parent
+    } else if (span->kind == SpanKind::kBatchOp) {
+      ASSERT_LT(span->batch_index, kOps);
+      seen_index[span->batch_index] = true;
+      EXPECT_EQ(span->request_packets, 0);  // the parent carries the wire
+      EXPECT_EQ(span->dispatch_ns, fabric.model().nic_batch_op_ns);
+    }
+  }
+  EXPECT_EQ(seen_parent, 1u);
+  for (std::size_t i = 0; i < kOps; ++i) EXPECT_TRUE(seen_index[i]) << i;
+}
+
+TEST_F(TraceTest, RetriedOpRecordsAttemptsAndFinalStatus) {
+  auto plan = std::make_shared<fabric::FaultPlan>(11);
+  plan->trigger_at(1, fabric::OpClass::kRpc, 0, fabric::FaultKind::kUnavailable);
+  fabric.set_fault_plan(plan);
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  Actor client(0, 0, 1);
+  InvokeOptions opts;
+  opts.max_retries = 2;
+  EXPECT_EQ((engine.invoke_opt<int>(client, 1, echo, opts, 9)), 9);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0]->attempts, 2u);  // one NACK, one success
+  EXPECT_EQ(spans[0]->status, StatusCode::kOk);
+  EXPECT_EQ(spans[0]->request_packets, 2);  // both attempts hit the wire
+  EXPECT_GE(spans[0]->exec_start_ns, 0);    // final attempt reached the stub
+}
+
+TEST_F(TraceTest, FinalDropWipesStaleExecStages) {
+  auto plan = std::make_shared<fabric::FaultPlan>(11);
+  plan->trigger_at(1, fabric::OpClass::kRpc, 1, fabric::FaultKind::kDrop);
+  fabric.set_fault_plan(plan);
+  // The handler overruns the deadline, so attempt 0 executes (recording
+  // server-side stage boundaries) but retries; the dropped retry never
+  // reaches the stub, so the span must not report attempt 0's stale stages.
+  const FuncId slow = engine.bind<int>([](ServerCtx& ctx) {
+    ctx.finish = ctx.start + 100 * sim::kMicrosecond;
+    return 1;
+  });
+  Actor client(0, 0, 1);
+  InvokeOptions opts;
+  opts.max_retries = 1;
+  opts.timeout_ns = 50 * sim::kMicrosecond;
+  auto f = engine.async_invoke_opt<int>(client, 1, slow, opts);
+  EXPECT_EQ(f.wait(client).code(), StatusCode::kDeadlineExceeded);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0]->attempts, 2u);
+  EXPECT_EQ(spans[0]->status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(spans[0]->exec_start_ns, -1);
+  EXPECT_EQ(spans[0]->stage_duration(Stage::kDispatch), 0);
+  EXPECT_EQ(spans[0]->stage_duration(Stage::kHandler), 0);
+}
+
+TEST_F(TraceTest, ChainStagesEmitTheirOwnSpans) {
+  const FuncId head = engine.bind<int, int>([](ServerCtx& ctx, const int& v) {
+    ctx.finish = ctx.start + 200;
+    return v + 1;
+  });
+  const FuncId link = engine.bind<int, int>([](ServerCtx& ctx, const int& v) {
+    ctx.finish = ctx.start + 100;
+    return v * 2;
+  });
+  Actor client(0, 0, 1);
+  EXPECT_EQ((engine.invoke_chain<int>(client, 1, head, {link, link}, 3)), 16);
+  EXPECT_EQ(tracer.span_count(1, SpanKind::kScalar), 1);
+  EXPECT_EQ(tracer.span_count(1, SpanKind::kChainStage), 2);
+  // Chain stages are informational: the owning scalar span's handler stage
+  // already covers them, so they are excluded from busy reconciliation.
+  EXPECT_EQ(tracer.accounted_handler_ns(1),
+            fabric.nic(1).counters().handler_busy_ns.load());
+}
+
+// ---------------------------------------------------------------------------
+// Context integration: cache spans + config plumbing
+// ---------------------------------------------------------------------------
+
+Context::Config traced_zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = sim::CostModel::zero();
+  cfg.trace = trace_on();
+  return cfg;
+}
+
+TEST(TraceContext, CacheHitAndMissSpansAreRecorded) {
+  Context ctx(traced_zero_config(2, 1));
+  core::ContainerOptions opts;
+  opts.cache = {.capacity = 1024,
+                .ttl_ns = 100 * sim::kMicrosecond,
+                .mode = cache::CacheMode::kInvalidate};
+  opts.trace = trace_on();
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, opts);
+
+  ctx.run_one(0, [&](sim::Actor&) {
+    for (std::uint64_t k = 0; k < 16; ++k) ASSERT_TRUE(map.insert(k, k));
+  });
+  ctx.run_one(0, [&](sim::Actor&) {
+    std::uint64_t v = 0;
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      ASSERT_TRUE(map.find(k, &v));  // remote keys miss, then populate
+      ASSERT_TRUE(map.find(k, &v));  // second read is a lease hit
+    }
+  });
+
+  std::int64_t hits = 0, misses = 0;
+  for (sim::NodeId n = 0; n < 2; ++n) {
+    hits += ctx.tracer().span_count(n, SpanKind::kCacheHit);
+    misses += ctx.tracer().span_count(n, SpanKind::kCacheMiss);
+  }
+  // Only remote partitions consult the cache; with 16 keys over 2 nodes both
+  // outcomes must have fired.
+  EXPECT_GT(misses, 0);
+  EXPECT_GT(hits, 0);
+  const auto stats = map.cache_stats();
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_EQ(misses, stats.misses);
+}
+
+TEST(TraceContext, ResetMeasurementClearsTheTracer) {
+  Context ctx(traced_zero_config(2, 1));
+  unordered_map<std::uint64_t, std::uint64_t> map(ctx, {});
+  ctx.run_one(0, [&](sim::Actor&) {
+    for (std::uint64_t k = 0; k < 8; ++k) ASSERT_TRUE(map.insert(k, k));
+  });
+  EXPECT_GT(ctx.tracer().recorded(), 0);
+  ctx.reset_measurement();
+  EXPECT_EQ(ctx.tracer().recorded(), 0);
+  EXPECT_EQ(ctx.tracer().retained(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, ExportJsonWritesChromeTraceEvents) {
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  Actor client(0, 0, 1);
+  for (int i = 0; i < 4; ++i) (void)engine.invoke<int>(client, 1, echo, i);
+
+  const std::string path = ::testing::TempDir() + "hcl_trace_test.json";
+  ASSERT_TRUE(tracer.export_json(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"scalar\""), std::string::npos);
+  EXPECT_NE(json.find("\"scalar/handler\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":4"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hcl

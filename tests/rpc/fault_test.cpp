@@ -359,5 +359,39 @@ TEST(SendRequestTiming, NotBeforeDefersReissue) {
   EXPECT_LT(client.now(), resend_at);
 }
 
+// ---------------------------------------------------------------------------
+// Exponential back-off saturation (max_backoff_ns clamp).
+// ---------------------------------------------------------------------------
+
+// A long retry budget used to overflow the grown back-off (the int64 cast of
+// backoff * multiplier wrapped negative), sending re-sends BACKWARDS in
+// simulated time. With the clamp the schedule is exactly computable: capped
+// exponential back-off, every re-send strictly later than the last.
+TEST(BackoffClamp, LongRetryBudgetSaturatesAtMaxBackoff) {
+  fabric::Fabric fabric(Topology(2, 1), CostModel::zero());
+  Engine engine(fabric);
+  auto plan = std::make_shared<FaultPlan>(3);
+  FaultProbabilities p;
+  p.drop = 1.0;  // every attempt is lost; the client walks the full schedule
+  plan->set(OpClass::kRpc, p);
+  fabric.set_fault_plan(plan);
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+
+  Actor client(0, 0, 1);
+  InvokeOptions opts;
+  opts.timeout_ns = 1'000;
+  opts.max_retries = 64;  // x4 growth overflows int64 by retry 31 unclamped
+  opts.backoff_ns = 1'000;
+  opts.backoff_multiplier = 4.0;
+  opts.max_backoff_ns = 1'000'000;
+  auto f = engine.async_invoke_opt<int>(client, 1, echo, opts, 7);
+  EXPECT_EQ(f.wait(client).code(), StatusCode::kDeadlineExceeded);
+  // 65 attempts x 1 us timeout, back-offs 1+4+16+64+256 us, then 59 saturated
+  // at the 1 ms cap. Any overflow would shatter this exact total.
+  EXPECT_EQ(client.now(), 59'406'000);
+  EXPECT_EQ(fabric.nic(1).counters().rpc_retries.load(), 64);
+}
+
 }  // namespace
 }  // namespace hcl::rpc
