@@ -23,6 +23,13 @@
 //       vs. off (hits are charged local check+hit time instead of a fabric
 //       round trip), plus the uniform write-heavy control where every write
 //       bumps the partition epoch and the cache cannot help.
+//   A8. Availability under a server kill (DESIGN.md §5f): one server dies
+//       mid-run and rejoins at the 3/4 mark. With replication=1 every op in
+//       the outage window completes through the promoted standby (zero
+//       failed ops, bounded per-op dip); with replication=0 the same window
+//       resolves every op as kUnavailable. Cache-on variant shows the fence
+//       epoch staling leases without serving stale data.
+#include <atomic>
 #include <cstdio>
 #include <vector>
 
@@ -352,6 +359,98 @@ int main(int argc, char** argv) {
                 "(hit rate %.1f%%, %" PRId64 " invalidations)\n",
                 rw_on * 1e3, rw_off * 1e3, rw_off / rw_on, hit_rate(rw_stats),
                 rw_stats.invalidations);
+  }
+
+  // --- A8: availability under a server kill (DESIGN.md §5f) -----------------
+  {
+    // Three phases of the same mixed workload against a partition hosted on
+    // node 1: pre-kill (healthy), outage (node 1 down), post-rejoin (healed).
+    // Clients live on node 0; the standby replica partition lives on node 2.
+    constexpr std::uint64_t kKeys = 256;
+    struct A8Result {
+      double pre_ms = 0, down_ms = 0, post_ms = 0;
+      std::int64_t failed = 0, failovers = 0, repairs = 0;
+    };
+    auto run_variant = [&](int replication, bool cached) {
+      A8Result r;
+      auto plan = std::make_shared<fabric::FaultPlan>(23);
+      Context ctx({.num_nodes = 3, .procs_per_node = clients});
+      ctx.set_fault_plan(plan);
+      unordered_map<std::uint64_t, std::uint64_t> m(ctx, [&] {
+        core::ContainerOptions o;
+        o.num_partitions = 3;  // partition p lives on node p
+        o.replication = replication;
+        if (cached) {
+          o.cache.mode = cache::CacheMode::kInvalidate;
+          o.cache.ttl_ns = 10 * sim::kMillisecond;
+          o.cache.capacity = kKeys;
+        }
+        return o;
+      }());
+      // Every client op targets keys of partition 1 — the one we will kill.
+      std::vector<std::uint64_t> keys;
+      for (std::uint64_t k = 0; keys.size() < kKeys; ++k) {
+        if (m.partition_of(k) == 1) keys.push_back(k);
+      }
+      ctx.run_one(0, [&](sim::Actor&) {
+        for (const auto k : keys) (void)m.upsert(k, k);
+      });
+      std::atomic<std::int64_t> failed{0};
+      auto phase = [&](std::int64_t n) {
+        ctx.reset_measurement();
+        ctx.run([&](sim::Actor& self) {
+          if (self.node() != 0) return;
+          Rng rng(static_cast<std::uint64_t>(self.rank()) + 7);
+          std::uint64_t v = 0;
+          for (std::int64_t i = 0; i < n; ++i) {
+            const auto k = keys[rng.next_below(kKeys)];
+            try {
+              if (i % 2 == 0) {
+                (void)m.upsert(k, k + 1);
+              } else {
+                (void)m.find(k, &v);
+              }
+            } catch (const HclError&) {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+        return ctx.elapsed_seconds() * 1e3;
+      };
+      r.pre_ms = phase(ops);
+      plan->fail_node(1);
+      r.down_ms = phase(ops / 2);
+      // reset_measurement() zeroes NIC counters, so snapshot the outage's
+      // failovers (standby = partition 2's node) and the heal's repaired
+      // record count (primary = node 1) before the recovery phase runs.
+      r.failovers = ctx.fabric().nic(2).counters().failovers.load(
+          std::memory_order_relaxed);
+      plan->rejoin_node(1);
+      ctx.run_one(0, [&](sim::Actor& self) { m.heal(self); });
+      r.repairs = ctx.fabric().nic(1).counters().repair_ops.load(
+          std::memory_order_relaxed);
+      r.post_ms = phase(ops / 2);
+      r.failed = failed.load(std::memory_order_relaxed);
+      return r;
+    };
+    const A8Result off = run_variant(1, false);
+    const A8Result on = run_variant(1, true);
+    const A8Result bare = run_variant(0, false);
+    // Per-op cost (the outage/recovery phases run half as many ops).
+    const auto per_op = [&](double ms, std::int64_t n) {
+      return ms * 1e3 / static_cast<double>(n * clients);
+    };
+    auto print_line = [&](const char* tag, const A8Result& r) {
+      std::printf("A8 %-23s: pre %.3f us/op, outage %.3f us/op (%.2fx), "
+                  "recovered %.3f us/op, %" PRId64 " failed ops, %" PRId64
+                  " failovers, %" PRId64 " repaired\n",
+                  tag, per_op(r.pre_ms, ops), per_op(r.down_ms, ops / 2),
+                  per_op(r.down_ms, ops / 2) / per_op(r.pre_ms, ops),
+                  per_op(r.post_ms, ops / 2), r.failed, r.failovers, r.repairs);
+    };
+    print_line("kill/rejoin (repl=1)", off);
+    print_line("kill/rejoin (+cache)", on);
+    print_line("kill, no replication", bare);
   }
 
   std::printf("\nEach mechanism is a net win, as the paper claims (§III.C).\n");

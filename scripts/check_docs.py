@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Docs CI gate (stdlib only).
+
+1. Link check: every relative markdown link in the repo's *.md files must
+   resolve to an existing file (anchors are stripped; http(s) links are
+   not fetched).
+2. Operator-reference completeness: every HCL_* environment variable read
+   in src/ (via getenv or read_env_int) must appear in README.md's
+   operator table, and every HCL_* row in that table must still be read
+   somewhere in src/ — so the table can neither rot nor invent knobs.
+
+Exit code 0 = green; nonzero prints each violation on its own line.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Internal docs not shipped as operator-facing documentation.
+SKIP_DOCS = {"ISSUE.md", "SNIPPETS.md", "PAPERS.md", "PAPER.md"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ENV_READ_RE = re.compile(
+    r'(?:getenv|read_env_int)\s*\(\s*"(HCL_[A-Z0-9_]+)"')
+TABLE_ENV_RE = re.compile(r"^\|\s*`(HCL_[A-Z0-9_]+)`", re.MULTILINE)
+
+
+def markdown_files():
+    for name in sorted(os.listdir(ROOT)):
+        if name.endswith(".md") and name not in SKIP_DOCS:
+            yield name
+
+
+def check_links(errors):
+    for name in markdown_files():
+        text = open(os.path.join(ROOT, name), encoding="utf-8").read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            if not os.path.exists(os.path.join(ROOT, path)):
+                errors.append(f"{name}: broken link -> {target}")
+
+
+def env_vars_in_src():
+    found = set()
+    for dirpath, _, filenames in os.walk(os.path.join(ROOT, "src")):
+        for filename in filenames:
+            if not filename.endswith((".h", ".cpp", ".cc")):
+                continue
+            text = open(os.path.join(dirpath, filename), encoding="utf-8").read()
+            found.update(ENV_READ_RE.findall(text))
+    return found
+
+
+def env_vars_in_readme():
+    text = open(os.path.join(ROOT, "README.md"), encoding="utf-8").read()
+    return set(TABLE_ENV_RE.findall(text))
+
+
+def check_env_table(errors):
+    in_src = env_vars_in_src()
+    in_readme = env_vars_in_readme()
+    for var in sorted(in_src - in_readme):
+        errors.append(
+            f"README.md: operator table is missing {var} (read in src/)")
+    for var in sorted(in_readme - in_src):
+        errors.append(
+            f"README.md: operator table lists {var}, but nothing in src/ reads it")
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_env_table(errors)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"{len(errors)} docs violation(s)")
+        return 1
+    print("docs ok: links resolve, operator table matches src/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -234,6 +234,20 @@ class ReadCache {
         epoch, self.now());
   }
 
+  /// Ownership-change fence (failover/repair, DESIGN.md §5f): raise this
+  /// rank's high-water epoch for `partition` to at least `epoch`. Promotion
+  /// epochs start at a fence (term << 32) that dominates any epoch the dead
+  /// primary ever published, so entries cached off the primary's epoch
+  /// stream go stale on the next consult instead of serving pre-failover
+  /// values; on repair the recovered primary adopts an epoch ABOVE the
+  /// fence, keeping the partition's epoch stream monotonic across ownership
+  /// changes (otherwise the primary's small epochs would read as permanently
+  /// stale and the cache would never serve its partitions again).
+  void fence_partition(sim::Actor& self, int partition, std::uint64_t epoch) {
+    if (!enabled()) return;
+    note_epoch(store(self), partition, epoch);
+  }
+
   /// Barrier hook (Context::run edges): revoke every lease on every rank.
   /// Runs between phases with no actor threads live; epoch knowledge
   /// (last_seen) survives — only the entries go.

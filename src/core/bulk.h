@@ -30,10 +30,17 @@
 
 namespace hcl::core {
 
-template <typename R, typename Results, typename Post>
+/// Most-general form: `rescue(i, status)` runs when a constituent fails,
+/// BEFORE the status is recorded or re-thrown. Returning true means the op
+/// was recovered out-of-band — the hook re-issued it (the failover path uses
+/// this when a node dies mid-bundle) and settled results[i] plus any cache
+/// bookkeeping itself — so the failure is swallowed and `post` is skipped
+/// for that op. Returning false falls through to the normal failure path.
+template <typename R, typename Results, typename Post, typename Rescue>
 void settle_batch(OpStats& stats, rpc::Batcher& batcher, sim::Actor& self,
                   std::vector<std::pair<std::size_t, rpc::Future<R>>>& remote,
-                  Results& results, std::vector<Status>* statuses, Post&& post) {
+                  Results& results, std::vector<Status>* statuses, Post&& post,
+                  Rescue&& rescue) {
   batcher.flush_all(self);
   stats.remote_invocations.fetch_add(batcher.flushes(),
                                      std::memory_order_relaxed);
@@ -42,6 +49,7 @@ void settle_batch(OpStats& stats, rpc::Batcher& batcher, sim::Actor& self,
     try {
       results[i] = future.get(self);
     } catch (const HclError& e) {
+      if (rescue(i, Status(e.code(), e.what()))) continue;
       ok = false;
       if (statuses == nullptr) {
         post(i, future, ok);
@@ -51,6 +59,15 @@ void settle_batch(OpStats& stats, rpc::Batcher& batcher, sim::Actor& self,
     }
     post(i, future, ok);
   }
+}
+
+template <typename R, typename Results, typename Post>
+void settle_batch(OpStats& stats, rpc::Batcher& batcher, sim::Actor& self,
+                  std::vector<std::pair<std::size_t, rpc::Future<R>>>& remote,
+                  Results& results, std::vector<Status>* statuses, Post&& post) {
+  settle_batch(stats, batcher, self, remote, results, statuses,
+               std::forward<Post>(post),
+               [](std::size_t, const Status&) { return false; });
 }
 
 template <typename R, typename Results>

@@ -101,7 +101,17 @@ class Context {
   /// Run `fn(actor)` on every rank (SPMD main, like mpirun).
   void run(const std::function<void(sim::Actor&)>& fn, unsigned max_threads = 0) {
     cluster_.run(fn, max_threads);
-    fabric_.drain_all();  // quiesce outstanding async RPCs / replication
+    // Quiesce before the lease revocation below compares epoch piggybacks.
+    // Replication fan-outs (Engine::server_invoke) execute INLINE on the
+    // issuing rank's thread — asynchrony is simulated-time only — so by the
+    // time cluster_.run() joins, every replication write (and its epoch
+    // bump) has already applied in real time; drain_all() settles the NICs'
+    // simulated work queues, it is not what provides that guarantee. The
+    // subtle cross-phase hazard is elsewhere: failover PROMOTION fences a
+    // partition's epoch stream at (term << 32), so a rejoined primary must
+    // adopt an epoch above the fence during repair or its piggybacks would
+    // compare stale forever (regression-tested in failover_test.cpp).
+    fabric_.drain_all();
     revoke_cache_leases();
   }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -94,15 +95,32 @@ class map {
       if (ok) replicate_upsert(p, self.now(), key, value);
       return ok;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future = ctx_->rpc().template async_invoke<bool>(self, part.node,
-                                                          insert_id_, p, key, value);
-    const bool ok = future.get(self);
-    const std::optional<V> known(value);
-    cache_->complete_write(self, p, key, future.response_epoch(),
-                           ok ? &known : nullptr);
-    return ok;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke<bool>(
+              self, part.node, insert_id_, p, key, value);
+          const bool ok = future.get(self);
+          const std::optional<V> known(value);
+          cache_->complete_write(self, p, key, future.response_epoch(),
+                                 ok ? &known : nullptr);
+          return ok;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby, fo_insert_id_, p, q, key, value);
+          const bool ok = future.get(self);
+          const std::optional<V> known(value);
+          cache_->complete_write(self, p, key, future.response_epoch(),
+                                 ok ? &known : nullptr);
+          return ok;
+        });
   }
 
   /// Lookup. Cost: F + L·log N + R.
@@ -126,14 +144,31 @@ class map {
         return present;
       }
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
-        self, part.node, find_id_, p, key);
-    auto result = future.get(self);
-    cache_->store_read(self, p, key, result, future.response_epoch());
-    if (!result.has_value()) return false;
-    if (out != nullptr) *out = std::move(*result);
-    return true;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
+              self, part.node, find_id_, p, key);
+          auto result = future.get(self);
+          cache_->store_read(self, p, key, result, future.response_epoch());
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::optional<V>>(
+                  self, standby, fo_find_id_, p, q, key);
+          auto result = future.get(self);
+          cache_->store_read(self, p, key, result, future.response_epoch());
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        });
   }
 
   [[nodiscard]] bool contains(const K& key) { return find(key, nullptr); }
@@ -148,14 +183,30 @@ class map {
       if (ok) replicate_erase(p, self.now(), key);
       return ok;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future =
-        ctx_->rpc().template async_invoke<bool>(self, part.node, erase_id_, p, key);
-    const bool ok = future.get(self);
-    const std::optional<V> absent;
-    cache_->complete_write(self, p, key, future.response_epoch(), &absent);
-    return ok;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke<bool>(
+              self, part.node, erase_id_, p, key);
+          const bool ok = future.get(self);
+          const std::optional<V> absent;
+          cache_->complete_write(self, p, key, future.response_epoch(), &absent);
+          return ok;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby, fo_erase_id_, p, q, key);
+          const bool ok = future.get(self);
+          const std::optional<V> absent;
+          cache_->complete_write(self, p, key, future.response_epoch(), &absent);
+          return ok;
+        });
   }
 
   // ------------------------------------------------------------------
@@ -190,8 +241,17 @@ class map {
         results[i] = ok;
       } else {
         cache_->begin_write(self, p, keys[i]);
-        remote.emplace_back(i, batcher.enqueue<bool>(self, part.node, insert_id_,
-                                                     p, keys[i], values[i]));
+        const int q = batch_route(self, p);
+        if (q >= 0) {
+          remote.emplace_back(
+              i, batcher.enqueue<bool>(
+                     self, partitions_[static_cast<std::size_t>(q)]->node,
+                     fo_insert_id_, p, q, keys[i], values[i]));
+        } else {
+          remote.emplace_back(i, batcher.enqueue<bool>(self, part.node,
+                                                       insert_id_, p, keys[i],
+                                                       values[i]));
+        }
       }
     }
     core::settle_batch(
@@ -201,6 +261,24 @@ class map {
           cache_->complete_write(self, partition_of(keys[i]), keys[i],
                                  future.response_epoch(),
                                  (ok && results[i]) ? &known : nullptr);
+        },
+        [&](std::size_t i, const Status& st) {
+          if (st.code() != StatusCode::kUnavailable) return false;
+          const int p = partition_of(keys[i]);
+          const int q = mark_down_and_standby(p);
+          if (q < 0) return false;
+          try {
+            auto future = ctx_->rpc().template async_invoke_failover<bool>(
+                self, partitions_[static_cast<std::size_t>(q)]->node,
+                fo_insert_id_, p, q, keys[i], values[i]);
+            results[i] = future.get(self);
+            const std::optional<V> known(values[i]);
+            cache_->complete_write(self, p, keys[i], future.response_epoch(),
+                                   results[i] ? &known : nullptr);
+            return true;
+          } catch (const HclError&) {
+            return false;
+          }
         });
     return results;
   }
@@ -230,8 +308,16 @@ class map {
         if (cache_->lookup(self, p, keys[i], &tmp, &present)) {
           if (present) results[i] = std::move(tmp);
         } else {
-          remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
-                                     self, part.node, find_id_, p, keys[i]));
+          const int q = batch_route(self, p);
+          if (q >= 0) {
+            remote.emplace_back(
+                i, batcher.enqueue<std::optional<V>>(
+                       self, partitions_[static_cast<std::size_t>(q)]->node,
+                       fo_find_id_, p, q, keys[i]));
+          } else {
+            remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
+                                       self, part.node, find_id_, p, keys[i]));
+          }
         }
       }
     }
@@ -241,6 +327,24 @@ class map {
           if (!ok) return;
           cache_->store_read(self, partition_of(keys[i]), keys[i], results[i],
                              future.response_epoch());
+        },
+        [&](std::size_t i, const Status& st) {
+          if (st.code() != StatusCode::kUnavailable) return false;
+          const int p = partition_of(keys[i]);
+          const int q = mark_down_and_standby(p);
+          if (q < 0) return false;
+          try {
+            auto future =
+                ctx_->rpc().template async_invoke_failover<std::optional<V>>(
+                    self, partitions_[static_cast<std::size_t>(q)]->node,
+                    fo_find_id_, p, q, keys[i]);
+            results[i] = future.get(self);
+            cache_->store_read(self, p, keys[i], results[i],
+                               future.response_epoch());
+            return true;
+          } catch (const HclError&) {
+            return false;
+          }
         });
     return results;
   }
@@ -264,8 +368,16 @@ class map {
         results[i] = ok;
       } else {
         cache_->begin_write(self, p, keys[i]);
-        remote.emplace_back(
-            i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
+        const int q = batch_route(self, p);
+        if (q >= 0) {
+          remote.emplace_back(
+              i, batcher.enqueue<bool>(
+                     self, partitions_[static_cast<std::size_t>(q)]->node,
+                     fo_erase_id_, p, q, keys[i]));
+        } else {
+          remote.emplace_back(
+              i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
+        }
       }
     }
     core::settle_batch(
@@ -274,6 +386,24 @@ class map {
           const std::optional<V> absent;
           cache_->complete_write(self, partition_of(keys[i]), keys[i],
                                  future.response_epoch(), ok ? &absent : nullptr);
+        },
+        [&](std::size_t i, const Status& st) {
+          if (st.code() != StatusCode::kUnavailable) return false;
+          const int p = partition_of(keys[i]);
+          const int q = mark_down_and_standby(p);
+          if (q < 0) return false;
+          try {
+            auto future = ctx_->rpc().template async_invoke_failover<bool>(
+                self, partitions_[static_cast<std::size_t>(q)]->node,
+                fo_erase_id_, p, q, keys[i]);
+            results[i] = future.get(self);
+            const std::optional<V> absent;
+            cache_->complete_write(self, p, keys[i], future.response_epoch(),
+                                   &absent);
+            return true;
+          } catch (const HclError&) {
+            return false;
+          }
         });
     return results;
   }
@@ -342,6 +472,29 @@ class map {
         std::memory_order_acquire);
   }
 
+  /// Eager recovery point (DESIGN.md §5f): repair every promoted partition
+  /// whose primary has rejoined and clear its stale route mark.
+  void heal(sim::Actor& self) {
+    for (int p = 0; p < num_partitions_; ++p) {
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (ctx_->fabric().node_down(part.node)) continue;
+      repair_partition(self, p);
+      ctx_->rpc().route().mark_up(part.node);
+    }
+  }
+
+  /// Failover diagnostics (DESIGN.md §5f).
+  [[nodiscard]] bool partition_promoted(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.fo_mutex);
+    return part.fo_promoted;
+  }
+  [[nodiscard]] std::size_t repair_backlog(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.fo_mutex);
+    return part.fo_journal.size();
+  }
+
   /// Globally ordered visit: per-partition ordered snapshots merged P-ways.
   template <typename F>
   void for_each_ordered(F&& fn) const {
@@ -363,6 +516,14 @@ class map {
 
   enum class LogOp : std::uint8_t { kInsert = 1, kErase = 3 };
 
+  /// One op accepted by a promoted replica while its primary was down,
+  /// replayed into the rejoined primary by the anti-entropy repair pass.
+  struct FoRecord {
+    LogOp op = LogOp::kInsert;
+    K key{};
+    V value{};
+  };
+
   struct Partition {
     sim::NodeId node = 0;
     lf::SkipListMap<K, V, Less> list;
@@ -370,6 +531,14 @@ class map {
     std::unique_ptr<core::PersistLog> log;
     /// Mutation epoch, piggybacked on every response (DESIGN.md §5d).
     std::atomic<std::uint64_t> epoch{0};
+    /// Failover state (DESIGN.md §5f; see hcl::unordered_map::Partition
+    /// for the full protocol notes). Mutated only under fo_mutex, which
+    /// the repair pass holds across its replay RPC.
+    std::mutex fo_mutex;
+    bool fo_promoted = false;
+    std::uint64_t fo_term = 0;
+    std::uint64_t fo_epoch = 0;
+    std::vector<FoRecord> fo_journal;
   };
 
   static std::int64_t key_bytes(const K& key) {
@@ -495,6 +664,117 @@ class map {
     }
   }
 
+  // ---- failover & recovery (DESIGN.md §5f) --------------------------
+  // Same protocol as hcl::unordered_map (which carries the full notes):
+  // lazy detection, standby promotion under fo_mutex with a (term << 32)
+  // epoch fence, and a single-RPC anti-entropy replay on rejoin.
+
+  int standby_partition(int p) const {
+    const Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+    for (int r = 1; r <= options_.replication; ++r) {
+      const int q = (p + r) % num_partitions_;
+      const Partition& cand = *partitions_[static_cast<std::size_t>(q)];
+      if (cand.node != primary.node && !ctx_->fabric().node_down(cand.node)) {
+        return q;
+      }
+    }
+    return -1;
+  }
+
+  template <typename R, typename Normal, typename Reroute>
+  R with_failover(sim::Actor& self, int p, Normal&& normal, Reroute&& reroute) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    for (int round = 0;; ++round) {
+      if (ctx_->rpc().route().is_down(part.node) &&
+          !ctx_->fabric().node_down(part.node)) {
+        repair_partition(self, p);
+        ctx_->rpc().route().mark_up(part.node);
+      }
+      if (!ctx_->rpc().route().is_down(part.node)) {
+        try {
+          return normal();
+        } catch (const HclError& e) {
+          if (round > 0 || e.code() != StatusCode::kUnavailable ||
+              !ctx_->fabric().node_down(part.node)) {
+            throw;
+          }
+        }
+      }
+      const int q = standby_partition(p);
+      if (q < 0) {
+        throw HclError(Status::Unavailable("primary down and no live standby"));
+      }
+      ctx_->rpc().route().mark_down(part.node);
+      try {
+        return reroute(q, partitions_[static_cast<std::size_t>(q)]->node);
+      } catch (const HclError& e) {
+        if (round > 0 || e.code() != StatusCode::kFailedPrecondition) throw;
+      }
+    }
+  }
+
+  int batch_route(sim::Actor& self, int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    auto& route = ctx_->rpc().route();
+    if (!route.is_down(part.node)) return -1;
+    if (!ctx_->fabric().node_down(part.node)) {
+      repair_partition(self, p);
+      route.mark_up(part.node);
+      return -1;
+    }
+    return standby_partition(p);
+  }
+
+  int mark_down_and_standby(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (!ctx_->fabric().node_down(part.node)) return -1;
+    const int q = standby_partition(p);
+    if (q >= 0) ctx_->rpc().route().mark_down(part.node);
+    return q;
+  }
+
+  void require_primary_down(const Partition& primary) const {
+    if (!ctx_->fabric().node_down(primary.node)) {
+      throw HclError(Status::FailedPrecondition("primary is up; repair and retry"));
+    }
+  }
+
+  void promote_locked(Partition& primary) {
+    if (primary.fo_promoted) return;
+    primary.fo_promoted = true;
+    ++primary.fo_term;
+    const std::uint64_t fence = primary.fo_term << 32;
+    primary.fo_epoch = std::max(primary.fo_epoch, fence);
+  }
+
+  void repair_partition(sim::Actor& self, int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.fo_mutex);
+    if (!part.fo_promoted) return;
+    std::vector<FoRecord> delta;
+    delta.swap(part.fo_journal);
+    part.fo_promoted = false;
+    const std::uint64_t fence = part.fo_term << 32;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(delta.size()));
+    for (const FoRecord& rec : delta) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      serial::save(out, rec.key);
+      if (rec.op != LogOp::kErase) serial::save(out, rec.value);
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke_repair<std::uint64_t>(
+          self, part.node, repair_id_, p, out.take(), fence);
+      (void)future.get(self);
+      cache_->fence_partition(self, p, future.response_epoch());
+    } catch (...) {
+      part.fo_promoted = true;
+      part.fo_journal = std::move(delta);
+      throw;
+    }
+  }
+
   void bind_handlers() {
     auto& engine = ctx_->rpc();
     insert_id_ = engine.bind<bool, int, K, V>(
@@ -559,8 +839,104 @@ class map {
           sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
-    bound_ids_ = {insert_id_, find_id_, erase_id_, resize_id_,
-                  replica_upsert_id_, replica_erase_id_};
+    // ---- failover stubs (DESIGN.md §5f): standby partition q serving
+    // ops owned by the down partition p; promotion is implicit on the
+    // first op, under p's fo_mutex.
+    fo_insert_id_ = engine.bind<bool, int, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key,
+               const V& value) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server(sctx, host, wire_bytes(key, value), /*write=*/true);
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          const bool ok = host.replicas.insert(key, value);
+          if (ok) {
+            primary.fo_journal.push_back(FoRecord{LogOp::kInsert, key, value});
+            ++primary.fo_epoch;
+          }
+          sctx.epoch = primary.fo_epoch;
+          return ok;
+        });
+    fo_find_id_ = engine.bind<std::optional<V>, int, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          // Epoch BEFORE the read, same conservative rule as the primary.
+          sctx.epoch = primary.fo_epoch;
+          V value{};
+          const bool hit = host.replicas.find_value(key, &value);
+          charge_server(sctx, host,
+                        hit ? wire_bytes(key, value) : key_bytes(key),
+                        /*write=*/false);
+          return hit ? std::optional<V>(std::move(value)) : std::nullopt;
+        });
+    fo_erase_id_ = engine.bind<bool, int, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server(sctx, host, key_bytes(key), /*write=*/true);
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          const bool ok = host.replicas.erase(key);
+          // Journal even a miss (key may live only on the down primary);
+          // the replayed erase no-ops when truly absent.
+          primary.fo_journal.push_back(FoRecord{LogOp::kErase, key, V{}});
+          sctx.epoch = ++primary.fo_epoch;
+          return ok;
+        });
+    // Anti-entropy repair (primary side): replay the delta through the
+    // journaling paths so it lands in the persist log and re-fans to the
+    // other replicas, then adopt an epoch ABOVE the promotion fence.
+    repair_id_ =
+        engine.bind<std::uint64_t, int, std::vector<std::byte>, std::uint64_t>(
+            [this](rpc::ServerCtx& sctx, const int& p,
+                   const std::vector<std::byte>& delta,
+                   const std::uint64_t& fence) {
+              Partition& part = *partitions_[static_cast<std::size_t>(p)];
+              serial::InArchive in{std::span<const std::byte>(delta)};
+              const std::uint64_t count = in.u64();
+              std::int64_t bytes = 8;
+              for (std::uint64_t i = 0; i < count; ++i) {
+                const auto op = static_cast<LogOp>(in.u64());
+                K key{};
+                serial::load(in, key);
+                if (op == LogOp::kErase) {
+                  bytes += key_bytes(key);
+                  apply_erase(part, key);
+                  replicate_erase(p, sctx.start, key);
+                } else {
+                  V value{};
+                  serial::load(in, value);
+                  bytes += wire_bytes(key, value);
+                  if (!apply_insert(part, key, value)) {
+                    // The primary still holds a pre-failover value for this
+                    // key: converge the in-memory state directly.
+                    part.list.upsert(key, [&](V& v) { v = value; }, value);
+                    journal(part, LogOp::kInsert, key, &value);
+                    part.epoch.fetch_add(1, std::memory_order_release);
+                  }
+                  replicate_upsert(p, sctx.start, key, value);
+                }
+              }
+              charge_server(sctx, part, bytes, /*write=*/true);
+              const std::uint64_t adopted =
+                  std::max(part.epoch.load(std::memory_order_acquire), fence) +
+                  1;
+              part.epoch.store(adopted, std::memory_order_release);
+              ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
+                  count, std::memory_order_relaxed);
+              sctx.epoch = adopted;
+              return count;
+            });
+    bound_ids_ = {insert_id_,  find_id_,    erase_id_,    resize_id_,
+                  replica_upsert_id_,       replica_erase_id_,
+                  fo_insert_id_, fo_find_id_, fo_erase_id_, repair_id_};
   }
 
   Context* ctx_;
@@ -569,7 +945,8 @@ class map {
   std::vector<std::unique_ptr<Partition>> partitions_;
 
   rpc::FuncId insert_id_ = 0, find_id_ = 0, erase_id_ = 0, resize_id_ = 0,
-              replica_upsert_id_ = 0, replica_erase_id_ = 0;
+              replica_upsert_id_ = 0, replica_erase_id_ = 0, fo_insert_id_ = 0,
+              fo_find_id_ = 0, fo_erase_id_ = 0, repair_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
   HashFn hash_;
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -31,6 +32,8 @@ class priority_queue {
   priority_queue(Context& ctx, core::ContainerOptions options = {})
       : ctx_(&ctx),
         node_(core::partition_node(options, ctx.topology(), 0)),
+        standby_node_((core::partition_node(options, ctx.topology(), 0) + 1) %
+                      ctx.topology().num_nodes()),
         options_(options) {
     if (!options_.persist_path.empty()) {
       auto log = core::PersistLog::open(ctx_->fabric().memory(node_),
@@ -58,10 +61,23 @@ class priority_queue {
     if (node_ == self.node()) {
       charge_local_push(self, bytes_of(value));
       apply_push(value);
+      mirror_push(self.now(), value);
       return true;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, node_, push_id_, value);
+    return with_failover<bool>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          return ctx_->rpc().template invoke<bool>(self, node_, push_id_, value);
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby_node_, fo_push_id_, value);
+          return future.get(self);
+        });
   }
 
   /// Bulk push (Table I: F + L·log N + E·W).
@@ -71,11 +87,27 @@ class priority_queue {
       std::int64_t bytes = 0;
       for (const auto& v : values) bytes += bytes_of(v);
       charge_local_push(self, bytes);
-      for (const auto& v : values) apply_push(v);
+      for (const auto& v : values) {
+        apply_push(v);
+        mirror_push(self.now(), v);
+      }
       return true;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_, values);
+    return with_failover<bool>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_,
+                                                   values);
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby_node_, fo_push_bulk_id_, values);
+          return future.get(self);
+        });
   }
 
   /// Pop the minimum element; false when empty. Cost: F + L + R.
@@ -85,15 +117,32 @@ class priority_queue {
       T tmp{};
       const bool ok = apply_pop(&tmp);
       charge_local_pop(self, ok ? bytes_of(tmp) : 8);
+      if (ok) mirror_pop(self.now());
       if (ok && out != nullptr) *out = std::move(tmp);
       return ok;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto result =
-        ctx_->rpc().template invoke<std::optional<T>>(self, node_, pop_id_);
-    if (!result.has_value()) return false;
-    if (out != nullptr) *out = std::move(*result);
-    return true;
+    return with_failover<bool>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto result = ctx_->rpc().template invoke<std::optional<T>>(self, node_,
+                                                                      pop_id_);
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::optional<T>>(
+                  self, standby_node_, fo_pop_id_);
+          auto result = future.get(self);
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        });
   }
 
   /// Bulk pop of up to `count` minima (Table I: F + L + E·R).
@@ -105,17 +154,35 @@ class priority_queue {
       T tmp{};
       while (out->size() - before < count && apply_pop(&tmp)) {
         bytes += bytes_of(tmp);
+        mirror_pop(self.now());
         out->push_back(std::move(tmp));
       }
       charge_local_pop(self, bytes > 0 ? bytes : 8);
       return out->size() - before;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto got = ctx_->rpc().template invoke<std::vector<T>>(
-        self, node_, pop_bulk_id_, static_cast<std::uint64_t>(count));
-    const std::size_t n = got.size();
-    for (auto& v : got) out->push_back(std::move(v));
-    return n;
+    return with_failover<std::size_t>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto got = ctx_->rpc().template invoke<std::vector<T>>(
+              self, node_, pop_bulk_id_, static_cast<std::uint64_t>(count));
+          const std::size_t n = got.size();
+          for (auto& v : got) out->push_back(std::move(v));
+          return n;
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::vector<T>>(
+                  self, standby_node_, fo_pop_bulk_id_,
+                  static_cast<std::uint64_t>(count));
+          auto got = future.get(self);
+          const std::size_t n = got.size();
+          for (auto& v : got) out->push_back(std::move(v));
+          return n;
+        });
   }
 
   /// Coalesced bulk push, mirroring hcl::queue::push_batch: per-op
@@ -130,16 +197,20 @@ class priority_queue {
       for (std::size_t i = 0; i < values.size(); ++i) {
         charge_local_push(self, bytes_of(values[i]));
         apply_push(values[i]);
+        mirror_push(self.now(), values[i]);
         results[i] = true;
       }
       return results;
     }
     rpc::Batcher batcher(ctx_->rpc(), options_.batch,
                          ctx_->rpc().default_options());
+    const bool reroute = batch_reroute(self);
     std::vector<rpc::Future<bool>> remote;
     remote.reserve(values.size());
     for (const auto& v : values) {
-      remote.push_back(batcher.enqueue<bool>(self, node_, push_id_, v));
+      remote.push_back(reroute ? batcher.enqueue<bool>(self, standby_node_,
+                                                       fo_push_id_, v)
+                               : batcher.enqueue<bool>(self, node_, push_id_, v));
     }
     batcher.flush_all(self);
     ctx_->op_stats().remote_invocations.fetch_add(batcher.flushes(),
@@ -148,6 +219,20 @@ class priority_queue {
       try {
         results[i] = remote[i].get(self);
       } catch (const HclError& e) {
+        // Mid-bundle rescue (DESIGN.md §5f): when the host died under the
+        // bundle, re-issue the element against the live standby.
+        if (e.code() == StatusCode::kUnavailable &&
+            ctx_->fabric().node_down(node_) && standby_live()) {
+          ctx_->rpc().route().mark_down(node_);
+          try {
+            auto future = ctx_->rpc().template async_invoke_failover<bool>(
+                self, standby_node_, fo_push_id_, values[i]);
+            results[i] = future.get(self);
+            continue;
+          } catch (const HclError&) {
+            // fall through to the normal failure path
+          }
+        }
         if (statuses == nullptr) throw;
         (*statuses)[i] = Status(e.code(), e.what());
       }
@@ -163,6 +248,7 @@ class priority_queue {
     if (node_ == self.node()) {
       charge_local_push(self, bytes_of(value));
       apply_push(value);
+      mirror_push(self.now(), value);
       return ctx_->rpc().template resolved_future<bool>(self, node_, true);
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +262,7 @@ class priority_queue {
       T tmp{};
       const bool ok = apply_pop(&tmp);
       charge_local_pop(self, ok ? bytes_of(tmp) : 8);
+      if (ok) mirror_pop(self.now());
       return ctx_->rpc().template resolved_future<std::optional<T>>(
           self, node_, ok ? std::optional<T>(std::move(tmp)) : std::nullopt);
     }
@@ -185,11 +272,40 @@ class priority_queue {
   }
 
   [[nodiscard]] sim::NodeId host_node() const noexcept { return node_; }
+  [[nodiscard]] sim::NodeId standby_node() const noexcept { return standby_node_; }
   [[nodiscard]] std::size_t size() const { return impl_.size(); }
   [[nodiscard]] bool empty() const { return impl_.empty(); }
 
+  /// Eager recovery point (DESIGN.md §5f): replay the promoted standby's
+  /// journal into the rejoined host and clear its stale route mark. No-op
+  /// while the host is still down or nothing is promoted.
+  void heal(sim::Actor& self) {
+    if (ctx_->fabric().node_down(node_)) return;
+    repair(self);
+    ctx_->rpc().route().mark_up(node_);
+  }
+
+  /// Failover diagnostics (DESIGN.md §5f).
+  [[nodiscard]] bool promoted() {
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    return fo_promoted_;
+  }
+  [[nodiscard]] std::size_t repair_backlog() {
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    return fo_journal_.size();
+  }
+  /// Elements mirrored onto the standby (diagnostics).
+  [[nodiscard]] std::size_t mirror_size() const { return mirror_.size(); }
+
  private:
   enum class LogOp : std::uint8_t { kPush = 1, kPop = 2 };
+
+  /// One op accepted by the promoted standby while the host was down,
+  /// replayed into the rejoined host by the anti-entropy repair pass.
+  struct FoRecord {
+    LogOp op = LogOp::kPush;
+    T value{};
+  };
 
   static std::int64_t bytes_of(const T& v) {
     return static_cast<std::int64_t>(serial::packed_size(v));
@@ -254,6 +370,133 @@ class priority_queue {
         node_, self.now() + ctx_->model().mem_find_base_ns, bytes));
   }
 
+  /// Server-side charging for the replica/failover/repair stubs; writes
+  /// pay the skiplist descent like the push handler, reads the flat pop
+  /// cost (batch-gated base as everywhere else).
+  sim::Nanos charge_server(rpc::ServerCtx& sctx, std::int64_t bytes, bool write,
+                           std::int64_t elements = 1) {
+    auto& stats = ctx_->op_stats();
+    const auto& m = ctx_->model();
+    if (write) {
+      stats.local_ops.fetch_add(core::depth_levels(impl_.size()),
+                                std::memory_order_relaxed);
+      stats.local_writes.fetch_add(elements, std::memory_order_relaxed);
+      const sim::Nanos base = sctx.batch_index == 0 ? m.mem_insert_base_ns : 0;
+      sctx.finish = ctx_->fabric().local_write(
+          sctx.node, sctx.start + base + descent_cost(), bytes);
+    } else {
+      stats.local_ops.fetch_add(1, std::memory_order_relaxed);
+      stats.local_reads.fetch_add(elements, std::memory_order_relaxed);
+      const sim::Nanos base = sctx.batch_index == 0 ? m.mem_find_base_ns : 0;
+      sctx.finish =
+          ctx_->fabric().local_read(sctx.node, sctx.start + base, bytes);
+    }
+    return sctx.finish;
+  }
+
+  // ---- failover & recovery (DESIGN.md §5f) --------------------------
+  // Single-partitioned like hcl::queue, so replication means a
+  // whole-structure mirror on the next node, kept in lock-step by the
+  // replica stubs. Min-order convergence holds for the same reason FIFO
+  // order does in the queue: the inline fan-out applies mirror ops in
+  // host order, so the mirror always holds the same multiset and pop-min
+  // removes the same element on both sides.
+
+  [[nodiscard]] bool has_standby() const noexcept {
+    return options_.replication >= 1 && standby_node_ != node_;
+  }
+  [[nodiscard]] bool standby_live() const {
+    return has_standby() && !ctx_->fabric().node_down(standby_node_);
+  }
+
+  void mirror_push(sim::Nanos ready, const T& value) {
+    if (!has_standby()) return;
+    ctx_->rpc().server_invoke(node_, standby_node_, ready, replica_push_id_,
+                              value);
+  }
+  void mirror_pop(sim::Nanos ready) {
+    if (!has_standby()) return;
+    ctx_->rpc().server_invoke(node_, standby_node_, ready, replica_pop_id_);
+  }
+
+  template <typename R, typename Normal, typename Reroute>
+  R with_failover(sim::Actor& self, Normal&& normal, Reroute&& reroute) {
+    for (int round = 0;; ++round) {
+      if (ctx_->rpc().route().is_down(node_) &&
+          !ctx_->fabric().node_down(node_)) {
+        repair(self);
+        ctx_->rpc().route().mark_up(node_);
+      }
+      if (!ctx_->rpc().route().is_down(node_)) {
+        try {
+          return normal();
+        } catch (const HclError& e) {
+          if (round > 0 || e.code() != StatusCode::kUnavailable ||
+              !ctx_->fabric().node_down(node_)) {
+            throw;
+          }
+        }
+      }
+      if (!standby_live()) {
+        throw HclError(
+            Status::Unavailable("priority-queue host down and no live standby"));
+      }
+      ctx_->rpc().route().mark_down(node_);
+      try {
+        return reroute();
+      } catch (const HclError& e) {
+        if (round > 0 || e.code() != StatusCode::kFailedPrecondition) throw;
+      }
+    }
+  }
+
+  /// Batch-path routing decided once per bundle: true = ship the bundle's
+  /// ops to the standby's failover stub.
+  bool batch_reroute(sim::Actor& self) {
+    auto& route = ctx_->rpc().route();
+    if (!route.is_down(node_)) return false;
+    if (!ctx_->fabric().node_down(node_)) {
+      repair(self);
+      route.mark_up(node_);
+      return false;
+    }
+    return standby_live();
+  }
+
+  void require_host_down() const {
+    if (!ctx_->fabric().node_down(node_)) {
+      throw HclError(Status::FailedPrecondition(
+          "priority-queue host is up; repair and retry"));
+    }
+  }
+
+  /// Anti-entropy repair: replay the promoted journal into the rejoined
+  /// host as ONE repair RPC. fo_mutex_ is held across the RPC so racing
+  /// repairers serialize and failover stubs cannot append mid-replay.
+  void repair(sim::Actor& self) {
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    if (!fo_promoted_) return;
+    std::vector<FoRecord> delta;
+    delta.swap(fo_journal_);
+    fo_promoted_ = false;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(delta.size()));
+    for (const FoRecord& rec : delta) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      if (rec.op == LogOp::kPush) serial::save(out, rec.value);
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke_repair<std::uint64_t>(
+          self, node_, repair_id_, out.take());
+      (void)future.get(self);
+    } catch (...) {
+      fo_promoted_ = true;
+      fo_journal_ = std::move(delta);
+      throw;
+    }
+  }
+
   void bind_handlers() {
     auto& engine = ctx_->rpc();
     push_id_ = engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
@@ -266,6 +509,7 @@ class priority_queue {
       sctx.finish = ctx_->fabric().local_write(
           sctx.node, sctx.start + base + descent_cost(), bytes_of(value));
       apply_push(value);
+      mirror_push(sctx.finish, value);
       return true;
     });
     push_bulk_id_ = engine.bind<bool, std::vector<T>>(
@@ -276,7 +520,10 @@ class priority_queue {
               sctx.node,
               sctx.start + ctx_->model().mem_insert_base_ns + descent_cost(),
               bytes);
-          for (const auto& v : values) apply_push(v);
+          for (const auto& v : values) {
+            apply_push(v);
+            mirror_push(sctx.finish, v);
+          }
           return true;
         });
     pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
@@ -288,6 +535,7 @@ class priority_queue {
       sctx.finish = ctx_->fabric().local_read(
           sctx.node, sctx.start + ctx_->model().mem_find_base_ns,
           ok ? bytes_of(v) : 8);
+      if (ok) mirror_pop(sctx.finish);
       return ok ? std::optional<T>(std::move(v)) : std::nullopt;
     });
     pop_bulk_id_ = engine.bind<std::vector<T>, std::uint64_t>(
@@ -302,17 +550,129 @@ class priority_queue {
           sctx.finish = ctx_->fabric().local_read(
               sctx.node, sctx.start + ctx_->model().mem_find_base_ns,
               bytes > 0 ? bytes : 8);
+          for (std::size_t i = 0; i < got.size(); ++i) mirror_pop(sctx.finish);
           return got;
         });
-    bound_ids_ = {push_id_, push_bulk_id_, pop_id_, pop_bulk_id_};
+    // ---- mirror stubs (standby side): keep the standby's copy in
+    // lock-step with the host; order is preserved because server_invoke
+    // executes inline on the issuing thread.
+    replica_push_id_ =
+        engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
+          charge_server(sctx, bytes_of(value), /*write=*/true);
+          mirror_.push(value);
+          return true;
+        });
+    replica_pop_id_ = engine.bind<bool>([this](rpc::ServerCtx& sctx) {
+      charge_server(sctx, 8, /*write=*/true);
+      T scratch{};
+      mirror_.pop(&scratch);
+      return true;
+    });
+    // ---- failover stubs (standby side): promotion is implicit on the
+    // first op, under fo_mutex_; every promoted op is journaled for the
+    // rejoin replay.
+    fo_push_id_ =
+        engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
+          charge_server(sctx, bytes_of(value), /*write=*/true);
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          mirror_.push(value);
+          fo_journal_.push_back(FoRecord{LogOp::kPush, value});
+          return true;
+        });
+    fo_push_bulk_id_ = engine.bind<bool, std::vector<T>>(
+        [this](rpc::ServerCtx& sctx, const std::vector<T>& values) {
+          std::int64_t bytes = 0;
+          for (const auto& v : values) bytes += bytes_of(v);
+          charge_server(sctx, bytes, /*write=*/true,
+                        static_cast<std::int64_t>(values.size()));
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          for (const auto& v : values) {
+            mirror_.push(v);
+            fo_journal_.push_back(FoRecord{LogOp::kPush, v});
+          }
+          return true;
+        });
+    fo_pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
+      std::lock_guard<std::mutex> guard(fo_mutex_);
+      require_host_down();
+      fo_promoted_ = true;
+      T v{};
+      const bool ok = mirror_.pop(&v);
+      charge_server(sctx, ok ? bytes_of(v) : 8, /*write=*/false);
+      if (ok) fo_journal_.push_back(FoRecord{LogOp::kPop, T{}});
+      return ok ? std::optional<T>(std::move(v)) : std::nullopt;
+    });
+    fo_pop_bulk_id_ = engine.bind<std::vector<T>, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& count) {
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          std::vector<T> got;
+          T v{};
+          std::int64_t bytes = 0;
+          while (got.size() < count && mirror_.pop(&v)) {
+            bytes += bytes_of(v);
+            fo_journal_.push_back(FoRecord{LogOp::kPop, T{}});
+            got.push_back(std::move(v));
+          }
+          charge_server(sctx, bytes > 0 ? bytes : 8, /*write=*/false,
+                        static_cast<std::int64_t>(got.size()));
+          return got;
+        });
+    // Anti-entropy repair (host side): replay through the journaling
+    // push/pop paths so the delta lands in the persist log too. Pop
+    // records remove the host's then-minimum — the same element the
+    // promoted standby removed, since both held the same multiset.
+    repair_id_ = engine.bind<std::uint64_t, std::vector<std::byte>>(
+        [this](rpc::ServerCtx& sctx, const std::vector<std::byte>& delta) {
+          serial::InArchive in{std::span<const std::byte>(delta)};
+          const std::uint64_t count = in.u64();
+          std::int64_t bytes = 8;
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const auto op = static_cast<LogOp>(in.u64());
+            if (op == LogOp::kPush) {
+              T v{};
+              serial::load(in, v);
+              bytes += bytes_of(v);
+              apply_push(v);
+            } else {
+              T scratch{};
+              apply_pop(&scratch);
+              bytes += 8;
+            }
+          }
+          charge_server(sctx, bytes, /*write=*/true,
+                        static_cast<std::int64_t>(count));
+          ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
+              count, std::memory_order_relaxed);
+          return count;
+        });
+    bound_ids_ = {push_id_,        push_bulk_id_,    pop_id_,
+                  pop_bulk_id_,    replica_push_id_, replica_pop_id_,
+                  fo_push_id_,     fo_push_bulk_id_, fo_pop_id_,
+                  fo_pop_bulk_id_, repair_id_};
   }
 
   Context* ctx_;
   sim::NodeId node_;
+  sim::NodeId standby_node_;
   core::ContainerOptions options_;
   lf::PriorityQueue<T, Less> impl_;
+  /// Standby-side mirror of impl_, maintained by the replica stubs and
+  /// served by the failover stubs while the host is down (DESIGN.md §5f).
+  lf::PriorityQueue<T, Less> mirror_;
   std::unique_ptr<core::PersistLog> log_;
-  rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0;
+  std::mutex fo_mutex_;
+  bool fo_promoted_ = false;
+  std::vector<FoRecord> fo_journal_;
+  rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0,
+              replica_push_id_ = 0, replica_pop_id_ = 0, fo_push_id_ = 0,
+              fo_push_bulk_id_ = 0, fo_pop_id_ = 0, fo_pop_bulk_id_ = 0,
+              repair_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
 };
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,8 @@ class queue {
   queue(Context& ctx, core::ContainerOptions options = {})
       : ctx_(&ctx),
         node_(core::partition_node(options, ctx.topology(), 0)),
+        standby_node_((core::partition_node(options, ctx.topology(), 0) + 1) %
+                      ctx.topology().num_nodes()),
         options_(options) {
     if (!options_.persist_path.empty()) {
       auto log = core::PersistLog::open(ctx_->fabric().memory(node_),
@@ -56,10 +59,23 @@ class queue {
     if (node_ == self.node()) {
       charge_local(self, bytes_of(value), /*write=*/true);
       apply_push(value);
+      mirror_push(self.now(), value);
       return true;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, node_, push_id_, value);
+    return with_failover<bool>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          return ctx_->rpc().template invoke<bool>(self, node_, push_id_, value);
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby_node_, fo_push_id_, value);
+          return future.get(self);
+        });
   }
 
   /// Bulk push (Table I: F + L + E·W) — one invocation, E elements.
@@ -70,11 +86,27 @@ class queue {
       for (const auto& v : values) bytes += bytes_of(v);
       charge_local(self, bytes, /*write=*/true,
                    static_cast<std::int64_t>(values.size()));
-      for (const auto& v : values) apply_push(v);
+      for (const auto& v : values) {
+        apply_push(v);
+        mirror_push(self.now(), v);
+      }
       return true;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_, values);
+    return with_failover<bool>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          return ctx_->rpc().template invoke<bool>(self, node_, push_bulk_id_,
+                                                   values);
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby_node_, fo_push_bulk_id_, values);
+          return future.get(self);
+        });
   }
 
   /// Coalesced bulk push: elements ship as per-op invocations bundled under
@@ -92,16 +124,20 @@ class queue {
       for (std::size_t i = 0; i < values.size(); ++i) {
         charge_local(self, bytes_of(values[i]), /*write=*/true);
         apply_push(values[i]);
+        mirror_push(self.now(), values[i]);
         results[i] = true;
       }
       return results;
     }
     rpc::Batcher batcher(ctx_->rpc(), options_.batch,
                          ctx_->rpc().default_options());
+    const bool reroute = batch_reroute(self);
     std::vector<rpc::Future<bool>> remote;
     remote.reserve(values.size());
     for (const auto& v : values) {
-      remote.push_back(batcher.enqueue<bool>(self, node_, push_id_, v));
+      remote.push_back(reroute ? batcher.enqueue<bool>(self, standby_node_,
+                                                       fo_push_id_, v)
+                               : batcher.enqueue<bool>(self, node_, push_id_, v));
     }
     batcher.flush_all(self);
     ctx_->op_stats().remote_invocations.fetch_add(batcher.flushes(),
@@ -110,6 +146,20 @@ class queue {
       try {
         results[i] = remote[i].get(self);
       } catch (const HclError& e) {
+        // Mid-bundle rescue (DESIGN.md §5f): when the host died under the
+        // bundle, re-issue the element against the live standby.
+        if (e.code() == StatusCode::kUnavailable &&
+            ctx_->fabric().node_down(node_) && standby_live()) {
+          ctx_->rpc().route().mark_down(node_);
+          try {
+            auto future = ctx_->rpc().template async_invoke_failover<bool>(
+                self, standby_node_, fo_push_id_, values[i]);
+            results[i] = future.get(self);
+            continue;
+          } catch (const HclError&) {
+            // fall through to the normal failure path
+          }
+        }
         if (statuses == nullptr) throw;
         (*statuses)[i] = Status(e.code(), e.what());
       }
@@ -124,15 +174,32 @@ class queue {
       T tmp{};
       const bool ok = apply_pop(&tmp);
       charge_local(self, ok ? bytes_of(tmp) : 8, /*write=*/false);
+      if (ok) mirror_pop(self.now());
       if (ok && out != nullptr) *out = std::move(tmp);
       return ok;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto result =
-        ctx_->rpc().template invoke<std::optional<T>>(self, node_, pop_id_);
-    if (!result.has_value()) return false;
-    if (out != nullptr) *out = std::move(*result);
-    return true;
+    return with_failover<bool>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto result = ctx_->rpc().template invoke<std::optional<T>>(self, node_,
+                                                                      pop_id_);
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::optional<T>>(
+                  self, standby_node_, fo_pop_id_);
+          auto result = future.get(self);
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        });
   }
 
   /// Bulk pop of up to `count` elements (Table I: F + L + E·R).
@@ -144,18 +211,36 @@ class queue {
       T tmp{};
       while (out->size() - before < count && apply_pop(&tmp)) {
         bytes += bytes_of(tmp);
+        mirror_pop(self.now());
         out->push_back(std::move(tmp));
       }
       charge_local(self, bytes > 0 ? bytes : 8, /*write=*/false,
                    static_cast<std::int64_t>(out->size() - before));
       return out->size() - before;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto got = ctx_->rpc().template invoke<std::vector<T>>(
-        self, node_, pop_bulk_id_, static_cast<std::uint64_t>(count));
-    const std::size_t n = got.size();
-    for (auto& v : got) out->push_back(std::move(v));
-    return n;
+    return with_failover<std::size_t>(
+        self,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto got = ctx_->rpc().template invoke<std::vector<T>>(
+              self, node_, pop_bulk_id_, static_cast<std::uint64_t>(count));
+          const std::size_t n = got.size();
+          for (auto& v : got) out->push_back(std::move(v));
+          return n;
+        },
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::vector<T>>(
+                  self, standby_node_, fo_pop_bulk_id_,
+                  static_cast<std::uint64_t>(count));
+          auto got = future.get(self);
+          const std::size_t n = got.size();
+          for (auto& v : got) out->push_back(std::move(v));
+          return n;
+        });
   }
 
   /// Async push. Co-located callers take the hybrid shared-memory path —
@@ -167,6 +252,7 @@ class queue {
     if (node_ == self.node()) {
       charge_local(self, bytes_of(value), /*write=*/true);
       apply_push(value);
+      mirror_push(self.now(), value);
       return ctx_->rpc().template resolved_future<bool>(self, node_, true);
     }
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
@@ -180,6 +266,7 @@ class queue {
       T tmp{};
       const bool ok = apply_pop(&tmp);
       charge_local(self, ok ? bytes_of(tmp) : 8, /*write=*/false);
+      if (ok) mirror_pop(self.now());
       return ctx_->rpc().template resolved_future<std::optional<T>>(
           self, node_, ok ? std::optional<T>(std::move(tmp)) : std::nullopt);
     }
@@ -189,11 +276,40 @@ class queue {
   }
 
   [[nodiscard]] sim::NodeId host_node() const noexcept { return node_; }
+  [[nodiscard]] sim::NodeId standby_node() const noexcept { return standby_node_; }
   [[nodiscard]] std::size_t size() const { return impl_.size(); }
   [[nodiscard]] bool empty() const { return impl_.empty(); }
 
+  /// Eager recovery point (DESIGN.md §5f): replay the promoted standby's
+  /// journal into the rejoined host and clear its stale route mark. No-op
+  /// while the host is still down or nothing is promoted.
+  void heal(sim::Actor& self) {
+    if (ctx_->fabric().node_down(node_)) return;
+    repair(self);
+    ctx_->rpc().route().mark_up(node_);
+  }
+
+  /// Failover diagnostics (DESIGN.md §5f).
+  [[nodiscard]] bool promoted() {
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    return fo_promoted_;
+  }
+  [[nodiscard]] std::size_t repair_backlog() {
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    return fo_journal_.size();
+  }
+  /// Elements mirrored onto the standby (diagnostics).
+  [[nodiscard]] std::size_t mirror_size() const { return mirror_.size(); }
+
  private:
   enum class LogOp : std::uint8_t { kPush = 1, kPop = 2 };
+
+  /// One op accepted by the promoted standby while the host was down,
+  /// replayed into the rejoined host by the anti-entropy repair pass.
+  struct FoRecord {
+    LogOp op = LogOp::kPush;
+    T value{};
+  };
 
   static std::int64_t bytes_of(const T& v) {
     return static_cast<std::int64_t>(serial::packed_size(v));
@@ -273,11 +389,115 @@ class queue {
     }
   }
 
+  // ---- failover & recovery (DESIGN.md §5f) --------------------------
+  // Queues are single-partitioned, so replication means a whole-structure
+  // mirror: with `options.replication >= 1` every push/pop on the host
+  // fans out (fire-and-forget, like the maps' replica stubs) to a mirror
+  // queue hosted on the next node. When the host dies the mirror is
+  // promoted — FIFO order is preserved because the inline fan-out applies
+  // mirror ops in the same order as the host — and rejoin replays the
+  // promoted journal back through the host's journaling push/pop paths.
+
+  [[nodiscard]] bool has_standby() const noexcept {
+    return options_.replication >= 1 && standby_node_ != node_;
+  }
+  [[nodiscard]] bool standby_live() const {
+    return has_standby() && !ctx_->fabric().node_down(standby_node_);
+  }
+
+  void mirror_push(sim::Nanos ready, const T& value) {
+    if (!has_standby()) return;
+    ctx_->rpc().server_invoke(node_, standby_node_, ready, replica_push_id_,
+                              value);
+  }
+  void mirror_pop(sim::Nanos ready) {
+    if (!has_standby()) return;
+    ctx_->rpc().server_invoke(node_, standby_node_, ready, replica_pop_id_);
+  }
+
+  template <typename R, typename Normal, typename Reroute>
+  R with_failover(sim::Actor& self, Normal&& normal, Reroute&& reroute) {
+    for (int round = 0;; ++round) {
+      if (ctx_->rpc().route().is_down(node_) &&
+          !ctx_->fabric().node_down(node_)) {
+        repair(self);
+        ctx_->rpc().route().mark_up(node_);
+      }
+      if (!ctx_->rpc().route().is_down(node_)) {
+        try {
+          return normal();
+        } catch (const HclError& e) {
+          if (round > 0 || e.code() != StatusCode::kUnavailable ||
+              !ctx_->fabric().node_down(node_)) {
+            throw;
+          }
+        }
+      }
+      if (!standby_live()) {
+        throw HclError(Status::Unavailable("queue host down and no live standby"));
+      }
+      ctx_->rpc().route().mark_down(node_);
+      try {
+        return reroute();
+      } catch (const HclError& e) {
+        if (round > 0 || e.code() != StatusCode::kFailedPrecondition) throw;
+      }
+    }
+  }
+
+  /// Batch-path routing decided once per bundle: true = ship the bundle's
+  /// ops to the standby's failover stub.
+  bool batch_reroute(sim::Actor& self) {
+    auto& route = ctx_->rpc().route();
+    if (!route.is_down(node_)) return false;
+    if (!ctx_->fabric().node_down(node_)) {
+      repair(self);
+      route.mark_up(node_);
+      return false;
+    }
+    return standby_live();
+  }
+
+  void require_host_down() const {
+    if (!ctx_->fabric().node_down(node_)) {
+      throw HclError(
+          Status::FailedPrecondition("queue host is up; repair and retry"));
+    }
+  }
+
+  /// Anti-entropy repair: replay the promoted journal into the rejoined
+  /// host as ONE repair RPC. fo_mutex_ is held across the RPC so racing
+  /// repairers serialize and failover stubs cannot append mid-replay.
+  void repair(sim::Actor& self) {
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    if (!fo_promoted_) return;
+    std::vector<FoRecord> delta;
+    delta.swap(fo_journal_);
+    fo_promoted_ = false;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(delta.size()));
+    for (const FoRecord& rec : delta) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      if (rec.op == LogOp::kPush) serial::save(out, rec.value);
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke_repair<std::uint64_t>(
+          self, node_, repair_id_, out.take());
+      (void)future.get(self);
+    } catch (...) {
+      fo_promoted_ = true;
+      fo_journal_ = std::move(delta);
+      throw;
+    }
+  }
+
   void bind_handlers() {
     auto& engine = ctx_->rpc();
     push_id_ = engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
       charge_server(sctx, bytes_of(value), /*write=*/true);
       apply_push(value);
+      mirror_push(sctx.finish, value);
       return true;
     });
     push_bulk_id_ = engine.bind<bool, std::vector<T>>(
@@ -286,13 +506,17 @@ class queue {
           for (const auto& v : values) bytes += bytes_of(v);
           charge_server(sctx, bytes, /*write=*/true,
                         static_cast<std::int64_t>(values.size()));
-          for (const auto& v : values) apply_push(v);
+          for (const auto& v : values) {
+            apply_push(v);
+            mirror_push(sctx.finish, v);
+          }
           return true;
         });
     pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
       T v{};
       const bool ok = apply_pop(&v);
       charge_server(sctx, ok ? bytes_of(v) : 8, /*write=*/false);
+      if (ok) mirror_pop(sctx.finish);
       return ok ? std::optional<T>(std::move(v)) : std::nullopt;
     });
     pop_bulk_id_ = engine.bind<std::vector<T>, std::uint64_t>(
@@ -306,17 +530,127 @@ class queue {
           }
           charge_server(sctx, bytes > 0 ? bytes : 8, /*write=*/false,
                         static_cast<std::int64_t>(got.size()));
+          for (std::size_t i = 0; i < got.size(); ++i) mirror_pop(sctx.finish);
           return got;
         });
-    bound_ids_ = {push_id_, push_bulk_id_, pop_id_, pop_bulk_id_};
+    // ---- mirror stubs (standby side): keep the standby's copy in
+    // lock-step with the host; order is preserved because server_invoke
+    // executes inline on the issuing thread.
+    replica_push_id_ =
+        engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
+          charge_server(sctx, bytes_of(value), /*write=*/true);
+          mirror_.push(value);
+          return true;
+        });
+    replica_pop_id_ = engine.bind<bool>([this](rpc::ServerCtx& sctx) {
+      charge_server(sctx, 8, /*write=*/true);
+      T scratch{};
+      mirror_.pop(&scratch);
+      return true;
+    });
+    // ---- failover stubs (standby side): promotion is implicit on the
+    // first op, under fo_mutex_; every promoted op is journaled for the
+    // rejoin replay.
+    fo_push_id_ =
+        engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
+          charge_server(sctx, bytes_of(value), /*write=*/true);
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          mirror_.push(value);
+          fo_journal_.push_back(FoRecord{LogOp::kPush, value});
+          return true;
+        });
+    fo_push_bulk_id_ = engine.bind<bool, std::vector<T>>(
+        [this](rpc::ServerCtx& sctx, const std::vector<T>& values) {
+          std::int64_t bytes = 0;
+          for (const auto& v : values) bytes += bytes_of(v);
+          charge_server(sctx, bytes, /*write=*/true,
+                        static_cast<std::int64_t>(values.size()));
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          for (const auto& v : values) {
+            mirror_.push(v);
+            fo_journal_.push_back(FoRecord{LogOp::kPush, v});
+          }
+          return true;
+        });
+    fo_pop_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
+      std::lock_guard<std::mutex> guard(fo_mutex_);
+      require_host_down();
+      fo_promoted_ = true;
+      T v{};
+      const bool ok = mirror_.pop(&v);
+      charge_server(sctx, ok ? bytes_of(v) : 8, /*write=*/false);
+      if (ok) fo_journal_.push_back(FoRecord{LogOp::kPop, T{}});
+      return ok ? std::optional<T>(std::move(v)) : std::nullopt;
+    });
+    fo_pop_bulk_id_ = engine.bind<std::vector<T>, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& count) {
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          std::vector<T> got;
+          T v{};
+          std::int64_t bytes = 0;
+          while (got.size() < count && mirror_.pop(&v)) {
+            bytes += bytes_of(v);
+            fo_journal_.push_back(FoRecord{LogOp::kPop, T{}});
+            got.push_back(std::move(v));
+          }
+          charge_server(sctx, bytes > 0 ? bytes : 8, /*write=*/false,
+                        static_cast<std::int64_t>(got.size()));
+          return got;
+        });
+    // Anti-entropy repair (host side): replay through the journaling
+    // push/pop paths so the delta lands in the persist log too.
+    repair_id_ = engine.bind<std::uint64_t, std::vector<std::byte>>(
+        [this](rpc::ServerCtx& sctx, const std::vector<std::byte>& delta) {
+          serial::InArchive in{std::span<const std::byte>(delta)};
+          const std::uint64_t count = in.u64();
+          std::int64_t bytes = 8;
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const auto op = static_cast<LogOp>(in.u64());
+            if (op == LogOp::kPush) {
+              T v{};
+              serial::load(in, v);
+              bytes += bytes_of(v);
+              apply_push(v);
+            } else {
+              T scratch{};
+              apply_pop(&scratch);
+              bytes += 8;
+            }
+          }
+          charge_server(sctx, bytes, /*write=*/true,
+                        static_cast<std::int64_t>(count));
+          ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
+              count, std::memory_order_relaxed);
+          return count;
+        });
+    bound_ids_ = {push_id_,        push_bulk_id_, pop_id_,
+                  pop_bulk_id_,    replica_push_id_, replica_pop_id_,
+                  fo_push_id_,     fo_push_bulk_id_, fo_pop_id_,
+                  fo_pop_bulk_id_, repair_id_};
   }
 
   Context* ctx_;
   sim::NodeId node_;
+  sim::NodeId standby_node_;
   core::ContainerOptions options_;
   lf::MsQueue<T> impl_;
+  /// Standby-side mirror of impl_, maintained by the replica stubs and
+  /// served by the failover stubs while the host is down (DESIGN.md §5f).
+  lf::MsQueue<T> mirror_;
   std::unique_ptr<core::PersistLog> log_;
-  rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0;
+  std::mutex fo_mutex_;
+  bool fo_promoted_ = false;
+  std::vector<FoRecord> fo_journal_;
+  rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0,
+              replica_push_id_ = 0, replica_pop_id_ = 0, fo_push_id_ = 0,
+              fo_push_bulk_id_ = 0, fo_pop_id_ = 0, fo_pop_bulk_id_ = 0,
+              repair_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
 };
 

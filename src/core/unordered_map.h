@@ -21,9 +21,11 @@
 //     (BCL-style) designs fundamentally cannot express in one round trip.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -107,16 +109,34 @@ class unordered_map {
       if (ok) replicate_upsert(p, self.now(), key, value);
       return ok;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future = ctx_->rpc().template async_invoke<bool>(self, part.node,
-                                                          insert_id_, p, key, value);
-    const bool ok = future.get(self);
-    // A rejected insert leaves someone else's value in place: outcome unknown.
-    const std::optional<V> known(value);
-    cache_->complete_write(self, p, key, future.response_epoch(),
-                           ok ? &known : nullptr);
-    return ok;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke<bool>(
+              self, part.node, insert_id_, p, key, value);
+          const bool ok = future.get(self);
+          // A rejected insert leaves someone else's value in place:
+          // outcome unknown.
+          const std::optional<V> known(value);
+          cache_->complete_write(self, p, key, future.response_epoch(),
+                                 ok ? &known : nullptr);
+          return ok;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby, fo_insert_id_, p, q, key, value);
+          const bool ok = future.get(self);
+          const std::optional<V> known(value);
+          cache_->complete_write(self, p, key, future.response_epoch(),
+                                 ok ? &known : nullptr);
+          return ok;
+        });
   }
 
   /// Insert-or-overwrite; true when newly inserted.
@@ -130,14 +150,30 @@ class unordered_map {
       replicate_upsert(p, self.now(), key, value);
       return fresh;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future = ctx_->rpc().template async_invoke<bool>(self, part.node,
-                                                          upsert_id_, p, key, value);
-    const bool fresh = future.get(self);
-    const std::optional<V> known(value);
-    cache_->complete_write(self, p, key, future.response_epoch(), &known);
-    return fresh;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke<bool>(
+              self, part.node, upsert_id_, p, key, value);
+          const bool fresh = future.get(self);
+          const std::optional<V> known(value);
+          cache_->complete_write(self, p, key, future.response_epoch(), &known);
+          return fresh;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby, fo_upsert_id_, p, q, key, value);
+          const bool fresh = future.get(self);
+          const std::optional<V> known(value);
+          cache_->complete_write(self, p, key, future.response_epoch(), &known);
+          return fresh;
+        });
   }
 
   /// Lookup; returns true and fills `out`. Cost: F + L + R (remote) or
@@ -161,14 +197,31 @@ class unordered_map {
         return present;
       }
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
-        self, part.node, find_id_, p, key);
-    auto result = future.get(self);
-    cache_->store_read(self, p, key, result, future.response_epoch());
-    if (!result.has_value()) return false;
-    if (out != nullptr) *out = std::move(*result);
-    return true;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
+              self, part.node, find_id_, p, key);
+          auto result = future.get(self);
+          cache_->store_read(self, p, key, result, future.response_epoch());
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::optional<V>>(
+                  self, standby, fo_find_id_, p, q, key);
+          auto result = future.get(self);
+          cache_->store_read(self, p, key, result, future.response_epoch());
+          if (!result.has_value()) return false;
+          if (out != nullptr) *out = std::move(*result);
+          return true;
+        });
   }
 
   [[nodiscard]] bool contains(const K& key) { return find(key, nullptr); }
@@ -184,15 +237,32 @@ class unordered_map {
       replicate_erase(p, self.now(), key);
       return ok;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future =
-        ctx_->rpc().template async_invoke<bool>(self, part.node, erase_id_, p, key);
-    const bool ok = future.get(self);
-    // After an erase the key is definitely absent (false = was already gone).
-    const std::optional<V> absent;
-    cache_->complete_write(self, p, key, future.response_epoch(), &absent);
-    return ok;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke<bool>(
+              self, part.node, erase_id_, p, key);
+          const bool ok = future.get(self);
+          // After an erase the key is definitely absent (false = was
+          // already gone).
+          const std::optional<V> absent;
+          cache_->complete_write(self, p, key, future.response_epoch(), &absent);
+          return ok;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby, fo_erase_id_, p, q, key);
+          const bool ok = future.get(self);
+          const std::optional<V> absent;
+          cache_->complete_write(self, p, key, future.response_epoch(), &absent);
+          return ok;
+        });
   }
 
   /// Explicitly resize one partition (Table I: F + N(R + W)).
@@ -249,8 +319,17 @@ class unordered_map {
         results[i] = ok;
       } else {
         cache_->begin_write(self, p, keys[i]);
-        remote.emplace_back(i, batcher.enqueue<bool>(self, part.node, insert_id_,
-                                                     p, keys[i], values[i]));
+        const int q = batch_route(self, p);
+        if (q >= 0) {
+          remote.emplace_back(
+              i, batcher.enqueue<bool>(
+                     self, partitions_[static_cast<std::size_t>(q)]->node,
+                     fo_insert_id_, p, q, keys[i], values[i]));
+        } else {
+          remote.emplace_back(i, batcher.enqueue<bool>(self, part.node,
+                                                       insert_id_, p, keys[i],
+                                                       values[i]));
+        }
       }
     }
     core::settle_batch(
@@ -260,6 +339,24 @@ class unordered_map {
           cache_->complete_write(self, partition_of(keys[i]), keys[i],
                                  future.response_epoch(),
                                  (ok && results[i]) ? &known : nullptr);
+        },
+        [&](std::size_t i, const Status& st) {
+          if (st.code() != StatusCode::kUnavailable) return false;
+          const int p = partition_of(keys[i]);
+          const int q = mark_down_and_standby(p);
+          if (q < 0) return false;
+          try {
+            auto future = ctx_->rpc().template async_invoke_failover<bool>(
+                self, partitions_[static_cast<std::size_t>(q)]->node,
+                fo_insert_id_, p, q, keys[i], values[i]);
+            results[i] = future.get(self);
+            const std::optional<V> known(values[i]);
+            cache_->complete_write(self, p, keys[i], future.response_epoch(),
+                                   results[i] ? &known : nullptr);
+            return true;
+          } catch (const HclError&) {
+            return false;
+          }
         });
     return results;
   }
@@ -288,8 +385,16 @@ class unordered_map {
         if (cache_->lookup(self, p, keys[i], &tmp, &present)) {
           if (present) results[i] = std::move(tmp);
         } else {
-          remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
-                                     self, part.node, find_id_, p, keys[i]));
+          const int q = batch_route(self, p);
+          if (q >= 0) {
+            remote.emplace_back(
+                i, batcher.enqueue<std::optional<V>>(
+                       self, partitions_[static_cast<std::size_t>(q)]->node,
+                       fo_find_id_, p, q, keys[i]));
+          } else {
+            remote.emplace_back(i, batcher.enqueue<std::optional<V>>(
+                                       self, part.node, find_id_, p, keys[i]));
+          }
         }
       }
     }
@@ -299,6 +404,24 @@ class unordered_map {
           if (!ok) return;
           cache_->store_read(self, partition_of(keys[i]), keys[i], results[i],
                              future.response_epoch());
+        },
+        [&](std::size_t i, const Status& st) {
+          if (st.code() != StatusCode::kUnavailable) return false;
+          const int p = partition_of(keys[i]);
+          const int q = mark_down_and_standby(p);
+          if (q < 0) return false;
+          try {
+            auto future =
+                ctx_->rpc().template async_invoke_failover<std::optional<V>>(
+                    self, partitions_[static_cast<std::size_t>(q)]->node,
+                    fo_find_id_, p, q, keys[i]);
+            results[i] = future.get(self);
+            cache_->store_read(self, p, keys[i], results[i],
+                               future.response_epoch());
+            return true;
+          } catch (const HclError&) {
+            return false;
+          }
         });
     return results;
   }
@@ -322,8 +445,16 @@ class unordered_map {
         results[i] = ok;
       } else {
         cache_->begin_write(self, p, keys[i]);
-        remote.emplace_back(
-            i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
+        const int q = batch_route(self, p);
+        if (q >= 0) {
+          remote.emplace_back(
+              i, batcher.enqueue<bool>(
+                     self, partitions_[static_cast<std::size_t>(q)]->node,
+                     fo_erase_id_, p, q, keys[i]));
+        } else {
+          remote.emplace_back(
+              i, batcher.enqueue<bool>(self, part.node, erase_id_, p, keys[i]));
+        }
       }
     }
     core::settle_batch(
@@ -332,8 +463,46 @@ class unordered_map {
           const std::optional<V> absent;
           cache_->complete_write(self, partition_of(keys[i]), keys[i],
                                  future.response_epoch(), ok ? &absent : nullptr);
+        },
+        [&](std::size_t i, const Status& st) {
+          if (st.code() != StatusCode::kUnavailable) return false;
+          const int p = partition_of(keys[i]);
+          const int q = mark_down_and_standby(p);
+          if (q < 0) return false;
+          try {
+            auto future = ctx_->rpc().template async_invoke_failover<bool>(
+                self, partitions_[static_cast<std::size_t>(q)]->node,
+                fo_erase_id_, p, q, keys[i]);
+            results[i] = future.get(self);
+            const std::optional<V> absent;
+            cache_->complete_write(self, p, keys[i], future.response_epoch(),
+                                   &absent);
+            return true;
+          } catch (const HclError&) {
+            return false;
+          }
         });
     return results;
+  }
+
+  // ------------------------------------------------------------------
+  // Failover & recovery (DESIGN.md §5f). Detection and repair are lazy —
+  // the first op that trips over a dead primary reroutes, and the first
+  // op routed at a rejoined primary replays the promoted standby's
+  // journal — so no background machinery exists. heal() is the eager
+  // form: a deterministic recovery point for tests and benchmarks.
+  // ------------------------------------------------------------------
+
+  /// Repair every promoted partition whose primary has rejoined and clear
+  /// its stale route mark. Safe to call any time; no-op when nothing is
+  /// promoted. Partitions whose primaries are still down are skipped.
+  void heal(sim::Actor& self) {
+    for (int p = 0; p < num_partitions_; ++p) {
+      Partition& part = *partitions_[static_cast<std::size_t>(p)];
+      if (ctx_->fabric().node_down(part.node)) continue;
+      repair_partition(self, p);
+      ctx_->rpc().route().mark_up(part.node);
+    }
   }
 
   // ------------------------------------------------------------------
@@ -408,15 +577,32 @@ class unordered_map {
       charge_local_write(self, part, key_bytes(key) + raw.size());
       return apply_mutator(part, key, mutator, raw, init).fresh;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future = ctx_->rpc().template async_invoke<bool>(
-        self, part.node, apply_id_, p, key, static_cast<std::uint32_t>(mutator),
-        raw, init);
-    const bool fresh = future.get(self);
-    // Mutator outcome is server-computed: note the epoch, never re-cache.
-    cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
-    return fresh;
+    return with_failover<bool>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke<bool>(
+              self, part.node, apply_id_, p, key,
+              static_cast<std::uint32_t>(mutator), raw, init);
+          const bool fresh = future.get(self);
+          // Mutator outcome is server-computed: note the epoch, never
+          // re-cache.
+          cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
+          return fresh;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future = ctx_->rpc().template async_invoke_failover<bool>(
+              self, standby, fo_apply_id_, p, q, key,
+              static_cast<std::uint32_t>(mutator), raw, init);
+          const bool fresh = future.get(self);
+          cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
+          return fresh;
+        });
   }
 
   /// Like apply(), but returns the value the mutator computed (fetch-and-
@@ -439,17 +625,38 @@ class unordered_map {
       serial::load(in, result);
       return result;
     }
-    ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
-    cache_->begin_write(self, p, key);
-    auto future = ctx_->rpc().template async_invoke<std::vector<std::byte>>(
-        self, part.node, apply_fetch_id_, p, key,
-        static_cast<std::uint32_t>(mutator), raw, init);
-    auto bytes = future.get(self);
-    cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
-    serial::InArchive in{std::span<const std::byte>(bytes)};
-    R result{};
-    serial::load(in, result);
-    return result;
+    return with_failover<R>(
+        self, p,
+        [&] {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future =
+              ctx_->rpc().template async_invoke<std::vector<std::byte>>(
+                  self, part.node, apply_fetch_id_, p, key,
+                  static_cast<std::uint32_t>(mutator), raw, init);
+          auto bytes = future.get(self);
+          cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
+          serial::InArchive in{std::span<const std::byte>(bytes)};
+          R result{};
+          serial::load(in, result);
+          return result;
+        },
+        [&](int q, sim::NodeId standby) {
+          ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                        std::memory_order_relaxed);
+          cache_->begin_write(self, p, key);
+          auto future =
+              ctx_->rpc().template async_invoke_failover<std::vector<std::byte>>(
+                  self, standby, fo_apply_fetch_id_, p, q, key,
+                  static_cast<std::uint32_t>(mutator), raw, init);
+          auto bytes = future.get(self);
+          cache_->complete_write(self, p, key, future.response_epoch(), nullptr);
+          serial::InArchive in{std::span<const std::byte>(bytes)};
+          R result{};
+          serial::load(in, result);
+          return result;
+        });
   }
 
   // ------------------------------------------------------------------
@@ -489,6 +696,19 @@ class unordered_map {
         std::memory_order_acquire);
   }
 
+  /// Failover diagnostics (DESIGN.md §5f): is partition p's standby
+  /// currently promoted, and how many ops await anti-entropy repair?
+  [[nodiscard]] bool partition_promoted(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.fo_mutex);
+    return part.fo_promoted;
+  }
+  [[nodiscard]] std::size_t repair_backlog(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.fo_mutex);
+    return part.fo_journal.size();
+  }
+
   /// Visit every (key, value) in every partition — local introspection for
   /// tests/apps; not a consistent global snapshot under concurrency.
   template <typename F>
@@ -507,6 +727,14 @@ class unordered_map {
 
   enum class LogOp : std::uint8_t { kInsert = 1, kUpsert = 2, kErase = 3 };
 
+  /// One op accepted by a promoted replica while its primary was down,
+  /// replayed into the rejoined primary by the anti-entropy repair pass.
+  struct FoRecord {
+    LogOp op = LogOp::kUpsert;
+    K key{};
+    V value{};
+  };
+
   struct Partition {
     sim::NodeId node = 0;
     lf::CuckooMap<K, V, HashFn> map{2};
@@ -517,6 +745,18 @@ class unordered_map {
     /// constituent, and replication writes landing here. Piggybacked on
     /// every RPC response so client read caches learn of staleness lazily.
     std::atomic<std::uint64_t> epoch{0};
+    /// Failover state (DESIGN.md §5f), keyed by THIS (primary) partition
+    /// but semantically owned by whichever standby is promoted for it:
+    /// promotion flag, term, the fenced epoch stream failover responses
+    /// piggyback, and the journal of ops accepted while the primary was
+    /// down. Mutated only under fo_mutex — and the repair pass holds the
+    /// mutex ACROSS its replay RPC, so late failover writes and the
+    /// journal drain serialize instead of racing.
+    std::mutex fo_mutex;
+    bool fo_promoted = false;
+    std::uint64_t fo_term = 0;
+    std::uint64_t fo_epoch = 0;
+    std::vector<FoRecord> fo_journal;
   };
 
   // ---- cost charging ------------------------------------------------
@@ -683,6 +923,147 @@ class unordered_map {
     }
   }
 
+  // ---- failover & recovery (DESIGN.md §5f) --------------------------
+
+  /// First replica partition of `p` hosted on a distinct, live node; -1
+  /// when none exists (replication == 0, single node, or all standbys
+  /// down). Same (p + r) % P walk the replication fan-out uses.
+  int standby_partition(int p) const {
+    const Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+    for (int r = 1; r <= options_.replication; ++r) {
+      const int q = (p + r) % num_partitions_;
+      const Partition& cand = *partitions_[static_cast<std::size_t>(q)];
+      if (cand.node != primary.node && !ctx_->fabric().node_down(cand.node)) {
+        return q;
+      }
+    }
+    return -1;
+  }
+
+  /// Scalar failover driver. `normal()` issues the op against the primary;
+  /// `reroute(q, node)` issues the failover stub against standby partition
+  /// q. Flow: repair-and-unmark a rejoined primary first, then try the
+  /// primary unless it is route-marked down; on kUnavailable with the
+  /// fabric confirming the node dead, mark it and reroute exactly once; a
+  /// standby's kFailedPrecondition ("primary is up" — it rejoined between
+  /// our check and the stub running) loops back once to repair + retry.
+  template <typename R, typename Normal, typename Reroute>
+  R with_failover(sim::Actor& self, int p, Normal&& normal, Reroute&& reroute) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    for (int round = 0;; ++round) {
+      if (ctx_->rpc().route().is_down(part.node) &&
+          !ctx_->fabric().node_down(part.node)) {
+        repair_partition(self, p);
+        ctx_->rpc().route().mark_up(part.node);
+      }
+      if (!ctx_->rpc().route().is_down(part.node)) {
+        try {
+          return normal();
+        } catch (const HclError& e) {
+          if (round > 0 || e.code() != StatusCode::kUnavailable ||
+              !ctx_->fabric().node_down(part.node)) {
+            throw;
+          }
+        }
+      }
+      const int q = standby_partition(p);
+      if (q < 0) {
+        throw HclError(Status::Unavailable("primary down and no live standby"));
+      }
+      ctx_->rpc().route().mark_down(part.node);
+      try {
+        return reroute(q, partitions_[static_cast<std::size_t>(q)]->node);
+      } catch (const HclError& e) {
+        if (round > 0 || e.code() != StatusCode::kFailedPrecondition) throw;
+      }
+    }
+  }
+
+  /// Batch-path routing decided at enqueue time: -1 = ship to the primary
+  /// (repairing it first when a stale route mark outlived a rejoin);
+  /// otherwise the standby partition whose node takes the failover stub.
+  int batch_route(sim::Actor& self, int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    auto& route = ctx_->rpc().route();
+    if (!route.is_down(part.node)) return -1;
+    if (!ctx_->fabric().node_down(part.node)) {
+      repair_partition(self, p);
+      route.mark_up(part.node);
+      return -1;
+    }
+    return standby_partition(p);
+  }
+
+  /// Mid-bundle rescue precheck (settle_batch's rescue hook): confirm the
+  /// failed op's primary is genuinely down, record it in the route table,
+  /// and pick a standby. -1 = not rescuable (transient fault or no live
+  /// standby) — let the normal per-op failure semantics stand.
+  int mark_down_and_standby(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (!ctx_->fabric().node_down(part.node)) return -1;
+    const int q = standby_partition(p);
+    if (q >= 0) ctx_->rpc().route().mark_down(part.node);
+    return q;
+  }
+
+  /// Failover stubs serve ONLY while the primary is down. If it is back,
+  /// the client must repair and retry the primary; kFailedPrecondition is
+  /// non-retryable so the engine surfaces it immediately. Checked under
+  /// fo_mutex, closing the race where a late failover write would append
+  /// to a journal the repair pass already drained.
+  void require_primary_down(const Partition& primary) const {
+    if (!ctx_->fabric().node_down(primary.node)) {
+      throw HclError(Status::FailedPrecondition("primary is up; repair and retry"));
+    }
+  }
+
+  /// First failover op promotes the standby (fo_mutex held): new term, and
+  /// the epoch stream is fenced at (term << 32) — a value dominating any
+  /// epoch the primary ever published (per-op increments never approach
+  /// 2^32) — so client leases taken on the primary's stream go stale
+  /// instead of serving pre-failover values (ReadCache::fence_partition).
+  void promote_locked(Partition& primary) {
+    if (primary.fo_promoted) return;
+    primary.fo_promoted = true;
+    ++primary.fo_term;
+    const std::uint64_t fence = primary.fo_term << 32;
+    primary.fo_epoch = std::max(primary.fo_epoch, fence);
+  }
+
+  /// Anti-entropy repair: replay the promoted standby's journal delta into
+  /// the rejoined primary as ONE repair RPC, then fence the caller's cache
+  /// with the adopted epoch. fo_mutex is held across the RPC: racing
+  /// repairers serialize (losers see no promotion and return) and failover
+  /// stubs cannot append mid-replay. On failure (primary died again) the
+  /// journal and promotion flag are restored for a later pass.
+  void repair_partition(sim::Actor& self, int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.fo_mutex);
+    if (!part.fo_promoted) return;
+    std::vector<FoRecord> delta;
+    delta.swap(part.fo_journal);
+    part.fo_promoted = false;
+    const std::uint64_t fence = part.fo_term << 32;
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(delta.size()));
+    for (const FoRecord& rec : delta) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      serial::save(out, rec.key);
+      if (rec.op != LogOp::kErase) serial::save(out, rec.value);
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke_repair<std::uint64_t>(
+          self, part.node, repair_id_, p, out.take(), fence);
+      (void)future.get(self);
+      cache_->fence_partition(self, p, future.response_epoch());
+    } catch (...) {
+      part.fo_promoted = true;
+      part.fo_journal = std::move(delta);
+      throw;
+    }
+  }
+
   // ---- server stubs ---------------------------------------------------
 
   void bind_handlers() {
@@ -781,10 +1162,178 @@ class unordered_map {
           sctx.epoch = part.epoch.load(std::memory_order_acquire);
           return true;
         });
-    bound_ids_ = {insert_id_,         upsert_id_, find_id_,
-                  erase_id_,          resize_id_, apply_id_,
-                  apply_fetch_id_,    replica_upsert_id_,
-                  replica_erase_id_};
+    // ---- failover stubs (DESIGN.md §5f): standby partition q serving
+    // ops owned by the down partition p. All take (p, q) explicitly;
+    // promotion is implicit on the first op, under p's fo_mutex.
+    fo_insert_id_ = engine.bind<bool, int, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key,
+               const V& value) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server_write(sctx, wire_bytes(key, value));
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          V existing{};
+          const bool taken = host.replicas.find(key, &existing);
+          if (!taken) {
+            host.replicas.upsert(key, value);
+            primary.fo_journal.push_back(FoRecord{LogOp::kInsert, key, value});
+            ++primary.fo_epoch;
+          }
+          sctx.epoch = primary.fo_epoch;
+          return !taken;
+        });
+    fo_upsert_id_ = engine.bind<bool, int, int, K, V>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key,
+               const V& value) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server_write(sctx, wire_bytes(key, value));
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          const bool fresh = host.replicas.upsert(key, value);
+          primary.fo_journal.push_back(FoRecord{LogOp::kUpsert, key, value});
+          sctx.epoch = ++primary.fo_epoch;
+          return fresh;
+        });
+    fo_find_id_ = engine.bind<std::optional<V>, int, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          // Epoch BEFORE the read, same conservative rule as the primary.
+          sctx.epoch = primary.fo_epoch;
+          V value{};
+          const bool hit = host.replicas.find(key, &value);
+          charge_server_read(sctx, hit ? wire_bytes(key, value) : key_bytes(key));
+          return hit ? std::optional<V>(std::move(value)) : std::nullopt;
+        });
+    fo_erase_id_ = engine.bind<bool, int, int, K>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server_write(sctx, key_bytes(key));
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          const bool ok = host.replicas.erase(key);
+          // Journal even a miss: the key may exist on the (down) primary
+          // but not in the replica set (mutator-created entries are never
+          // replicated); the replayed erase no-ops when truly absent.
+          primary.fo_journal.push_back(FoRecord{LogOp::kErase, key, V{}});
+          sctx.epoch = ++primary.fo_epoch;
+          return ok;
+        });
+    fo_apply_id_ =
+        engine.bind<bool, int, int, K, std::uint32_t, std::vector<std::byte>, V>(
+            [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key,
+                   const std::uint32_t& mutator,
+                   const std::vector<std::byte>& raw, const V& init) {
+              Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+              Partition& host = *partitions_[static_cast<std::size_t>(q)];
+              charge_server_write(
+                  sctx, key_bytes(key) + static_cast<std::int64_t>(raw.size()));
+              if (mutator >= mutators_.size()) {
+                throw HclError(Status::InvalidArgument("unknown mutator id"));
+              }
+              std::lock_guard<std::mutex> guard(primary.fo_mutex);
+              require_primary_down(primary);
+              promote_locked(primary);
+              V snapshot{};
+              const bool fresh = host.replicas.update_fn(
+                  key,
+                  [&](V& value) {
+                    (void)mutators_[mutator](value,
+                                             std::span<const std::byte>(raw));
+                    snapshot = value;
+                  },
+                  init);
+              primary.fo_journal.push_back(
+                  FoRecord{LogOp::kUpsert, key, snapshot});
+              sctx.epoch = ++primary.fo_epoch;
+              return fresh;
+            });
+    fo_apply_fetch_id_ =
+        engine.bind<std::vector<std::byte>, int, int, K, std::uint32_t,
+                    std::vector<std::byte>, V>(
+            [this](rpc::ServerCtx& sctx, const int& p, const int& q, const K& key,
+                   const std::uint32_t& mutator,
+                   const std::vector<std::byte>& raw, const V& init) {
+              Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+              Partition& host = *partitions_[static_cast<std::size_t>(q)];
+              charge_server_write(
+                  sctx, key_bytes(key) + static_cast<std::int64_t>(raw.size()));
+              if (mutator >= mutators_.size()) {
+                throw HclError(Status::InvalidArgument("unknown mutator id"));
+              }
+              std::lock_guard<std::mutex> guard(primary.fo_mutex);
+              require_primary_down(primary);
+              promote_locked(primary);
+              V snapshot{};
+              std::vector<std::byte> result;
+              host.replicas.update_fn(
+                  key,
+                  [&](V& value) {
+                    result = mutators_[mutator](value,
+                                                std::span<const std::byte>(raw));
+                    snapshot = value;
+                  },
+                  init);
+              primary.fo_journal.push_back(
+                  FoRecord{LogOp::kUpsert, key, snapshot});
+              sctx.epoch = ++primary.fo_epoch;
+              return result;
+            });
+    // Anti-entropy repair (primary side): replay the promoted standby's
+    // journal delta through the journaling apply_* paths — so the delta
+    // also lands in the primary's persist log and re-fans to the other
+    // replicas — then adopt an epoch ABOVE the promotion fence. Without
+    // adoption the rejoined primary's piggybacks would compare stale
+    // against fenced leases forever (see Context::run).
+    repair_id_ =
+        engine.bind<std::uint64_t, int, std::vector<std::byte>, std::uint64_t>(
+            [this](rpc::ServerCtx& sctx, const int& p,
+                   const std::vector<std::byte>& delta,
+                   const std::uint64_t& fence) {
+              Partition& part = *partitions_[static_cast<std::size_t>(p)];
+              serial::InArchive in{std::span<const std::byte>(delta)};
+              const std::uint64_t count = in.u64();
+              std::int64_t bytes = 8;
+              for (std::uint64_t i = 0; i < count; ++i) {
+                const auto op = static_cast<LogOp>(in.u64());
+                K key{};
+                serial::load(in, key);
+                if (op == LogOp::kErase) {
+                  bytes += key_bytes(key);
+                  apply_erase(part, key);
+                  replicate_erase(p, sctx.start, key);
+                } else {
+                  V value{};
+                  serial::load(in, value);
+                  bytes += wire_bytes(key, value);
+                  apply_upsert(part, key, value, sctx.start);
+                  replicate_upsert(p, sctx.start, key, value);
+                }
+              }
+              charge_server_write(sctx, bytes);
+              const std::uint64_t adopted =
+                  std::max(part.epoch.load(std::memory_order_acquire), fence) + 1;
+              part.epoch.store(adopted, std::memory_order_release);
+              ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
+                  count, std::memory_order_relaxed);
+              sctx.epoch = adopted;
+              return count;
+            });
+    bound_ids_ = {insert_id_,      upsert_id_,         find_id_,
+                  erase_id_,       resize_id_,         apply_id_,
+                  apply_fetch_id_, replica_upsert_id_, replica_erase_id_,
+                  fo_insert_id_,   fo_upsert_id_,      fo_find_id_,
+                  fo_erase_id_,    fo_apply_id_,       fo_apply_fetch_id_,
+                  repair_id_};
   }
 
   Context* ctx_;
@@ -796,7 +1345,10 @@ class unordered_map {
 
   rpc::FuncId insert_id_ = 0, upsert_id_ = 0, find_id_ = 0, erase_id_ = 0,
               resize_id_ = 0, apply_id_ = 0, apply_fetch_id_ = 0,
-              replica_upsert_id_ = 0, replica_erase_id_ = 0;
+              replica_upsert_id_ = 0, replica_erase_id_ = 0,
+              fo_insert_id_ = 0, fo_upsert_id_ = 0, fo_find_id_ = 0,
+              fo_erase_id_ = 0, fo_apply_id_ = 0, fo_apply_fetch_id_ = 0,
+              repair_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
   HashFn hash_;
 

@@ -59,6 +59,11 @@ struct NicCounters {
   std::atomic<std::int64_t> cache_miss_count{0};
   std::atomic<std::int64_t> cache_invalidation_count{0};
   std::atomic<std::int64_t> cache_stale_count{0};
+  /// Ops re-routed to this NIC because it hosts the promoted replica of a
+  /// partition whose primary is down, and repair-replay ops this NIC (the
+  /// recovered primary) absorbed during anti-entropy catch-up.
+  std::atomic<std::int64_t> failovers{0};
+  std::atomic<std::int64_t> repair_ops{0};
 
   void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
     packets.add(t, n);
@@ -87,6 +92,8 @@ struct NicCounters {
     cache_miss_count.store(0);
     cache_invalidation_count.store(0);
     cache_stale_count.store(0);
+    failovers.store(0);
+    repair_ops.store(0);
   }
 };
 

@@ -84,6 +84,14 @@ class Fabric {
     return fault_plan_.get();
   }
 
+  /// Membership view: is `n` currently down (fail_node on the installed
+  /// fault plan)? With no plan installed every node is up. This is what the
+  /// failover layer consults to distinguish a dead primary (re-route) from
+  /// a transient NACK (retry same target), and to detect rejoin.
+  [[nodiscard]] bool node_down(sim::NodeId n) const noexcept {
+    return fault_plan_ != nullptr && fault_plan_->node_down(n);
+  }
+
   Nic& nic(sim::NodeId n) { return node(n).nic; }
   mem::NodeMemory& memory(sim::NodeId n) { return node(n).memory; }
   sim::GaugeSeries& memory_gauge(sim::NodeId n) { return node(n).mem_gauge; }

@@ -70,10 +70,14 @@ struct FaultDecision {
   bool duplicate = false;
   bool throw_handler = false;
   bool unavailable = false;
+  /// The target node is administratively down (fail_node): a hard NACK, not
+  /// a transient one — retrying the same node cannot succeed until rejoin.
+  bool node_down = false;
   sim::Nanos delay_ns = 0;
 
   [[nodiscard]] bool any() const noexcept {
-    return drop || duplicate || throw_handler || unavailable || delay_ns > 0;
+    return drop || duplicate || throw_handler || unavailable || node_down ||
+           delay_ns > 0;
   }
 };
 
@@ -84,6 +88,10 @@ struct FaultCounters {
   std::atomic<std::int64_t> delays{0};
   std::atomic<std::int64_t> throws{0};
   std::atomic<std::int64_t> unavailable{0};
+  /// Ops rejected because their target node was down (not part of total():
+  /// a dead node rejects every op sent at it, which would swamp the
+  /// injected-fault totals benches report).
+  std::atomic<std::int64_t> node_down_rejections{0};
 
   [[nodiscard]] std::int64_t total() const noexcept {
     return drops.load(std::memory_order_relaxed) +
@@ -98,6 +106,7 @@ struct FaultCounters {
     delays.store(0);
     throws.store(0);
     unavailable.store(0);
+    node_down_rejections.store(0);
   }
 };
 
@@ -134,6 +143,29 @@ class FaultPlan {
   }
 
   // ------------------------------------------------------------------
+  // Membership events (node crash / recovery).
+  // ------------------------------------------------------------------
+
+  /// Take `node` down: every op targeting it is rejected (FaultDecision::
+  /// node_down) until rejoin_node(). Unlike kUnavailable this is a *hard*
+  /// failure — retrying the same target cannot succeed; clients must
+  /// fail over. Idempotent; callable mid-run from actor code.
+  void fail_node(sim::NodeId node) {
+    down_mask_.fetch_or(node_bit(node), std::memory_order_acq_rel);
+  }
+
+  /// Bring `node` back. The node rejoins with whatever state it held at
+  /// crash time — anti-entropy repair (core layer) replays what it missed.
+  void rejoin_node(sim::NodeId node) {
+    down_mask_.fetch_and(~node_bit(node), std::memory_order_acq_rel);
+  }
+
+  /// The membership view: is `node` currently down?
+  [[nodiscard]] bool node_down(sim::NodeId node) const noexcept {
+    return (down_mask_.load(std::memory_order_acquire) & node_bit(node)) != 0;
+  }
+
+  // ------------------------------------------------------------------
   // Hot path
   // ------------------------------------------------------------------
 
@@ -147,6 +179,16 @@ class FaultPlan {
 
   /// Pure decision for a given op index (does not consume a slot).
   FaultDecision decide(sim::NodeId node, OpClass cls, std::uint64_t index) {
+    if (node_down(node)) {
+      // A dead node executes nothing and delays nothing: the op is rejected
+      // outright. Probability draws are skipped, but the op index was already
+      // consumed, so the surviving nodes' fault streams are unperturbed.
+      FaultDecision d;
+      d.node_down = true;
+      d.unavailable = true;
+      counters_.node_down_rejections.fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
     FaultProbabilities p;
     unsigned forced = 0;
     {
@@ -190,6 +232,11 @@ class FaultPlan {
   }
 
  private:
+  static constexpr std::uint64_t node_bit(sim::NodeId node) noexcept {
+    // One bit per node; topologies beyond 64 nodes saturate on bit 63 (all
+    // sim topologies in this repo are far smaller).
+    return 1ULL << (static_cast<unsigned>(node) & 63u);
+  }
   static constexpr std::uint64_t node_class_key(sim::NodeId node,
                                                 OpClass cls) noexcept {
     return (static_cast<std::uint64_t>(node) << 8) |
@@ -238,6 +285,7 @@ class FaultPlan {
   }
 
   std::uint64_t seed_;
+  std::atomic<std::uint64_t> down_mask_{0};
   std::mutex config_mutex_;
   std::array<FaultProbabilities, kNumOpClasses> defaults_{};
   std::unordered_map<std::uint64_t, FaultProbabilities> overrides_;

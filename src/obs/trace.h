@@ -59,8 +59,10 @@ enum class SpanKind : std::uint8_t {
   kReplication = 4,  // server-side fire-and-forget replication fan-out
   kCacheHit = 5,     // read served from the client cache (no RPC)
   kCacheMiss = 6,    // cache consult that fell through to the RPC
+  kFailover = 7,     // op re-routed to a promoted replica (primary down)
+  kRepair = 8,       // anti-entropy replay into a rejoined primary
 };
-inline constexpr std::size_t kNumSpanKinds = 7;
+inline constexpr std::size_t kNumSpanKinds = 9;
 
 [[nodiscard]] inline std::string_view to_string(SpanKind kind) noexcept {
   switch (kind) {
@@ -71,6 +73,8 @@ inline constexpr std::size_t kNumSpanKinds = 7;
     case SpanKind::kReplication: return "replication";
     case SpanKind::kCacheHit: return "cache_hit";
     case SpanKind::kCacheMiss: return "cache_miss";
+    case SpanKind::kFailover: return "failover";
+    case SpanKind::kRepair: return "repair";
   }
   return "unknown";
 }
@@ -306,7 +310,9 @@ class Tracer {
     return sum(SpanKind::kScalar, Stage::kHandler) +
            sum(SpanKind::kReplication, Stage::kHandler) +
            sum(SpanKind::kBatchOp, Stage::kDispatch) +
-           sum(SpanKind::kBatchOp, Stage::kHandler);
+           sum(SpanKind::kBatchOp, Stage::kHandler) +
+           sum(SpanKind::kFailover, Stage::kHandler) +
+           sum(SpanKind::kRepair, Stage::kHandler);
   }
 
   /// Request + pull packets across all span kinds; reconciles with the

@@ -34,6 +34,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -95,6 +96,34 @@ struct BatchPolicy {
   sim::Nanos max_delay_ns = 10 * sim::kMicrosecond;
 };
 
+/// Per-rank routing table for failover (DESIGN.md §5f). Each client rank
+/// remembers which nodes it has OBSERVED down (a "node down" Unavailable
+/// after failover-policy retry exhaustion) so later ops — scalar or enqueued
+/// into a batch — route straight to the promoted standby without re-paying
+/// the detection probe. Marks are per-engine hints, not cluster consensus:
+/// a stale mark is corrected the first time the standby answers
+/// kFailedPrecondition ("primary is up") and the client retries the primary.
+/// One bit per node, same 64-node ceiling as FaultPlan's membership mask.
+class RouteTable {
+ public:
+  void mark_down(sim::NodeId node) noexcept {
+    mask_.fetch_or(bit(node), std::memory_order_acq_rel);
+  }
+  void mark_up(sim::NodeId node) noexcept {
+    mask_.fetch_and(~bit(node), std::memory_order_acq_rel);
+  }
+  [[nodiscard]] bool is_down(sim::NodeId node) const noexcept {
+    return (mask_.load(std::memory_order_acquire) & bit(node)) != 0;
+  }
+  void reset() noexcept { mask_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint64_t bit(sim::NodeId node) noexcept {
+    return 1ULL << (static_cast<unsigned>(node) & 63u);
+  }
+  std::atomic<std::uint64_t> mask_{0};
+};
+
 /// Execution context handed to every server stub.
 struct ServerCtx {
   sim::NodeId node = 0;     // node the stub runs on
@@ -141,6 +170,14 @@ class Engine {
         [this](ServerCtx& ctx, std::span<const std::byte> request) {
           return run_batch(ctx, request);
         });
+    // Failover policy defaults are intentionally DISTINCT from the transient
+    // policy: a node-down NACK is deterministic, so probing the primary more
+    // than a couple of times before re-routing only adds simulated latency,
+    // and the standby (which is up) needs no long backoff ramp.
+    failover_options_.max_retries = read_env_int("HCL_FAILOVER_RETRIES", 2);
+    failover_options_.backoff_ns = static_cast<sim::Nanos>(
+        read_env_int("HCL_FAILOVER_BACKOFF_NS", sim::kMicrosecond));
+    failover_options_.max_backoff_ns = 100 * sim::kMicrosecond;
   }
 
   Engine(const Engine&) = delete;
@@ -170,6 +207,21 @@ class Engine {
   [[nodiscard]] const InvokeOptions& default_options() const noexcept {
     return default_options_;
   }
+
+  /// Reliability policy for the FAILOVER path (probing a suspected-dead
+  /// primary, and invoking the promoted standby). Separate from
+  /// default_options so operators can tune detection aggressiveness
+  /// (HCL_FAILOVER_RETRIES / HCL_FAILOVER_BACKOFF_NS) without touching the
+  /// transient-fault backoff that fault-free workloads rely on.
+  void set_failover_options(const InvokeOptions& options) noexcept {
+    failover_options_ = options;
+  }
+  [[nodiscard]] const InvokeOptions& failover_options() const noexcept {
+    return failover_options_;
+  }
+
+  /// This engine's (per-rank-shared) membership routing hints.
+  [[nodiscard]] RouteTable& route() noexcept { return route_; }
 
   // ------------------------------------------------------------------
   // Registry (bind / unbind), §III.B: "users submit their functions by
@@ -259,6 +311,45 @@ class Engine {
     run_attempts(caller, target, id, chain, *request, wire_bytes, options,
                  *state);
     return Future<R>(state, this, target);
+  }
+
+  /// Failover invocation: the op's primary is down (or marked down in the
+  /// route table), so send it to `standby` — the node hosting the promoted
+  /// replica — under the failover policy. Identical pipeline to a scalar
+  /// invoke; differs only in policy, span kind (kFailover, so traces show
+  /// re-routed ops distinctly), and the standby NIC's `failovers` counter.
+  template <typename R, typename... Args>
+  Future<R> async_invoke_failover(sim::Actor& caller, sim::NodeId standby,
+                                  FuncId id, const Args&... args) {
+    serial::OutArchive out;
+    (serial::save(out, args), ...);
+    auto request = std::make_shared<std::vector<std::byte>>(out.take());
+    const auto wire_bytes =
+        static_cast<std::int64_t>(kHeaderBytes + request->size());
+    auto state = std::make_shared<detail::FutureState>();
+    fabric_->nic(standby).counters().failovers.fetch_add(
+        1, std::memory_order_relaxed);
+    run_attempts(caller, standby, id, {}, *request, wire_bytes,
+                 failover_options_, *state, obs::SpanKind::kFailover);
+    return Future<R>(state, this, standby);
+  }
+
+  /// Anti-entropy repair invocation: replay a promoted replica's journal
+  /// delta into its rejoined primary (SpanKind::kRepair, so traces show the
+  /// recovery pass distinctly). Runs under the failover policy; the
+  /// primary-side stub accounts repair_ops per replayed record.
+  template <typename R, typename... Args>
+  Future<R> async_invoke_repair(sim::Actor& caller, sim::NodeId primary,
+                                FuncId id, const Args&... args) {
+    serial::OutArchive out;
+    (serial::save(out, args), ...);
+    auto request = std::make_shared<std::vector<std::byte>>(out.take());
+    const auto wire_bytes =
+        static_cast<std::int64_t>(kHeaderBytes + request->size());
+    auto state = std::make_shared<detail::FutureState>();
+    run_attempts(caller, primary, id, {}, *request, wire_bytes,
+                 failover_options_, *state, obs::SpanKind::kRepair);
+    return Future<R>(state, this, primary);
   }
 
   /// Synchronous invocation (paper: the caller "blocks waiting for the
@@ -417,6 +508,10 @@ class Engine {
   template <typename... Args>
   void server_invoke(sim::NodeId origin, sim::NodeId target, sim::Nanos ready,
                      FuncId id, const Args&... args) {
+    // A DOWN target absorbs nothing: the fan-out is suppressed entirely (no
+    // execution, no ingress reservation). The anti-entropy repair pass
+    // replays the missed delta when the node rejoins.
+    if (fabric_->node_down(target)) return;
     serial::OutArchive out;
     (serial::save(out, args), ...);
     auto request = std::make_shared<std::vector<std::byte>>(out.take());
@@ -620,12 +715,19 @@ class Engine {
         continue;
       }
       if (fault.unavailable) {
-        // Transient NACK from the target endpoint (no side effects).
+        // Transient NACK from the target endpoint (no side effects). A
+        // node_down decision is a HARD NACK from a dead endpoint: the plan
+        // returns it deterministically until rejoin, so burning the retry
+        // budget against it only delays the caller — fail fast and let the
+        // container's failover path consult fabric().node_down(target).
         const sim::Nanos nack = arrival + fabric_->model().net_base_latency_ns;
-        if (last) {
+        if (last || fault.node_down) {
           clear_exec_stages(span);
           finish_span(nack, StatusCode::kUnavailable);
-          state.fulfill({}, nack, Status::Unavailable("injected transient fault"));
+          state.fulfill({}, nack,
+                        Status::Unavailable(fault.node_down
+                                                ? "node down"
+                                                : "injected transient fault"));
           return;
         }
         resend_at = nack + backoff;
@@ -685,6 +787,15 @@ class Engine {
     span->dispatch_ns = 0;
     span->exec_start_ns = -1;
     span->handler_end_ns = -1;
+  }
+
+  /// Integer env knob with a default (malformed or unset values fall back).
+  static std::int64_t read_env_int(const char* name, std::int64_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const long long v = std::strtoll(raw, &end, 10);
+    return (end == raw || v < 0) ? fallback : static_cast<std::int64_t>(v);
   }
 
   static sim::Nanos grow(sim::Nanos backoff, const InvokeOptions& options) {
@@ -833,7 +944,9 @@ class Engine {
         // side effects, and only THIS slot reports the loss.
         st = Status::Unavailable("batched op dropped from the bundle");
       } else if (fault.unavailable) {
-        st = Status::Unavailable("injected transient fault (batched op)");
+        st = Status::Unavailable(
+            fault.node_down ? "node down"
+                            : "injected transient fault (batched op)");
       } else {
         RawHandler handler = find(id);
         if (!handler) {
@@ -898,6 +1011,8 @@ class Engine {
   std::unordered_map<FuncId, RawHandler> registry_;
   std::atomic<FuncId> next_id_{1};
   InvokeOptions default_options_{};
+  InvokeOptions failover_options_{};
+  RouteTable route_;
   FuncId batch_exec_id_ = 0;
 };
 

@@ -685,6 +685,201 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BatchedFaultEquivalence,
                          ::testing::Values(401u, 502u, 603u));
 
 // ---------------------------------------------------------------------------
+// Failover convergence (DESIGN.md §5f): a workload that kills one server
+// mid-run, fails over to the promoted replica, then rejoins and repairs,
+// must converge byte-for-byte to the state of a fault-free twin running
+// the same op stream — across topology shapes, replication factors, cache
+// modes, and batching policies, including per-constituent kBatchOp faults
+// injected during the down window.
+// ---------------------------------------------------------------------------
+
+struct FailoverCase {
+  int nodes;
+  int procs;
+  int partitions;
+  int replication;
+  cache::CacheMode mode;  // forced on for the faulty run
+  bool batched;           // phase-2 ops coalesced vs scalar
+  std::uint64_t seed;
+};
+
+class FailoverConvergenceSweep : public ::testing::TestWithParam<FailoverCase> {};
+
+TEST_P(FailoverConvergenceSweep, KillPromoteRejoinRepairMatchesFaultFreeTwin) {
+  const auto& param = GetParam();
+  constexpr sim::NodeId kVictim = 1;
+  constexpr int kPerRank = 48;
+
+  auto plan = std::make_shared<fabric::FaultPlan>(param.seed);
+  if (param.batched) {
+    // Per-constituent faults inside delivered bundles, on top of the kill.
+    fabric::FaultProbabilities op_p;
+    op_p.drop = 0.03;
+    op_p.throw_handler = 0.03;
+    op_p.unavailable = 0.03;
+    plan->set(fabric::OpClass::kBatchOp, op_p);
+  }
+
+  Context::Config ref_cfg;
+  ref_cfg.num_nodes = param.nodes;
+  ref_cfg.procs_per_node = param.procs;
+  ref_cfg.model = sim::CostModel::zero();
+  Context ref_ctx(ref_cfg);
+
+  Context::Config fo_cfg = ref_cfg;
+  fo_cfg.fault_plan = plan;
+  Context fo_ctx(fo_cfg);
+
+  core::ContainerOptions ref_opts;
+  ref_opts.num_partitions = param.partitions;
+  ref_opts.replication = param.replication;
+  core::ContainerOptions fo_opts = ref_opts;
+  fo_opts.cache = {.capacity = 256,
+                   .ttl_ns = 50 * sim::kMicrosecond,
+                   .mode = param.mode};
+  if (param.batched) {
+    fo_opts.batch = {.max_ops = 8, .max_bytes = 1 << 16, .max_delay_ns = 0};
+  }
+  unordered_map<std::uint64_t, std::uint64_t> ref_map(ref_ctx, ref_opts);
+  unordered_map<std::uint64_t, std::uint64_t> fo_map(fo_ctx, fo_opts);
+
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank +
+           static_cast<std::uint64_t>(i);
+  };
+  auto fresh_of = [](int rank, int i) {
+    return 1'000'000 + static_cast<std::uint64_t>(rank) * kPerRank +
+           static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [](std::uint64_t k) { return k * 3 + 1; };
+
+  // Phase 1 (both runs, no faults yet): every rank inserts its keys.
+  for (Context* c : {&ref_ctx, &fo_ctx}) {
+    auto& m = (c == &ref_ctx) ? ref_map : fo_map;
+    c->run([&](sim::Actor& self) {
+      for (int i = 0; i < kPerRank; ++i) {
+        const auto k = key_of(self.rank(), i);
+        ASSERT_TRUE(m.insert(k, val_of(k)));
+      }
+    });
+  }
+
+  // Phase 2: the victim dies. Live ranks keep writing — fresh inserts plus
+  // erases of a third of their phase-1 keys; ranks hosted on the victim
+  // stay quiet (SPMD code cannot run on a dead server). The reference twin
+  // executes the identical stream fault-free.
+  ref_ctx.run([&](sim::Actor& self) {
+    if (self.node() == kVictim) return;
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = fresh_of(self.rank(), i);
+      ASSERT_TRUE(ref_map.insert(k, val_of(k)));
+    }
+    for (int i = 0; i < kPerRank; i += 3) {
+      ASSERT_TRUE(ref_map.erase(key_of(self.rank(), i)));
+    }
+  });
+
+  plan->fail_node(kVictim);
+  const auto ranks = static_cast<std::size_t>(fo_ctx.topology().num_ranks());
+  std::vector<std::vector<std::uint64_t>> failed_inserts(ranks);
+  std::vector<std::vector<std::uint64_t>> failed_erases(ranks);
+  fo_ctx.run([&](sim::Actor& self) {
+    if (self.node() == kVictim) return;
+    const auto r = static_cast<std::size_t>(self.rank());
+    std::vector<std::uint64_t> ins_keys, ins_vals, del_keys;
+    for (int i = 0; i < kPerRank; ++i) {
+      ins_keys.push_back(fresh_of(self.rank(), i));
+      ins_vals.push_back(val_of(ins_keys.back()));
+    }
+    for (int i = 0; i < kPerRank; i += 3) {
+      del_keys.push_back(key_of(self.rank(), i));
+    }
+    if (param.batched) {
+      std::vector<Status> statuses;
+      (void)fo_map.insert_batch(ins_keys, ins_vals, &statuses);
+      for (std::size_t i = 0; i < statuses.size(); ++i) {
+        if (!statuses[i].ok()) failed_inserts[r].push_back(ins_keys[i]);
+      }
+      statuses.clear();
+      (void)fo_map.erase_batch(del_keys, &statuses);
+      for (std::size_t i = 0; i < statuses.size(); ++i) {
+        if (!statuses[i].ok()) failed_erases[r].push_back(del_keys[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < ins_keys.size(); ++i) {
+        ASSERT_TRUE(fo_map.insert(ins_keys[i], ins_vals[i]));
+      }
+      for (const auto k : del_keys) ASSERT_TRUE(fo_map.erase(k));
+    }
+  });
+  // Repair the transiently-failed constituents scalar, victim still down:
+  // every re-issue goes through the failover path.
+  fo_ctx.run([&](sim::Actor& self) {
+    if (self.node() == kVictim) return;
+    const auto r = static_cast<std::size_t>(self.rank());
+    for (const auto k : failed_inserts[r]) (void)fo_map.upsert(k, val_of(k));
+    for (const auto k : failed_erases[r]) (void)fo_map.erase(k);
+  });
+
+  // Phase 3: rejoin; an explicit heal repairs every promoted partition
+  // before anyone (including the victim's own ranks, whose local hybrid
+  // path bypasses routing) reads again.
+  plan->rejoin_node(kVictim);
+  fo_ctx.run_one(0, [&](sim::Actor& self) { fo_map.heal(self); });
+  for (int p = 0; p < fo_map.num_partitions(); ++p) {
+    EXPECT_FALSE(fo_map.partition_promoted(p)) << "partition " << p;
+    EXPECT_EQ(fo_map.repair_backlog(p), 0u) << "partition " << p;
+  }
+
+  // Byte-for-byte convergence with the fault-free twin over the whole
+  // keyspace, phase-1 and phase-2 keys alike.
+  EXPECT_EQ(fo_map.size(), ref_map.size());
+  std::vector<std::optional<std::uint64_t>> ref_state, fo_state;
+  ref_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        ref_state.push_back(ref_map.find(key_of(static_cast<int>(r), i), &v)
+                                ? std::optional<std::uint64_t>(v)
+                                : std::nullopt);
+        v = 0;
+        ref_state.push_back(ref_map.find(fresh_of(static_cast<int>(r), i), &v)
+                                ? std::optional<std::uint64_t>(v)
+                                : std::nullopt);
+      }
+    }
+  });
+  fo_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        fo_state.push_back(fo_map.find(key_of(static_cast<int>(r), i), &v)
+                               ? std::optional<std::uint64_t>(v)
+                               : std::nullopt);
+        v = 0;
+        fo_state.push_back(fo_map.find(fresh_of(static_cast<int>(r), i), &v)
+                               ? std::optional<std::uint64_t>(v)
+                               : std::nullopt);
+      }
+    }
+  });
+  EXPECT_EQ(ref_state, fo_state);
+  EXPECT_GT(plan->counters().node_down_rejections.load(), 0)
+      << "the kill window never rejected an op";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FailoverConvergenceSweep,
+    ::testing::Values(
+        FailoverCase{2, 2, 4, 1, cache::CacheMode::kOff, false, 11u},
+        FailoverCase{3, 1, 3, 1, cache::CacheMode::kInvalidate, true, 22u},
+        FailoverCase{4, 2, 8, 2, cache::CacheMode::kUpdate, true, 33u},
+        FailoverCase{3, 2, 6, 2, cache::CacheMode::kInvalidate, false, 44u},
+        FailoverCase{2, 1, 4, 1, cache::CacheMode::kUpdate, false, 55u},
+        FailoverCase{4, 1, 4, 1, cache::CacheMode::kOff, true, 66u},
+        FailoverCase{3, 1, 3, 1, cache::CacheMode::kInvalidate, true, 77u}));
+
+// ---------------------------------------------------------------------------
 // Cache transparency: the same phased op stream run with the client-side
 // read cache ON and OFF must produce identical per-op results and identical
 // final state — for every topology shape, partition count, replication

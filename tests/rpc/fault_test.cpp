@@ -393,5 +393,78 @@ TEST(BackoffClamp, LongRetryBudgetSaturatesAtMaxBackoff) {
   EXPECT_EQ(fabric.nic(1).counters().rpc_retries.load(), 64);
 }
 
+// ---------------------------------------------------------------------------
+// Node membership (DESIGN.md §5f): fail_node / rejoin_node and the engine's
+// failover plumbing on top of them.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, FailNodeShortCircuitsDecide) {
+  plan->fail_node(1);
+  const auto d = plan->decide(1, OpClass::kRpc, 0);
+  EXPECT_TRUE(d.node_down);
+  EXPECT_TRUE(d.any());
+  EXPECT_EQ(plan->counters().node_down_rejections.load(), 1);
+  // Membership rejections are bookkeeping, not injected faults: total()
+  // still reads zero so fault-budget assertions stay unchanged.
+  EXPECT_EQ(plan->counters().total(), 0);
+  plan->rejoin_node(1);
+  EXPECT_FALSE(plan->node_down(1));
+  EXPECT_FALSE(plan->decide(1, OpClass::kRpc, 1).node_down);
+}
+
+TEST_F(FaultTest, InvokeAgainstDownNodeFailsFastUnavailable) {
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  plan->fail_node(1);
+  Actor client(0, 0, 1);
+  auto f = engine.async_invoke<int>(client, 1, echo, 7);
+  const Status st = f.wait(client);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("node down"), std::string::npos);
+  // Fail-fast: no retry schedule was walked against a dead node.
+  EXPECT_EQ(fabric.nic(1).counters().rpc_retries.load(), 0);
+  plan->rejoin_node(1);
+  EXPECT_EQ(engine.invoke<int>(client, 1, echo, 7), 7);
+}
+
+TEST_F(FaultTest, RouteTableMarksAndClears) {
+  RouteTable& route = engine.route();
+  EXPECT_FALSE(route.is_down(1));
+  route.mark_down(1);
+  EXPECT_TRUE(route.is_down(1));
+  EXPECT_FALSE(route.is_down(0));
+  route.mark_up(1);
+  EXPECT_FALSE(route.is_down(1));
+  route.mark_down(0);
+  route.mark_down(1);
+  route.reset();
+  EXPECT_FALSE(route.is_down(0));
+  EXPECT_FALSE(route.is_down(1));
+}
+
+TEST_F(FaultTest, FailoverInvokeBumpsStandbyCounter) {
+  const FuncId echo =
+      engine.bind<int, int>([](ServerCtx&, const int& v) { return v; });
+  Actor client(0, 0, 1);
+  auto f = engine.async_invoke_failover<int>(client, 1, echo, 9);
+  EXPECT_EQ(f.get(client), 9);
+  EXPECT_EQ(fabric.nic(1).counters().failovers.load(), 1);
+}
+
+TEST_F(FaultTest, ServerInvokeSkipsDownTarget) {
+  std::atomic<int> executed{0};
+  const FuncId fanout = engine.bind<bool, int>(
+      [&executed](ServerCtx&, const int&) {
+        executed.fetch_add(1);
+        return true;
+      });
+  plan->fail_node(1);
+  engine.server_invoke(0, 1, 0, fanout, 5);  // absorbed, never executes
+  EXPECT_EQ(executed.load(), 0);
+  plan->rejoin_node(1);
+  engine.server_invoke(0, 1, 0, fanout, 5);
+  EXPECT_EQ(executed.load(), 1);
+}
+
 }  // namespace
 }  // namespace hcl::rpc
