@@ -29,8 +29,19 @@
 //       failed ops, bounded per-op dip); with replication=0 the same window
 //       resolves every op as kUnavailable. Cache-on variant shows the fence
 //       epoch staling leases without serving stale data.
+//   A9. Heat-driven shard split (DESIGN.md §5g): a Zipfian (theta=0.99)
+//       stream funneled through one partition's host, with a mid-run
+//       split() peeling the hot slots off to the coldest partition. Static
+//       placement bottlenecks one server NIC; the split spreads it. Run
+//       cache-off and cache-on; the migration window must lose zero ops and
+//       both variants must converge byte-for-byte.
+//
+// A6-A9 additionally drop BENCH_A<k>.json next to the binary so CI can diff
+// the perf trajectory across commits (ROADMAP item 5).
 #include <atomic>
+#include <cstdarg>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -41,6 +52,27 @@ namespace {
 
 using namespace hcl;         // NOLINT
 using namespace hcl::bench;  // NOLINT
+
+/// Machine-checkable perf record: one flat JSON object per ablation file.
+void write_json(const char* path, const std::string& body) {
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(body.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::printf("   wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "   could not write %s\n", path);
+  }
+}
+
+std::string jsonf(const char* fmt, ...) {
+  char buf[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
 
 }  // namespace
 
@@ -262,6 +294,15 @@ int main(int argc, char** argv) {
                 "unbatched %.3f ms -> %.1fx\n",
                 std::size_t{32}, batched * 1e3, bundles, scalar * 1e3,
                 scalar / batched);
+    const double total_ops = static_cast<double>(ops) * clients;
+    write_json(
+        "BENCH_A6.json",
+        jsonf("{\"ablation\": \"A6\", \"batched_ms\": %.6f, "
+              "\"unbatched_ms\": %.6f, \"speedup\": %.3f, "
+              "\"bundles\": %" PRId64 ", \"batched_ops_per_sec\": %.1f, "
+              "\"unbatched_ops_per_sec\": %.1f}",
+              batched * 1e3, scalar * 1e3, scalar / batched, bundles,
+              total_ops / batched, total_ops / scalar));
   }
 
   // --- A7: client-side read cache (DESIGN.md §5d) ---------------------------
@@ -359,6 +400,19 @@ int main(int argc, char** argv) {
                 "(hit rate %.1f%%, %" PRId64 " invalidations)\n",
                 rw_on * 1e3, rw_off * 1e3, rw_off / rw_on, hit_rate(rw_stats),
                 rw_stats.invalidations);
+    const double total_ops = static_cast<double>(cache_ops) * clients;
+    write_json(
+        "BENCH_A7.json",
+        jsonf("{\"ablation\": \"A7\", \"zipf_cached_ms\": %.6f, "
+              "\"zipf_uncached_ms\": %.6f, \"zipf_speedup\": %.3f, "
+              "\"zipf_hit_rate_pct\": %.2f, \"zipf_ops_per_sec\": %.1f, "
+              "\"stale_reads\": %" PRId64 ", \"control_cached_ms\": %.6f, "
+              "\"control_uncached_ms\": %.6f, \"control_speedup\": %.3f, "
+              "\"invalidations\": %" PRId64 "}",
+              zipf_on * 1e3, zipf_off * 1e3, zipf_off / zipf_on,
+              hit_rate(zipf_stats), total_ops / zipf_on,
+              zipf_stats.stale_reads, rw_on * 1e3, rw_off * 1e3, rw_off / rw_on,
+              rw_stats.invalidations));
   }
 
   // --- A8: availability under a server kill (DESIGN.md §5f) -----------------
@@ -451,6 +505,124 @@ int main(int argc, char** argv) {
     print_line("kill/rejoin (repl=1)", off);
     print_line("kill/rejoin (+cache)", on);
     print_line("kill, no replication", bare);
+    auto variant_json = [&](const char* tag, const A8Result& r) {
+      return jsonf("\"%s\": {\"pre_us_per_op\": %.4f, "
+                   "\"outage_us_per_op\": %.4f, \"post_us_per_op\": %.4f, "
+                   "\"failed_ops\": %" PRId64 ", \"failovers\": %" PRId64
+                   ", \"repaired\": %" PRId64 "}",
+                   tag, per_op(r.pre_ms, ops), per_op(r.down_ms, ops / 2),
+                   per_op(r.post_ms, ops / 2), r.failed, r.failovers,
+                   r.repairs);
+    };
+    write_json("BENCH_A8.json",
+               "{\"ablation\": \"A8\", " + variant_json("repl1", off) + ", " +
+                   variant_json("repl1_cached", on) + ", " +
+                   variant_json("repl0", bare) + "}");
+  }
+
+  // --- A9: heat-driven shard split under Zipfian skew (DESIGN.md §5g) ------
+  {
+    // Clients on node 0; 3 partitions hosted on nodes 1-3. Every op is a
+    // Zipfian (theta=0.99) 16 KB upsert of a partition-0 key, so static
+    // placement funnels the whole stream through node 1's single ingress
+    // DMA lane — the serializing resource at 40GbE (DESIGN.md §2). A
+    // mid-run split() peels the hot slots off to the coldest partition,
+    // splitting the stream across two hosts. The same deterministic stream
+    // runs cache-off and cache-on: the migration window must lose zero ops
+    // and both variants must converge byte-for-byte.
+    constexpr std::uint64_t kKeys = 256;
+    constexpr std::uint64_t kValueBytes = 16 * 1024;
+    // The hot host only saturates when client demand exceeds its ingress
+    // capacity (~wire_time(16KB) per op); the scaled-down default client
+    // count sits right at the knee, so give A9 a floor.
+    const int a9_clients = std::max(clients, 24);
+    struct A9Run {
+      double pre_ms = 0, post_ms = 0;
+      std::int64_t failed = 0;
+      std::size_t moved_keys = 0;
+      std::vector<std::uint64_t> state;
+    };
+    auto run_variant = [&](bool cached) {
+      A9Run r;
+      Context ctx({.num_nodes = 4, .procs_per_node = a9_clients});
+      unordered_map<std::uint64_t, Blob> m(ctx, [&] {
+        core::ContainerOptions o;
+        o.num_partitions = 3;
+        o.first_node = 1;  // node 0 hosts only clients
+        o.rebalance.enabled = true;
+        o.rebalance.slots_per_partition = 8;
+        if (cached) {
+          o.cache.mode = cache::CacheMode::kInvalidate;
+          o.cache.ttl_ns = 10 * sim::kMillisecond;
+          o.cache.capacity = kKeys;
+        }
+        return o;
+      }());
+      std::vector<std::uint64_t> keys;
+      for (std::uint64_t k = 0; keys.size() < kKeys; ++k) {
+        if (m.partition_of(k) == 0) keys.push_back(k);
+      }
+      // Upsert payloads depend only on the key and phase, so the final
+      // state is deterministic regardless of rank interleaving.
+      auto blob_of = [&](std::uint64_t k, std::uint64_t salt) {
+        return Blob{kValueBytes + (k & 7) + salt};
+      };
+      ctx.run_one(0, [&](sim::Actor&) {
+        for (const auto k : keys) (void)m.upsert(k, blob_of(k, 0));
+      });
+      std::atomic<std::int64_t> failed{0};
+      auto phase = [&](std::uint64_t salt) {
+        ctx.reset_measurement();
+        ctx.run([&](sim::Actor& self) {
+          if (self.node() != 0) return;
+          Rng rng(static_cast<std::uint64_t>(self.rank()) * 977 + salt);
+          ZipfGen zipf(kKeys, 0.99, rng);
+          for (std::int64_t i = 0; i < ops; ++i) {
+            const auto k = keys[zipf.next_scrambled()];
+            try {
+              (void)m.upsert(k, blob_of(k, salt));
+            } catch (const HclError&) {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+        return ctx.elapsed_seconds() * 1e3;
+      };
+      r.pre_ms = phase(1);
+      ctx.run_one(0, [&](sim::Actor&) { r.moved_keys = m.split(0); });
+      r.post_ms = phase(2);
+      r.failed = failed.load(std::memory_order_relaxed);
+      ctx.run_one(0, [&](sim::Actor&) {
+        for (const auto k : keys) {
+          Blob v;
+          (void)m.find(k, &v);
+          r.state.push_back(v.nominal);
+        }
+      });
+      return r;
+    };
+    const A9Run plain = run_variant(false);
+    const A9Run cached = run_variant(true);
+    const bool converged = plain.state == cached.state;
+    const double speedup = plain.pre_ms / plain.post_ms;
+    const double total_ops = static_cast<double>(ops) * a9_clients;
+    std::printf("A9 heat-driven split      : static %.3f ms vs post-split %.3f ms -> %.2fx "
+                "(%zu keys migrated, %" PRId64 " failed ops, cache twin %s)\n",
+                plain.pre_ms, plain.post_ms, speedup, plain.moved_keys,
+                plain.failed + cached.failed,
+                converged ? "converged" : "DIVERGED");
+    write_json(
+        "BENCH_A9.json",
+        jsonf("{\"ablation\": \"A9\", \"pre_split_ms\": %.6f, "
+              "\"post_split_ms\": %.6f, \"speedup\": %.3f, "
+              "\"pre_ops_per_sec\": %.1f, \"post_ops_per_sec\": %.1f, "
+              "\"moved_keys\": %zu, \"failed_ops\": %" PRId64 ", "
+              "\"cached_speedup\": %.3f, \"cache_converged\": %s}",
+              plain.pre_ms, plain.post_ms, speedup,
+              total_ops / (plain.pre_ms / 1e3),
+              total_ops / (plain.post_ms / 1e3), plain.moved_keys,
+              plain.failed + cached.failed,
+              cached.pre_ms / cached.post_ms, converged ? "true" : "false"));
   }
 
   std::printf("\nEach mechanism is a net win, as the paper claims (§III.C).\n");

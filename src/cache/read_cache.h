@@ -172,6 +172,7 @@ class ReadCache {
       // Piggybacked invalidation: a later response from this partition
       // carried a higher epoch, so the entry may predate a mutation.
       rs.entries.erase(it);
+      compact_fifo(rs);
       stats_stale_.fetch_add(1, std::memory_order_relaxed);
       stats_invalidations_.fetch_add(1, std::memory_order_relaxed);
       counters.cache_stale_count.fetch_add(1, std::memory_order_relaxed);
@@ -181,6 +182,7 @@ class ReadCache {
     if (policy_.ttl_ns <= 0 || self.now() - entry.read_at >= policy_.ttl_ns) {
       // Lease expired (ttl_ns == 0: every consult revalidates).
       rs.entries.erase(it);
+      compact_fifo(rs);
       stats_expired_.fetch_add(1, std::memory_order_relaxed);
       return miss(self, partition, counters, consult_start);
     }
@@ -212,6 +214,7 @@ class ReadCache {
     if (!enabled()) return;
     RankStore& rs = store(self);
     if (rs.entries.erase(key) > 0) {
+      compact_fifo(rs);
       stats_invalidations_.fetch_add(1, std::memory_order_relaxed);
       nic_counters(partition).cache_invalidation_count.fetch_add(
           1, std::memory_order_relaxed);
@@ -258,6 +261,16 @@ class ReadCache {
     }
   }
 
+  /// Introspection for invariant tests: one rank's live entry count and its
+  /// eviction-deque length (live slots + ghosts). compact_fifo guarantees
+  /// debug_fifo_size <= 2 * debug_entry_count + kFifoSlack after every put.
+  [[nodiscard]] std::size_t debug_entry_count(int rank) const {
+    return stores_[static_cast<std::size_t>(rank)].entries.size();
+  }
+  [[nodiscard]] std::size_t debug_fifo_size(int rank) const {
+    return stores_[static_cast<std::size_t>(rank)].fifo.size();
+  }
+
   [[nodiscard]] CacheStats stats() const {
     CacheStats s;
     s.hits = stats_hits_.load(std::memory_order_relaxed);
@@ -279,8 +292,9 @@ class ReadCache {
 
   /// One rank's private store. FIFO eviction: `fifo` records first-insert
   /// order; entries dropped early (invalidation/staleness) leave ghosts that
-  /// eviction skips. Correctness is eviction-policy-independent — eviction
-  /// only converts hits into misses.
+  /// eviction skips, and put() compacts the deque whenever ghosts outnumber
+  /// live entries (see the bound there). Correctness is
+  /// eviction-policy-independent — eviction only converts hits into misses.
   struct RankStore {
     std::unordered_map<K, Entry, HashFn> entries;
     std::deque<K> fifo;
@@ -341,8 +355,8 @@ class ReadCache {
       return;
     }
     while (rs.entries.size() >= policy_.capacity) {
-      if (rs.fifo.empty()) {  // defensive: ghosts exhausted, size still high
-        rs.entries.clear();
+      if (rs.fifo.empty()) {  // unreachable once compaction holds (below):
+        rs.entries.clear();   // every live entry keeps one fifo slot
         break;
       }
       K victim = std::move(rs.fifo.front());
@@ -354,6 +368,35 @@ class ReadCache {
     rs.entries.emplace(key,
                        Entry{epoch, now, present, value != nullptr ? *value : V{}});
     rs.fifo.push_back(key);
+    compact_fifo(rs);
+  }
+
+  /// Ghost control. A key leaves `entries` without leaving `fifo` on
+  /// invalidation, staleness, or TTL expiry, and a re-insert pushes a SECOND
+  /// fifo slot for the same key — so a re-insert-heavy churn workload grows
+  /// the deque without bound while entries stays capped. Whenever dead slots
+  /// (ghosts + duplicates) outnumber live entries beyond a slack constant,
+  /// rebuild the deque keeping only the FIRST slot of each live key: O(fifo)
+  /// work amortized against the >= fifo/2 pushes since the last compaction,
+  /// and FIFO age order is preserved exactly. Runs after every path that
+  /// mutates entries (put, begin_write, stale/expired lookup erases), so
+  /// the invariant holds after every cache mutation:
+  ///   fifo.size() <= 2 * entries.size() + kFifoSlack.
+  static constexpr std::size_t kFifoSlack = 16;
+
+  void compact_fifo(RankStore& rs) {
+    if (rs.fifo.size() <= 2 * rs.entries.size() + kFifoSlack) return;
+    std::deque<K> live;
+    std::unordered_map<K, bool, HashFn> kept;  // first occurrence wins
+    kept.reserve(rs.entries.size());
+    for (auto& key : rs.fifo) {
+      auto entry = rs.entries.find(key);
+      if (entry == rs.entries.end()) continue;  // ghost
+      auto [it, inserted] = kept.emplace(key, true);
+      if (!inserted) continue;  // duplicate from a re-insert
+      live.push_back(std::move(key));
+    }
+    rs.fifo = std::move(live);
   }
 
   fabric::Fabric* fabric_;

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "cache/read_cache.h"
+#include "core/shard_map.h"
 #include "fabric/fabric.h"
 #include "memory/segment.h"
 #include "rpc/engine.h"
@@ -212,6 +213,13 @@ struct ContainerOptions {
   /// HCL_CACHE_CAPACITY and -DHCL_CACHE_DEFAULT_ON so whole suites can run
   /// cache-on without code changes (the CI cache-on matrix leg).
   cache::CachePolicy cache = cache::default_policy();
+  /// Heat-driven shard rebalancing (DESIGN.md §5g). Off by default — routing
+  /// stays the static hash % P and split/merge/migrate throw
+  /// FailedPrecondition. default_rebalance_policy() honors HCL_REBALANCE /
+  /// HCL_REBALANCE_SLOTS / HCL_REBALANCE_HOT_FACTOR / HCL_REBALANCE_MIN_OPS /
+  /// HCL_REBALANCE_COOLDOWN_OPS so whole suites can run with the indirection
+  /// layer live (the tier1-rebalance CI leg).
+  core::RebalancePolicy rebalance = core::default_rebalance_policy();
   /// Span tracing for this container's cache hit/miss path (DESIGN.md §5e).
   /// Only consulted when the owning Context's tracer is enabled; the policy
   /// here lets a single container opt its cache spans out.

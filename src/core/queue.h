@@ -33,6 +33,13 @@ class queue {
         standby_node_((core::partition_node(options, ctx.topology(), 0) + 1) %
                       ctx.topology().num_nodes()),
         options_(options) {
+    // Degenerate replica placement (DESIGN.md §5f): a mirror co-located
+    // with the host would vanish with it on one node loss.
+    if (options_.replication >= 1 && standby_node_ == node_) {
+      throw HclError(Status::InvalidArgument(
+          "replication requires a standby on a distinct node; "
+          "add nodes or drop replication"));
+    }
     if (!options_.persist_path.empty()) {
       auto log = core::PersistLog::open(ctx_->fabric().memory(node_),
                                         options_.persist_path + ".q0",
@@ -300,6 +307,63 @@ class queue {
   }
   /// Elements mirrored onto the standby (diagnostics).
   [[nodiscard]] std::size_t mirror_size() const { return mirror_.size(); }
+
+  /// Re-home the queue onto `node` (DESIGN.md §5g): the host — and the
+  /// standby slot that trails it — change; contents ride the bulk lane as
+  /// one transfer (bytes estimated from the element count; elements are
+  /// in-process, so no physical copy). Requires rebalancing enabled and
+  /// quiescent failover state. Returns false when already on `node`.
+  bool migrate(int node) {
+    sim::Actor& self = sim::this_actor();
+    if (!options_.rebalance.enabled) {
+      throw HclError(Status::FailedPrecondition(
+          "rebalancing disabled; set ContainerOptions::rebalance.enabled"));
+    }
+    if (node < 0 || node >= ctx_->topology().num_nodes()) {
+      throw HclError(Status::InvalidArgument("migrate: bad node"));
+    }
+    if (ctx_->fabric().node_down(node)) {
+      throw HclError(Status::Unavailable("migrate: target node down"));
+    }
+    if (ctx_->fabric().node_down(node_)) {
+      throw HclError(
+          Status::FailedPrecondition("rebalance: queue host is down"));
+    }
+    std::lock_guard<std::mutex> guard(fo_mutex_);
+    if (fo_promoted_) {
+      throw HclError(Status::FailedPrecondition(
+          "rebalance: queue promoted; heal() first"));
+    }
+    if (node == node_) return false;
+    const sim::Nanos start = self.now();
+    const auto elements = static_cast<std::int64_t>(impl_.size());
+    const std::int64_t bytes = elements * bytes_of(T{});
+    const sim::NodeId src = node_;
+    node_ = node;
+    standby_node_ = (node + 1) % ctx_->topology().num_nodes();
+    sim::Nanos t = ctx_->fabric().local_read(src, start, bytes);
+    t += ctx_->model().wire_time(bytes);
+    t = ctx_->fabric().local_write(node_, t, bytes);
+    self.advance_to(t);
+    auto& counters = ctx_->fabric().nic(node_).counters();
+    counters.migrations.fetch_add(1, std::memory_order_relaxed);
+    counters.migrated_keys.fetch_add(elements, std::memory_order_relaxed);
+    counters.migrated_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    counters.record_packets(t, ctx_->model().packets(bytes), bytes);
+    if (obs::Tracer* tracer =
+            options_.trace.enabled ? ctx_->tracer_if_enabled() : nullptr) {
+      auto span = std::make_shared<obs::Span>();
+      span->kind = obs::SpanKind::kMigration;
+      span->target = node_;
+      span->client_rank = self.rank();
+      span->issue_ns = start;
+      span->inject_done_ns = start;
+      span->arrival_ns = start;
+      span->ready_ns = self.now();
+      tracer->commit(span);
+    }
+    return true;
+  }
 
  private:
   enum class LogOp : std::uint8_t { kPush = 1, kPop = 2 };

@@ -66,7 +66,7 @@ class unordered_set {
     return impl_.erase_batch(keys, statuses);
   }
 
-  [[nodiscard]] std::size_t size() const { return impl_.size(); }
+  [[nodiscard]] std::size_t size() { return impl_.size(); }
   [[nodiscard]] int num_partitions() const noexcept {
     return impl_.num_partitions();
   }
@@ -80,8 +80,20 @@ class unordered_set {
     return impl_.cache_stats();
   }
 
+  // Heat-driven shard rebalancing (DESIGN.md §5g), forwarded to the map.
+  std::size_t split(int p) { return impl_.split(p); }
+  std::size_t merge(int p, int q) { return impl_.merge(p, q); }
+  bool migrate(int p, int node) { return impl_.migrate(p, node); }
+  int rebalance_tick() { return impl_.rebalance_tick(); }
+  [[nodiscard]] std::int64_t partition_heat(int p) const {
+    return impl_.partition_heat(p);
+  }
+  [[nodiscard]] std::size_t rebalances() const noexcept {
+    return impl_.rebalances();
+  }
+
   template <typename F>
-  void for_each(F&& fn) const {
+  void for_each(F&& fn) {
     impl_.for_each([&fn](const K& k, const core::Unit&) { fn(k); });
   }
 
@@ -129,7 +141,7 @@ class set {
     return impl_.erase_batch(keys, statuses);
   }
 
-  [[nodiscard]] std::size_t size() const { return impl_.size(); }
+  [[nodiscard]] std::size_t size() { return impl_.size(); }
   [[nodiscard]] int num_partitions() const noexcept {
     return impl_.num_partitions();
   }
@@ -143,9 +155,21 @@ class set {
     return impl_.cache_stats();
   }
 
+  // Heat-driven shard rebalancing (DESIGN.md §5g), forwarded to the map.
+  std::size_t split(int p) { return impl_.split(p); }
+  std::size_t merge(int p, int q) { return impl_.merge(p, q); }
+  bool migrate(int p, int node) { return impl_.migrate(p, node); }
+  int rebalance_tick() { return impl_.rebalance_tick(); }
+  [[nodiscard]] std::int64_t partition_heat(int p) const {
+    return impl_.partition_heat(p);
+  }
+  [[nodiscard]] std::size_t rebalances() const noexcept {
+    return impl_.rebalances();
+  }
+
   /// Visit keys in comparator order across all partitions.
   template <typename F>
-  void for_each_ordered(F&& fn) const {
+  void for_each_ordered(F&& fn) {
     impl_.for_each_ordered([&fn](const K& k, const core::Unit&) { fn(k); });
   }
 

@@ -27,7 +27,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cache/read_cache.h"
@@ -52,7 +56,9 @@ class unordered_map {
   unordered_map(Context& ctx, core::ContainerOptions options = {})
       : ctx_(&ctx),
         options_(options),
-        num_partitions_(core::resolve_partitions(options, ctx.topology())) {
+        num_partitions_(core::resolve_partitions(options, ctx.topology())),
+        shard_map_(num_partitions_,
+                   std::max(1, options.rebalance.slots_per_partition)) {
     partitions_.reserve(static_cast<std::size_t>(num_partitions_));
     for (int p = 0; p < num_partitions_; ++p) {
       auto part = std::make_unique<Partition>();
@@ -67,6 +73,25 @@ class unordered_map {
         recover(*part);
       }
       partitions_.push_back(std::move(part));
+    }
+    // Degenerate replica placement (DESIGN.md §5f): if some partition has
+    // every replica candidate co-located with its primary, one node loss
+    // takes primary and standbys together and the availability guarantee is
+    // silently void. Refuse up front instead.
+    if (options_.replication > 0) {
+      for (int p = 0; p < num_partitions_; ++p) {
+        bool distinct = false;
+        for (int r = 1; r <= options_.replication && !distinct; ++r) {
+          const int q = (p + r) % num_partitions_;
+          distinct = partitions_[static_cast<std::size_t>(q)]->node !=
+                     partitions_[static_cast<std::size_t>(p)]->node;
+        }
+        if (!distinct) {
+          throw HclError(Status::InvalidArgument(
+              "replication requires a replica partition on a distinct node; "
+              "add nodes, partitions, or drop replication"));
+        }
+      }
     }
     std::vector<sim::NodeId> owners;
     owners.reserve(partitions_.size());
@@ -100,6 +125,7 @@ class unordered_map {
   /// Insert; false if the key already exists. Cost: F + L + W (remote) or
   /// L + W (co-located partition).
   bool insert(const K& key, const V& value) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     Partition& part = *partitions_[static_cast<std::size_t>(p)];
@@ -141,6 +167,7 @@ class unordered_map {
 
   /// Insert-or-overwrite; true when newly inserted.
   bool upsert(const K& key, const V& value) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     Partition& part = *partitions_[static_cast<std::size_t>(p)];
@@ -179,6 +206,7 @@ class unordered_map {
   /// Lookup; returns true and fills `out`. Cost: F + L + R (remote) or
   /// L + R (co-located).
   bool find(const K& key, V* out = nullptr) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     Partition& part = *partitions_[static_cast<std::size_t>(p)];
@@ -228,6 +256,7 @@ class unordered_map {
 
   /// Remove; false if absent.
   bool erase(const K& key) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     Partition& part = *partitions_[static_cast<std::size_t>(p)];
@@ -267,6 +296,7 @@ class unordered_map {
 
   /// Explicitly resize one partition (Table I: F + N(R + W)).
   bool resize(int partition_id, std::size_t new_buckets) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     if (partition_id < 0 || partition_id >= num_partitions_) return false;
     Partition& part = *partitions_[static_cast<std::size_t>(partition_id)];
@@ -303,6 +333,7 @@ class unordered_map {
       throw HclError(
           Status::InvalidArgument("insert_batch: keys/values size mismatch"));
     }
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     std::vector<bool> results(keys.size(), false);
     if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
@@ -364,6 +395,7 @@ class unordered_map {
   /// Bulk lookup; results[i] is the value found for keys[i], if any.
   std::vector<std::optional<V>> find_batch(const std::vector<K>& keys,
                                            std::vector<Status>* statuses = nullptr) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     std::vector<std::optional<V>> results(keys.size());
     if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
@@ -429,6 +461,7 @@ class unordered_map {
   /// Bulk erase; results[i] is erase(keys[i]).
   std::vector<bool> erase_batch(const std::vector<K>& keys,
                                 std::vector<Status>* statuses = nullptr) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     std::vector<bool> results(keys.size(), false);
     if (statuses != nullptr) statuses->assign(keys.size(), Status::Ok());
@@ -497,6 +530,7 @@ class unordered_map {
   /// its stale route mark. Safe to call any time; no-op when nothing is
   /// promoted. Partitions whose primaries are still down are skipped.
   void heal(sim::Actor& self) {
+    auto guard = op_guard();
     for (int p = 0; p < num_partitions_; ++p) {
       Partition& part = *partitions_[static_cast<std::size_t>(p)];
       if (ctx_->fabric().node_down(part.node)) continue;
@@ -510,6 +544,7 @@ class unordered_map {
   // ------------------------------------------------------------------
 
   rpc::Future<bool> async_insert(const K& key, const V& value) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     // Invalidate before the write ships; the completion epoch is harvested
@@ -523,6 +558,7 @@ class unordered_map {
   }
 
   rpc::Future<std::optional<V>> async_find(const K& key) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     ctx_->op_stats().remote_invocations.fetch_add(1, std::memory_order_relaxed);
@@ -567,6 +603,7 @@ class unordered_map {
   /// with no client-side lock or retry loop.
   template <typename Arg>
   bool apply(const K& key, MutatorId mutator, const Arg& arg, const V& init = V{}) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     Partition& part = *partitions_[static_cast<std::size_t>(p)];
@@ -611,6 +648,7 @@ class unordered_map {
   template <typename R, typename Arg>
   R apply_fetch(const K& key, MutatorId mutator, const Arg& arg,
                 const V& init = V{}) {
+    auto guard = op_guard();
     sim::Actor& self = sim::this_actor();
     const int p = partition_of(key);
     Partition& part = *partitions_[static_cast<std::size_t>(p)];
@@ -667,21 +705,56 @@ class unordered_map {
   [[nodiscard]] sim::NodeId partition_owner(int p) const {
     return partitions_[static_cast<std::size_t>(p)]->node;
   }
+  /// Routing read through the shard map (DESIGN.md §5g). With rebalancing
+  /// disabled (default) the slot table is frozen at `slot % P`, which makes
+  /// this bit-identical to the historical `hash % P`; enabled, it re-reads
+  /// slot ownership — so ops issued after a split/merge land on the new
+  /// owner — and feeds the slot's heat counter.
   [[nodiscard]] int partition_of(const K& key) const {
     const std::uint64_t h = mix64(hash_(key) ^ kPartitionSalt);
-    return static_cast<int>(h % static_cast<std::uint64_t>(num_partitions_));
+    const int slot = shard_map_.slot_of(h);
+    if (options_.rebalance.enabled) shard_map_.record_op(slot);
+    return shard_map_.owner(slot);
   }
 
   /// Total elements across partitions (no simulated cost; diagnostics).
-  [[nodiscard]] std::size_t size() const {
-    std::size_t n = 0;
-    for (const auto& part : partitions_) n += part->map.size();
-    return n;
+  /// Route-aware (DESIGN.md §5f): a promoted partition's authoritative
+  /// state is its base map PLUS the failover journal the standby accepted
+  /// while the primary was down — summing the base alone would read the
+  /// dead primary's stale count. The journal overlay applies the final op
+  /// per key, under fo_mutex so a racing failover write can't tear it.
+  [[nodiscard]] std::size_t size() {
+    auto guard = op_guard();
+    std::int64_t n = 0;
+    for (const auto& partp : partitions_) {
+      Partition& part = *partp;
+      std::lock_guard<std::mutex> fo_guard(part.fo_mutex);
+      n += static_cast<std::int64_t>(part.map.size());
+      if (!part.fo_promoted) continue;
+      std::unordered_set<K, HashFn> seen;
+      for (auto it = part.fo_journal.rbegin(); it != part.fo_journal.rend();
+           ++it) {
+        if (!seen.insert(it->key).second) continue;  // later op already won
+        V tmp{};
+        const bool in_base = part.map.find(it->key, &tmp);
+        if (it->op == LogOp::kErase) {
+          if (in_base) --n;
+        } else if (!in_base) {
+          ++n;
+        }
+      }
+    }
+    return static_cast<std::size_t>(n);
   }
 
   /// Elements replicated into partition `p` from elsewhere (diagnostics).
-  [[nodiscard]] std::size_t replica_size(int p) const {
-    return partitions_[static_cast<std::size_t>(p)]->replicas.size();
+  /// Reads under fo_mutex so the count is consistent with any in-flight
+  /// failover write into this partition's replica set.
+  [[nodiscard]] std::size_t replica_size(int p) {
+    auto guard = op_guard();
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> fo_guard(part.fo_mutex);
+    return part.replicas.size();
   }
 
   /// Aggregate read-cache counters across all ranks (DESIGN.md §5d).
@@ -711,15 +784,185 @@ class unordered_map {
 
   /// Visit every (key, value) in every partition — local introspection for
   /// tests/apps; not a consistent global snapshot under concurrency.
+  /// Route-aware like size(): a promoted partition's failover journal
+  /// overlays its base map (final op per key), so post-failover visitors
+  /// see the standby's accepted writes, not the dead primary's state.
   template <typename F>
-  void for_each(F&& fn) const {
-    for (const auto& part : partitions_) part->map.for_each(fn);
+  void for_each(F&& fn) {
+    auto guard = op_guard();
+    for (const auto& partp : partitions_) {
+      Partition& part = *partp;
+      std::lock_guard<std::mutex> fo_guard(part.fo_mutex);
+      if (!part.fo_promoted) {
+        part.map.for_each(fn);
+        continue;
+      }
+      std::unordered_map<K, std::optional<V>, HashFn> overlay;
+      for (auto it = part.fo_journal.rbegin(); it != part.fo_journal.rend();
+           ++it) {
+        if (overlay.find(it->key) != overlay.end()) continue;
+        overlay.emplace(it->key, it->op == LogOp::kErase
+                                     ? std::nullopt
+                                     : std::optional<V>(it->value));
+      }
+      part.map.for_each([&](const K& k, const V& v) {
+        if (overlay.find(k) == overlay.end()) fn(k, v);
+      });
+      for (const auto& [k, v] : overlay) {
+        if (v.has_value()) fn(k, *v);
+      }
+    }
   }
 
   /// Direct read-only view of a partition's local structure (used by app
   /// kernels running on the owning node).
   const lf::CuckooMap<K, V, HashFn>& local_partition(int p) const {
     return partitions_[static_cast<std::size_t>(p)]->map;
+  }
+
+  // ------------------------------------------------------------------
+  // Heat-driven shard rebalancing (DESIGN.md §5g). split/merge/migrate
+  // mutate slot ownership / placement under the container-wide latch every
+  // public op holds shared, so a move begins only once in-flight ops have
+  // drained and no op observes a half-moved shard: ops issued before the
+  // move complete against the old owner, ops issued after re-read the slot
+  // table and land on the new one — zero failed ops, no client stall
+  // beyond the move itself. All three require rebalance.enabled and refuse
+  // partitions with failover state in flight (promoted or down) — heal()
+  // first after a fault cycle.
+  // ------------------------------------------------------------------
+
+  /// Split hot partition `p`: peel its hottest slots (about half its
+  /// recorded heat, always leaving one slot behind) off to the coldest
+  /// other partition, moving resident keys and their replica chains over
+  /// the bulk path. Returns the number of keys moved.
+  std::size_t split(int p) {
+    sim::Actor& self = sim::this_actor();
+    require_rebalance_enabled();
+    check_partition(p);
+    std::unique_lock<std::shared_mutex> latch(rebalance_latch_);
+    const int dst = coldest_partition(p);
+    if (dst < 0) return 0;
+    require_movable(p, dst);
+    auto slots = shard_map_.slots_of(p);
+    if (slots.size() <= 1) return 0;  // nothing to peel off
+    std::stable_sort(slots.begin(), slots.end(), [&](int a, int b) {
+      return shard_map_.slot_heat(a) > shard_map_.slot_heat(b);
+    });
+    const std::int64_t total = shard_map_.partition_heat(p);
+    std::vector<int> moving;
+    std::int64_t moved_heat = 0;
+    for (int slot : slots) {
+      if (moving.size() + 1 >= slots.size()) break;
+      moving.push_back(slot);
+      moved_heat += shard_map_.slot_heat(slot);
+      if (2 * moved_heat >= total) break;
+    }
+    return move_slots(self, moving, p, dst);
+  }
+
+  /// Merge partition `p` into `q`: every slot (and key) p owns moves to q,
+  /// leaving p empty and unroutable until a later split hands slots back.
+  std::size_t merge(int p, int q) {
+    sim::Actor& self = sim::this_actor();
+    require_rebalance_enabled();
+    check_partition(p);
+    check_partition(q);
+    if (p == q) throw HclError(Status::InvalidArgument("merge: p == q"));
+    std::unique_lock<std::shared_mutex> latch(rebalance_latch_);
+    require_movable(p, q);
+    return move_slots(self, shard_map_.slots_of(p), p, q);
+  }
+
+  /// Re-home partition `p` onto `node`: slot ownership stays, the physical
+  /// host changes (subsequent ops route RPCs at the new node; the hybrid
+  /// local path follows automatically). Bulk-charges the partition's bytes
+  /// across the wire. Returns false when `p` already lives on `node`.
+  bool migrate(int p, int node) {
+    sim::Actor& self = sim::this_actor();
+    require_rebalance_enabled();
+    check_partition(p);
+    if (node < 0 || node >= ctx_->topology().num_nodes()) {
+      throw HclError(Status::InvalidArgument("migrate: bad node"));
+    }
+    if (ctx_->fabric().node_down(node)) {
+      throw HclError(Status::Unavailable("migrate: target node down"));
+    }
+    std::unique_lock<std::shared_mutex> latch(rebalance_latch_);
+    require_movable(p, p);
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (part.node == node) return false;
+    const sim::Nanos start = self.now();
+    std::int64_t bytes = 0;
+    std::size_t keys = 0;
+    part.map.for_each([&](const K& key, const V& value) {
+      bytes += wire_bytes(key, value);
+      ++keys;
+    });
+    const sim::NodeId src_node = part.node;
+    part.node = node;
+    part.epoch.fetch_add(1, std::memory_order_release);
+    finish_move(self, src_node, node, keys, bytes, start);
+    return true;
+  }
+
+  /// Heat advisor: when the hottest partition's heat exceeds
+  /// rebalance.hot_factor x the mean — with enough accumulated signal and
+  /// the cooldown elapsed, and a destination colder than cold_factor x the
+  /// mean available — split it. Heat comes from the routing-path slot
+  /// counters, cross-checked against the owner NIC's packet counters (which
+  /// see batched and replica traffic the router does not) to break ties.
+  /// Returns the partition split, or -1 when no action was taken. Drivers
+  /// call this between phases; it never runs behind the app's back.
+  int rebalance_tick() {
+    if (!options_.rebalance.enabled) return -1;
+    const auto& rb = options_.rebalance;
+    std::vector<std::int64_t> heat(static_cast<std::size_t>(num_partitions_));
+    std::int64_t sum = 0;
+    for (int p = 0; p < num_partitions_; ++p) {
+      heat[static_cast<std::size_t>(p)] = shard_map_.partition_heat(p);
+      sum += heat[static_cast<std::size_t>(p)];
+    }
+    const std::int64_t threshold =
+        moves_.load(std::memory_order_relaxed) == 0
+            ? rb.min_ops
+            : std::max(rb.min_ops, rb.cooldown_ops);
+    if (sum < threshold) return -1;
+    int hottest = 0;
+    for (int p = 1; p < num_partitions_; ++p) {
+      const auto hp = heat[static_cast<std::size_t>(p)];
+      const auto hb = heat[static_cast<std::size_t>(hottest)];
+      if (hp > hb || (hp == hb && nic_packets(p) > nic_packets(hottest))) {
+        hottest = p;
+      }
+    }
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(num_partitions_);
+    if (static_cast<double>(heat[static_cast<std::size_t>(hottest)]) <
+        rb.hot_factor * mean) {
+      return -1;
+    }
+    const int dst = coldest_partition(hottest);
+    if (dst < 0 || static_cast<double>(shard_map_.partition_heat(dst)) >
+                       rb.cold_factor * mean) {
+      return -1;
+    }
+    return split(hottest) > 0 ? hottest : -1;
+  }
+
+  /// Rebalancing diagnostics: heat attributed to partition p (routing-path
+  /// op counts since the last move), slot table shape, and completed moves.
+  [[nodiscard]] std::int64_t partition_heat(int p) const {
+    return shard_map_.partition_heat(p);
+  }
+  [[nodiscard]] int num_slots() const noexcept {
+    return shard_map_.num_slots();
+  }
+  [[nodiscard]] int slot_owner(int slot) const {
+    return shard_map_.owner(slot);
+  }
+  [[nodiscard]] std::size_t rebalances() const noexcept {
+    return moves_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -758,6 +1001,161 @@ class unordered_map {
     std::uint64_t fo_epoch = 0;
     std::vector<FoRecord> fo_journal;
   };
+
+  // ---- shard rebalancing internals (DESIGN.md §5g) ------------------
+
+  /// Shared-latch guard every public op holds for its full duration when
+  /// rebalancing is enabled (unlocked — free — otherwise, keeping the
+  /// default path unchanged). split/merge/migrate take the latch
+  /// exclusively, so a move only begins once in-flight ops drained. Server
+  /// stubs take NO lock: they execute inline on the calling rank's stack,
+  /// under that caller's shared hold (see Context::run on inline fan-outs),
+  /// and a same-thread re-acquire would be UB.
+  [[nodiscard]] std::shared_lock<std::shared_mutex> op_guard() const {
+    if (!options_.rebalance.enabled) return {};
+    return std::shared_lock<std::shared_mutex>(rebalance_latch_);
+  }
+
+  void require_rebalance_enabled() const {
+    if (!options_.rebalance.enabled) {
+      throw HclError(Status::FailedPrecondition(
+          "rebalancing disabled; set ContainerOptions::rebalance.enabled"));
+    }
+  }
+  void check_partition(int p) const {
+    if (p < 0 || p >= num_partitions_) {
+      throw HclError(Status::InvalidArgument("bad partition id"));
+    }
+  }
+
+  /// Moves touch failover state only when it is quiescent: both endpoints
+  /// must be un-promoted with live primaries (heal() first after a fault).
+  void require_movable(int p, int q) {
+    for (int part_id : {p, q}) {
+      Partition& part = *partitions_[static_cast<std::size_t>(part_id)];
+      if (ctx_->fabric().node_down(part.node)) {
+        throw HclError(
+            Status::FailedPrecondition("rebalance: partition node is down"));
+      }
+      std::lock_guard<std::mutex> guard(part.fo_mutex);
+      if (part.fo_promoted) {
+        throw HclError(Status::FailedPrecondition(
+            "rebalance: partition promoted; heal() first"));
+      }
+    }
+  }
+
+  /// Coldest partition other than `exclude` by slot heat; -1 when the map
+  /// has a single partition.
+  [[nodiscard]] int coldest_partition(int exclude) const {
+    int best = -1;
+    std::int64_t best_heat = 0;
+    for (int q = 0; q < num_partitions_; ++q) {
+      if (q == exclude) continue;
+      const std::int64_t h = shard_map_.partition_heat(q);
+      if (best < 0 || h < best_heat) {
+        best = q;
+        best_heat = h;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::int64_t nic_packets(int p) const {
+    return ctx_->fabric()
+        .nic(partitions_[static_cast<std::size_t>(p)]->node)
+        .counters()
+        .total_packets.load(std::memory_order_relaxed);
+  }
+
+  /// Routing read without the heat bump (introspection / migration scans).
+  [[nodiscard]] int route_partition(const K& key) const {
+    return shard_map_.partition_of(mix64(hash_(key) ^ kPartitionSalt));
+  }
+
+  /// The migration core (unique latch held): flip slot ownership, then move
+  /// every resident key whose slot moved — erased from src and upserted
+  /// into dst through the journaling apply_* paths, so persist logs and
+  /// mutation epochs stay authoritative on both ends — and re-home its
+  /// replica chain with direct writes (the op-path RPC fan-out is
+  /// deliberately bypassed: migration traffic rides the bulk lane, not the
+  /// op lane). Ends by revoking every read-cache lease: entries cached
+  /// under src's epoch stream must never be validated against dst's.
+  std::size_t move_slots(sim::Actor& self, const std::vector<int>& slots,
+                         int src, int dst) {
+    if (slots.empty() || src == dst) return 0;
+    Partition& from = *partitions_[static_cast<std::size_t>(src)];
+    Partition& to = *partitions_[static_cast<std::size_t>(dst)];
+    const sim::Nanos start = self.now();
+    for (int slot : slots) shard_map_.set_owner(slot, dst);
+    std::vector<std::pair<K, V>> moving;
+    from.map.for_each([&](const K& key, const V& value) {
+      if (route_partition(key) == dst) moving.emplace_back(key, value);
+    });
+    std::int64_t bytes = 0;
+    for (auto& [key, value] : moving) {
+      bytes += wire_bytes(key, value);
+      apply_erase(from, key);
+      apply_upsert(to, key, value, start);
+      for (int r = 1; r <= options_.replication; ++r) {
+        partitions_[static_cast<std::size_t>((src + r) % num_partitions_)]
+            ->replicas.erase(key);
+        Partition& rep =
+            *partitions_[static_cast<std::size_t>((dst + r) % num_partitions_)];
+        rep.replicas.upsert(key, value);
+        rep.epoch.fetch_add(1, std::memory_order_release);
+      }
+    }
+    // Bump the endpoints even when no key moved so leases on either epoch
+    // stream revalidate before trusting post-move placement.
+    from.epoch.fetch_add(1, std::memory_order_release);
+    to.epoch.fetch_add(1, std::memory_order_release);
+    shard_map_.reset_heat();
+    moves_.fetch_add(1, std::memory_order_relaxed);
+    finish_move(self, from.node, to.node, moving.size(), bytes, start);
+    return moving.size();
+  }
+
+  /// Bulk-path charging + observability for a completed move: read at the
+  /// source, one wire transfer, write at the destination (the RDMA-vs-RPC
+  /// cost asymmetry — migration bytes never ride the op path), migration
+  /// counters on the destination NIC, lease revocation, and a kMigration
+  /// span for the tracer.
+  void finish_move(sim::Actor& self, sim::NodeId src_node, sim::NodeId dst_node,
+                   std::size_t keys, std::int64_t bytes, sim::Nanos start) {
+    sim::Nanos t = ctx_->fabric().local_read(src_node, start, bytes);
+    if (src_node != dst_node) t += ctx_->model().wire_time(bytes);
+    t = ctx_->fabric().local_write(dst_node, t, bytes);
+    self.advance_to(t);
+    auto& counters = ctx_->fabric().nic(dst_node).counters();
+    counters.migrations.fetch_add(1, std::memory_order_relaxed);
+    counters.migrated_keys.fetch_add(static_cast<std::int64_t>(keys),
+                                     std::memory_order_relaxed);
+    counters.migrated_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    if (src_node != dst_node) {
+      counters.record_packets(t, ctx_->model().packets(bytes), bytes);
+    }
+    cache_->invalidate_all();
+    record_migration_span(self, dst_node, start);
+  }
+
+  /// Client-side migration span (no server stages — the move runs on the
+  /// initiating rank), mirroring the cache consult span shape (§5e).
+  void record_migration_span(sim::Actor& self, sim::NodeId target,
+                             sim::Nanos start) {
+    obs::Tracer* tracer =
+        options_.trace.enabled ? ctx_->tracer_if_enabled() : nullptr;
+    if (tracer == nullptr) return;
+    auto span = std::make_shared<obs::Span>();
+    span->kind = obs::SpanKind::kMigration;
+    span->target = target;
+    span->client_rank = self.rank();
+    span->issue_ns = start;
+    span->inject_done_ns = start;
+    span->arrival_ns = start;
+    span->ready_ns = self.now();
+    tracer->commit(span);
+  }
 
   // ---- cost charging ------------------------------------------------
 
@@ -1339,6 +1737,14 @@ class unordered_map {
   Context* ctx_;
   core::ContainerOptions options_;
   int num_partitions_;
+  /// Hash-space -> physical-partition indirection (DESIGN.md §5g).
+  core::ShardMap shard_map_;
+  /// Container-wide rebalance latch: public ops shared, moves exclusive.
+  /// Never touched when rebalancing is disabled (op_guard returns an
+  /// unlocked guard), keeping the default path free.
+  mutable std::shared_mutex rebalance_latch_;
+  /// Completed split/merge moves (the advisor's cooldown basis).
+  std::atomic<std::size_t> moves_{0};
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<std::function<std::vector<std::byte>(V&, std::span<const std::byte>)>>
       mutators_;

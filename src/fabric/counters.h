@@ -64,6 +64,12 @@ struct NicCounters {
   /// recovered primary) absorbed during anti-entropy catch-up.
   std::atomic<std::int64_t> failovers{0};
   std::atomic<std::int64_t> repair_ops{0};
+  /// Shard rebalancing traffic this NIC absorbed as the destination of a
+  /// split/merge/migrate (DESIGN.md §5g): completed moves, keys landed, and
+  /// bulk-path bytes (charged at wire rates but outside the op path).
+  std::atomic<std::int64_t> migrations{0};
+  std::atomic<std::int64_t> migrated_keys{0};
+  std::atomic<std::int64_t> migrated_bytes{0};
 
   void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
     packets.add(t, n);
@@ -94,6 +100,9 @@ struct NicCounters {
     cache_stale_count.store(0);
     failovers.store(0);
     repair_ops.store(0);
+    migrations.store(0);
+    migrated_keys.store(0);
+    migrated_bytes.store(0);
   }
 };
 

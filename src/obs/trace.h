@@ -61,8 +61,9 @@ enum class SpanKind : std::uint8_t {
   kCacheMiss = 6,    // cache consult that fell through to the RPC
   kFailover = 7,     // op re-routed to a promoted replica (primary down)
   kRepair = 8,       // anti-entropy replay into a rejoined primary
+  kMigration = 9,    // bulk-path shard move (split/merge/migrate, §5g)
 };
-inline constexpr std::size_t kNumSpanKinds = 9;
+inline constexpr std::size_t kNumSpanKinds = 10;
 
 [[nodiscard]] inline std::string_view to_string(SpanKind kind) noexcept {
   switch (kind) {
@@ -75,6 +76,7 @@ inline constexpr std::size_t kNumSpanKinds = 9;
     case SpanKind::kCacheMiss: return "cache_miss";
     case SpanKind::kFailover: return "failover";
     case SpanKind::kRepair: return "repair";
+    case SpanKind::kMigration: return "migration";
   }
   return "unknown";
 }

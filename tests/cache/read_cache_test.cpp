@@ -454,5 +454,54 @@ TEST(ReadCache, FailedWriteNeverCachesItsOutcome) {
   EXPECT_GT(plan->counters().total(), 0) << "fault never fired";
 }
 
+TEST(ReadCacheUnit, FifoGhostsAreCompactedUnderChurn) {
+  fabric::Fabric fabric(sim::Topology(2, 1), sim::CostModel::zero());
+  cache::ReadCache<std::uint64_t, std::uint64_t> cache(
+      fabric, invalidate_policy(), /*num_ranks=*/1, {1});
+  sim::Actor self(0, 0, 1);
+  // Churn a small working set: every re-read pushes a fresh FIFO slot for
+  // a key that is already resident, and every write invalidation orphans
+  // the slots of the erased entry. Without compaction the deque grows
+  // without bound while entries stays tiny.
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t k = static_cast<std::uint64_t>(round % 8);
+    if (round % 5 == 4) {
+      cache.begin_write(self, 0, k);  // invalidate: entry gone, slot stays
+    } else {
+      cache.store_read(self, 0, k, std::optional<std::uint64_t>(k), 0);
+    }
+    // The compaction invariant: ghosts plus duplicates never exceed one
+    // spare slot per live entry plus a fixed slack.
+    EXPECT_LE(cache.debug_fifo_size(0), 2 * cache.debug_entry_count(0) + 16)
+        << "FIFO ghost buildup at round " << round;
+  }
+  EXPECT_LE(cache.debug_entry_count(0), 8u);
+}
+
+TEST(ReadCacheUnit, CompactionPreservesEvictionOrder) {
+  auto policy = invalidate_policy();
+  policy.capacity = 4;
+  fabric::Fabric fabric(sim::Topology(2, 1), sim::CostModel::zero());
+  cache::ReadCache<std::uint64_t, std::uint64_t> cache(
+      fabric, policy, /*num_ranks=*/1, {1});
+  sim::Actor self(0, 0, 1);
+  // Refresh key 0 many times (duplicate FIFO slots), then overflow the
+  // capacity. FIFO age is first-insert order, so 0 — the oldest — must be
+  // the first victim even after its duplicates were compacted away.
+  for (int i = 0; i < 40; ++i) {
+    cache.store_read(self, 0, 0, std::optional<std::uint64_t>(7), 0);
+  }
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    cache.store_read(self, 0, k, std::optional<std::uint64_t>(k), 0);
+  }
+  EXPECT_LE(cache.debug_entry_count(0), 4u);
+  std::uint64_t v = 0;
+  bool present = false;
+  EXPECT_FALSE(cache.lookup(self, 0, 0, &v, &present))
+      << "the oldest entry survived eviction";
+  ASSERT_TRUE(cache.lookup(self, 0, 4, &v, &present));
+  EXPECT_EQ(v, 4u);
+}
+
 }  // namespace
 }  // namespace hcl

