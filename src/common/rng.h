@@ -7,11 +7,25 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "common/hash.h"
 
 namespace hcl {
+
+/// Seed override for randomized sweeps: HCL_SEED, when set to a number,
+/// replaces `fallback` so a property-sweep failure reproduces exactly
+/// (`HCL_SEED=<printed seed> ctest -R <sweep>`). Sweeps print the effective
+/// seed on failure; unset or malformed values keep the caller's default, so
+/// ordinary runs stay deterministic run-to-run.
+inline std::uint64_t env_seed(std::uint64_t fallback) noexcept {
+  const char* raw = std::getenv("HCL_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  return end == raw ? fallback : static_cast<std::uint64_t>(v);
+}
 
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
 class Rng {

@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kInternal,        // invariant violation; indicates a bug
   kDeadlineExceeded,    // invocation deadline expired (timeout/lost request)
   kFailedPrecondition,  // object not in a state where the call is legal
+  kAborted,             // txn validate/lock conflict; roll back, retry the TXN
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).
@@ -44,13 +45,17 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kAborted: return "ABORTED";
   }
   return "UNKNOWN";
 }
 
 /// True for outcomes a client may transparently retry: the operation did not
 /// (observably) execute, or executing it again is harmless. Used by the RPC
-/// engine's retry-with-backoff policy.
+/// engine's retry-with-backoff policy. kAborted is deliberately NOT here —
+/// a transaction conflict must surface to the TxnCoordinator, which rolls
+/// every intent back before re-running the whole transaction; re-sending the
+/// one RPC would re-validate against an already-released lock slot.
 constexpr bool is_retryable(StatusCode code) noexcept {
   return code == StatusCode::kUnavailable || code == StatusCode::kRetry;
 }
@@ -94,6 +99,9 @@ class Status {
   }
   [[nodiscard]] static Status FailedPrecondition(std::string m = {}) {
     return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status Aborted(std::string m = {}) {
+    return {StatusCode::kAborted, std::move(m)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

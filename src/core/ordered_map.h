@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -35,12 +36,18 @@
 #include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
+#include "txn/txn.h"
 
 namespace hcl {
 
 template <typename K, typename V, typename Less = std::less<K>,
           typename HashFn = Hash<K>>
 class map {
+ private:
+  // Defined with the other transaction internals below (§5h); declared here
+  // so the public txn_* methods can name it.
+  class TxnParticipant;
+
  public:
   using key_type = K;
   using mapped_type = V;
@@ -475,6 +482,77 @@ class map {
         self, partitions_[static_cast<std::size_t>(p)]->node, find_id_, p, key);
   }
 
+  // ------------------------------------------------------------------
+  // Transactions (DESIGN.md §5h). Same protocol as hcl::unordered_map
+  // (which carries the full notes); the ordered map's "put" intent applies
+  // as insert-or-converge since the skiplist journal has no upsert op.
+  // ------------------------------------------------------------------
+
+  /// Stage an upsert of `key` into the transaction.
+  void txn_put(txn::Txn& t, const K& key, const V& value) {
+    auto guard = op_guard();
+    participant(t, partition_of(key)).stage(LogOp::kInsert, key, &value);
+  }
+
+  /// Stage an erase of `key` into the transaction.
+  void txn_erase(txn::Txn& t, const K& key) {
+    auto guard = op_guard();
+    participant(t, partition_of(key)).stage(LogOp::kErase, key, nullptr);
+  }
+
+  /// Transactional read: read-your-writes from the txn's staged intents,
+  /// else the authoritative partition (cache bypassed — prepare validates
+  /// the epoch captured here). Throws kUnavailable when the node is down,
+  /// kAborted when the partition's epoch moved since the txn's first read.
+  bool txn_find(sim::Actor& self, txn::Txn& t, const K& key, V* out = nullptr) {
+    auto guard = op_guard();
+    const int p = partition_of(key);
+    TxnParticipant& tp = participant(t, p);
+    bool staged_hit = false;
+    bool staged_present = false;
+    tp.read_intent(key, &staged_hit, &staged_present, out);
+    if (staged_hit) return staged_present;
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (ctx_->fabric().node_down(part.node)) {
+      throw HclError(Status::Unavailable("txn read: partition node is down"));
+    }
+    if (part.node == self.node()) {
+      const std::uint64_t epoch = part.epoch.load(std::memory_order_acquire);
+      V tmp{};
+      const bool hit = part.list.find_value(key, &tmp);
+      charge_local(self, part, hit ? wire_bytes(key, tmp) : key_bytes(key),
+                   /*write=*/false);
+      tp.note_epoch(epoch);
+      if (hit && out != nullptr) *out = std::move(tmp);
+      return hit;
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
+          self, part.node, find_id_, p, key);
+      auto result = future.get(self);
+      tp.note_epoch(future.response_epoch());
+      if (!result.has_value()) return false;
+      if (out != nullptr) *out = std::move(*result);
+      return true;
+    } catch (const HclError& e) {
+      if (e.code() == StatusCode::kAborted ||
+          (e.code() == StatusCode::kUnavailable &&
+           ctx_->fabric().node_down(part.node))) {
+        throw;
+      }
+      throw HclError(Status::Aborted(e.what()));
+    }
+  }
+
+  /// Diagnostics: is partition `p`'s intent slot currently held (§5h)?
+  [[nodiscard]] bool txn_slot_held(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.txn_mutex);
+    return part.txn_holder != 0;
+  }
+
   [[nodiscard]] int num_partitions() const noexcept { return num_partitions_; }
   [[nodiscard]] sim::NodeId partition_owner(int p) const {
     return partitions_[static_cast<std::size_t>(p)]->node;
@@ -766,7 +844,240 @@ class map {
     std::uint64_t fo_term = 0;
     std::uint64_t fo_epoch = 0;
     std::vector<FoRecord> fo_journal;
+    /// Transaction intent slot + replica-staged intents (DESIGN.md §5h; see
+    /// hcl::unordered_map::Partition for the full notes). Mutated only
+    /// under txn_mutex, which is never held across a replica fan-out.
+    std::mutex txn_mutex;
+    std::uint64_t txn_holder = 0;
+    std::vector<FoRecord> txn_intents;
+    std::uint64_t last_committed_txn = 0;
+    std::map<std::pair<std::uint64_t, int>, std::vector<FoRecord>> txn_staged;
   };
+
+  // ---- transaction internals (DESIGN.md §5h) ------------------------
+
+  /// Packed intent records for the prepare bundle (same record shape the
+  /// failover journal uses; puts travel as kInsert, applied upsert-style).
+  static std::vector<std::byte> encode_intents(
+      const std::vector<FoRecord>& recs) {
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(recs.size()));
+    for (const FoRecord& rec : recs) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      serial::save(out, rec.key);
+      if (rec.op != LogOp::kErase) serial::save(out, rec.value);
+    }
+    return out.take();
+  }
+  static std::vector<FoRecord> decode_intents(
+      const std::vector<std::byte>& blob) {
+    serial::InArchive in{std::span<const std::byte>(blob)};
+    const std::uint64_t count = in.u64();
+    std::vector<FoRecord> recs;
+    recs.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FoRecord rec;
+      rec.op = static_cast<LogOp>(in.u64());
+      serial::load(in, rec.key);
+      if (rec.op != LogOp::kErase) serial::load(in, rec.value);
+      recs.push_back(std::move(rec));
+    }
+    return recs;
+  }
+
+  /// Put an intent's value in place whether or not the key exists: the
+  /// repair-pass converge pattern (the skiplist journal has no upsert op).
+  void apply_put(Partition& part, const K& key, const V& value) {
+    if (!apply_insert(part, key, value)) {
+      part.list.upsert(key, [&](V& v) { v = value; }, value);
+      journal(part, LogOp::kInsert, key, &value);
+      part.epoch.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  /// ParticipantBase implementation for one partition of this map; see
+  /// hcl::unordered_map::TxnParticipant for the protocol notes.
+  class TxnParticipant : public txn::ParticipantBase {
+   public:
+    TxnParticipant(map* owner, int p) : owner_(owner), p_(p) {}
+
+    void stage(LogOp op, const K& key, const V* value) {
+      for (FoRecord& rec : intents_) {
+        if (rec.key == key) {
+          rec.op = op;
+          rec.value = value != nullptr ? *value : V{};
+          return;
+        }
+      }
+      intents_.push_back(FoRecord{op, key, value != nullptr ? *value : V{}});
+    }
+
+    void read_intent(const K& key, bool* hit, bool* present, V* out) const {
+      *hit = false;
+      *present = false;
+      for (const FoRecord& rec : intents_) {
+        if (rec.key != key) continue;
+        *hit = true;
+        if (rec.op != LogOp::kErase) {
+          *present = true;
+          if (out != nullptr) *out = rec.value;
+        }
+        return;
+      }
+    }
+
+    void note_epoch(std::uint64_t epoch) {
+      if (expected_epoch_ == txn::kBlindEpoch) {
+        expected_epoch_ = epoch;
+      } else if (expected_epoch_ != epoch) {
+        throw HclError(Status::Aborted("txn read: partition epoch moved"));
+      }
+    }
+
+    void enqueue_prepare(sim::Actor& self, rpc::Batcher& batch,
+                         std::uint64_t txn_id) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      if (owner_->ctx_->fabric().node_down(part.node)) {
+        node_down_ = true;
+        return;
+      }
+      owner_->ctx_->op_stats().remote_invocations.fetch_add(
+          1, std::memory_order_relaxed);
+      prepare_ = batch.template enqueue<std::uint64_t>(
+          self, part.node, owner_->txn_prepare_id_, p_, txn_id,
+          expected_epoch_, encode_intents(intents_));
+    }
+
+    Status settle_prepare(sim::Actor& self) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      if (node_down_) {
+        return Status::Unavailable("txn: participant node is down");
+      }
+      try {
+        (void)prepare_.get(self);
+        return Status::Ok();
+      } catch (const HclError& e) {
+        if (e.code() == StatusCode::kAborted) return Status(e.code(), e.what());
+        if (e.code() == StatusCode::kUnavailable &&
+            owner_->ctx_->fabric().node_down(part.node)) {
+          return Status(e.code(), e.what());
+        }
+        return Status::Aborted(e.what());
+      }
+    }
+
+    void enqueue_commit(sim::Actor& self, rpc::Batcher& batch,
+                        std::uint64_t txn_id) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      for (const FoRecord& rec : intents_) {
+        owner_->cache_->begin_write(self, p_, rec.key);
+      }
+      owner_->ctx_->op_stats().remote_invocations.fetch_add(
+          1, std::memory_order_relaxed);
+      commit_ = batch.template enqueue<std::uint64_t>(
+          self, part.node, owner_->txn_commit_id_, p_, txn_id);
+    }
+
+    Status settle_commit(sim::Actor& self, std::uint64_t txn_id) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      for (int round = 0; round < 4; ++round) {
+        try {
+          const std::uint64_t epoch =
+              round == 0 && commit_.valid()
+                  ? commit_.get(self)
+                  : owner_->ctx_->rpc()
+                        .template async_invoke<std::uint64_t>(
+                            self, part.node, owner_->txn_commit_id_, p_, txn_id)
+                        .get(self);
+          finalize_cache(self, epoch);
+          return Status::Ok();
+        } catch (const HclError& e) {
+          if (e.code() == StatusCode::kUnavailable &&
+              owner_->ctx_->fabric().node_down(part.node)) {
+            return commit_failover(self, txn_id);
+          }
+          if (round == 3) return Status(e.code(), e.what());
+        }
+      }
+      return Status::Internal("txn commit: unreachable");
+    }
+
+    void send_abort(sim::Actor& self, std::uint64_t txn_id) noexcept override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      try {
+        if (owner_->ctx_->fabric().node_down(part.node)) {
+          const int q = owner_->standby_partition(p_);
+          if (q >= 0) {
+            auto future =
+                owner_->ctx_->rpc().template async_invoke_failover<bool>(
+                    self,
+                    owner_->partitions_[static_cast<std::size_t>(q)]->node,
+                    owner_->fo_txn_abort_id_, p_, q, txn_id);
+            (void)future.get(self);
+          }
+          return;
+        }
+        auto future = owner_->ctx_->rpc().template async_invoke<bool>(
+            self, part.node, owner_->txn_abort_id_, p_, txn_id);
+        (void)future.get(self);
+      } catch (...) {
+        // Best effort; the repair pass clears leftovers (presumed abort).
+      }
+    }
+
+    [[nodiscard]] std::shared_mutex* latch() const noexcept override {
+      return owner_->options_.rebalance.enabled ? &owner_->rebalance_latch_
+                                                : nullptr;
+    }
+
+   private:
+    Status commit_failover(sim::Actor& self, std::uint64_t txn_id) {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      const int q = owner_->standby_partition(p_);
+      if (q < 0) {
+        return Status::Unavailable("txn commit: primary down, no live standby");
+      }
+      owner_->ctx_->rpc().route().mark_down(part.node);
+      try {
+        auto future =
+            owner_->ctx_->rpc().template async_invoke_failover<std::uint64_t>(
+                self, owner_->partitions_[static_cast<std::size_t>(q)]->node,
+                owner_->fo_txn_commit_id_, p_, q, txn_id);
+        const std::uint64_t epoch = future.get(self);
+        finalize_cache(self, epoch);
+        return Status::Ok();
+      } catch (const HclError& e) {
+        return Status(e.code(), e.what());
+      }
+    }
+
+    void finalize_cache(sim::Actor& self, std::uint64_t epoch) {
+      for (const FoRecord& rec : intents_) {
+        if (rec.op == LogOp::kErase) {
+          const std::optional<V> absent;
+          owner_->cache_->complete_write(self, p_, rec.key, epoch, &absent);
+        } else {
+          const std::optional<V> known(rec.value);
+          owner_->cache_->complete_write(self, p_, rec.key, epoch, &known);
+        }
+      }
+    }
+
+    friend class map;
+
+    map* owner_;
+    int p_;
+    std::uint64_t expected_epoch_ = txn::kBlindEpoch;
+    std::vector<FoRecord> intents_;
+    rpc::Future<std::uint64_t> prepare_;
+    rpc::Future<std::uint64_t> commit_;
+    bool node_down_ = false;
+  };
+
+  TxnParticipant& participant(txn::Txn& t, int p) {
+    return t.template participant<TxnParticipant>(
+        this, p, [&] { return std::make_unique<TxnParticipant>(this, p); });
+  }
 
   // ---- shard rebalancing internals (DESIGN.md §5g) ------------------
 
@@ -795,7 +1106,8 @@ class map {
   }
 
   /// Moves touch failover state only when it is quiescent: both endpoints
-  /// must be un-promoted with live primaries (heal() first after a fault).
+  /// must be un-promoted with live primaries (heal() first after a fault)
+  /// and hold no transaction intents (§5h).
   void require_movable(int p, int q) {
     for (int part_id : {p, q}) {
       Partition& part = *partitions_[static_cast<std::size_t>(part_id)];
@@ -803,10 +1115,17 @@ class map {
         throw HclError(
             Status::FailedPrecondition("rebalance: partition node is down"));
       }
-      std::lock_guard<std::mutex> guard(part.fo_mutex);
-      if (part.fo_promoted) {
+      {
+        std::lock_guard<std::mutex> guard(part.fo_mutex);
+        if (part.fo_promoted) {
+          throw HclError(Status::FailedPrecondition(
+              "rebalance: partition promoted; heal() first"));
+        }
+      }
+      std::lock_guard<std::mutex> txn_guard(part.txn_mutex);
+      if (part.txn_holder != 0 || !part.txn_staged.empty()) {
         throw HclError(Status::FailedPrecondition(
-            "rebalance: partition promoted; heal() first"));
+            "rebalance: transaction intents pending"));
       }
     }
   }
@@ -1315,14 +1634,225 @@ class map {
                   std::max(part.epoch.load(std::memory_order_acquire), fence) +
                   1;
               part.epoch.store(adopted, std::memory_order_release);
+              // Presumed abort (§5h): intent state from before the crash is
+              // dead — its coordinators failed over or aborted.
+              {
+                std::lock_guard<std::mutex> txn_guard(part.txn_mutex);
+                part.txn_holder = 0;
+                part.txn_intents.clear();
+                part.txn_staged.clear();
+              }
               ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
                   count, std::memory_order_relaxed);
               sctx.epoch = adopted;
               return count;
             });
+    // ---- transaction stubs (DESIGN.md §5h; see hcl::unordered_map for
+    // the full protocol notes). txn_mutex is released before any replica
+    // fan-out — crossing prepares would deadlock otherwise.
+    txn_prepare_id_ =
+        engine.bind<std::uint64_t, int, std::uint64_t, std::uint64_t,
+                    std::vector<std::byte>>(
+            [this](rpc::ServerCtx& sctx, const int& p,
+                   const std::uint64_t& txn_id, const std::uint64_t& expected,
+                   const std::vector<std::byte>& blob) {
+              Partition& part = *partitions_[static_cast<std::size_t>(p)];
+              const sim::Nanos ready = charge_server(
+                  sctx, part, static_cast<std::int64_t>(blob.size()) + 16,
+                  /*write=*/true);
+              const std::vector<FoRecord> intents = decode_intents(blob);
+              std::uint64_t cur = 0;
+              {
+                std::lock_guard<std::mutex> guard(part.txn_mutex);
+                cur = part.epoch.load(std::memory_order_acquire);
+                if (part.last_committed_txn == txn_id) {
+                  sctx.epoch = cur;
+                  return cur;
+                }
+                if (part.txn_holder != 0 && part.txn_holder != txn_id) {
+                  throw HclError(
+                      Status::Aborted("txn prepare: intent slot held"));
+                }
+                if (expected != txn::kBlindEpoch && cur != expected) {
+                  throw HclError(
+                      Status::Aborted("txn prepare: epoch conflict"));
+                }
+                for (const FoRecord& rec : intents) {
+                  if (route_partition(rec.key) != p) {
+                    throw HclError(
+                        Status::Aborted("txn prepare: key moved by rebalance"));
+                  }
+                }
+                part.txn_holder = txn_id;
+                part.txn_intents = intents;
+              }
+              if (!intents.empty()) {
+                for (int r = 1; r <= options_.replication; ++r) {
+                  const int target = (p + r) % num_partitions_;
+                  ctx_->rpc().server_invoke(
+                      part.node,
+                      partitions_[static_cast<std::size_t>(target)]->node,
+                      ready, replica_txn_stage_id_, target, p, txn_id, blob);
+                }
+              }
+              sctx.epoch = cur;
+              return cur;
+            });
+    txn_commit_id_ = engine.bind<std::uint64_t, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p,
+               const std::uint64_t& txn_id) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          std::vector<FoRecord> intents;
+          {
+            std::lock_guard<std::mutex> guard(part.txn_mutex);
+            if (part.last_committed_txn == txn_id) {
+              const std::uint64_t cur =
+                  part.epoch.load(std::memory_order_acquire);
+              charge_server(sctx, part, 16, /*write=*/true);
+              sctx.epoch = cur;
+              return cur;
+            }
+            if (part.txn_holder != txn_id) {
+              throw HclError(Status::FailedPrecondition(
+                  "txn commit: intent slot not held (presumed abort)"));
+            }
+            intents.swap(part.txn_intents);
+            part.txn_holder = 0;
+            part.last_committed_txn = txn_id;
+            std::int64_t bytes = 16;
+            for (const FoRecord& rec : intents) {
+              bytes += rec.op == LogOp::kErase ? key_bytes(rec.key)
+                                               : wire_bytes(rec.key, rec.value);
+            }
+            const sim::Nanos ready =
+                charge_server(sctx, part, bytes, /*write=*/true);
+            for (const FoRecord& rec : intents) {
+              if (rec.op == LogOp::kErase) {
+                apply_erase(part, rec.key);
+                replicate_erase(p, ready, rec.key);
+              } else {
+                apply_put(part, rec.key, rec.value);
+                replicate_upsert(p, ready, rec.key, rec.value);
+              }
+            }
+          }
+          if (!intents.empty()) {
+            for (int r = 1; r <= options_.replication; ++r) {
+              const int target = (p + r) % num_partitions_;
+              ctx_->rpc().server_invoke(
+                  part.node,
+                  partitions_[static_cast<std::size_t>(target)]->node,
+                  sctx.finish, replica_txn_resolve_id_, target, p, txn_id);
+            }
+          }
+          const std::uint64_t cur = part.epoch.load(std::memory_order_acquire);
+          sctx.epoch = cur;
+          return cur;
+        });
+    txn_abort_id_ = engine.bind<bool, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p,
+               const std::uint64_t& txn_id) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server(sctx, part, 16, /*write=*/true);
+          bool held = false;
+          {
+            std::lock_guard<std::mutex> guard(part.txn_mutex);
+            if (part.txn_holder == txn_id) {
+              part.txn_holder = 0;
+              part.txn_intents.clear();
+              held = true;
+            }
+          }
+          for (int r = 1; r <= options_.replication; ++r) {
+            const int target = (p + r) % num_partitions_;
+            ctx_->rpc().server_invoke(
+                part.node, partitions_[static_cast<std::size_t>(target)]->node,
+                sctx.finish, replica_txn_resolve_id_, target, p, txn_id);
+          }
+          // Aborts bump nothing: no epoch, no journal, no replica writes.
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
+          return held;
+        });
+    replica_txn_stage_id_ =
+        engine.bind<bool, int, int, std::uint64_t, std::vector<std::byte>>(
+            [this](rpc::ServerCtx& sctx, const int& q, const int& p,
+                   const std::uint64_t& txn_id,
+                   const std::vector<std::byte>& blob) {
+              Partition& host = *partitions_[static_cast<std::size_t>(q)];
+              charge_server(sctx, host,
+                            static_cast<std::int64_t>(blob.size()),
+                            /*write=*/true);
+              std::vector<FoRecord> intents = decode_intents(blob);
+              std::lock_guard<std::mutex> guard(host.txn_mutex);
+              host.txn_staged[{txn_id, p}] = std::move(intents);
+              sctx.epoch = host.epoch.load(std::memory_order_acquire);
+              return true;
+            });
+    replica_txn_resolve_id_ = engine.bind<bool, int, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& q, const int& p,
+               const std::uint64_t& txn_id) {
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server(sctx, host, 16, /*write=*/true);
+          std::lock_guard<std::mutex> guard(host.txn_mutex);
+          host.txn_staged.erase({txn_id, p});
+          sctx.epoch = host.epoch.load(std::memory_order_acquire);
+          return true;
+        });
+    fo_txn_commit_id_ = engine.bind<std::uint64_t, int, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q,
+               const std::uint64_t& txn_id) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          std::vector<FoRecord> intents;
+          {
+            std::lock_guard<std::mutex> guard(host.txn_mutex);
+            auto it = host.txn_staged.find({txn_id, p});
+            if (it != host.txn_staged.end()) {
+              intents = std::move(it->second);
+              host.txn_staged.erase(it);
+            }
+          }
+          std::int64_t bytes = 16;
+          for (const FoRecord& rec : intents) {
+            bytes += rec.op == LogOp::kErase ? key_bytes(rec.key)
+                                             : wire_bytes(rec.key, rec.value);
+          }
+          charge_server(sctx, host, bytes, /*write=*/true);
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          for (const FoRecord& rec : intents) {
+            if (rec.op == LogOp::kErase) {
+              host.replicas.erase(rec.key);
+              primary.fo_journal.push_back(
+                  FoRecord{LogOp::kErase, rec.key, V{}});
+            } else {
+              host.replicas.upsert(
+                  rec.key, [&](V& v) { v = rec.value; }, rec.value);
+              primary.fo_journal.push_back(
+                  FoRecord{LogOp::kInsert, rec.key, rec.value});
+            }
+            ++primary.fo_epoch;
+          }
+          sctx.epoch = primary.fo_epoch;
+          return primary.fo_epoch;
+        });
+    fo_txn_abort_id_ = engine.bind<bool, int, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q,
+               const std::uint64_t& txn_id) {
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server(sctx, host, 16, /*write=*/true);
+          // No promotion: dropping staged intents is not a failover write.
+          std::lock_guard<std::mutex> guard(host.txn_mutex);
+          host.txn_staged.erase({txn_id, p});
+          return true;
+        });
     bound_ids_ = {insert_id_,  find_id_,    erase_id_,    resize_id_,
                   replica_upsert_id_,       replica_erase_id_,
-                  fo_insert_id_, fo_find_id_, fo_erase_id_, repair_id_};
+                  fo_insert_id_, fo_find_id_, fo_erase_id_, repair_id_,
+                  txn_prepare_id_, txn_commit_id_, txn_abort_id_,
+                  replica_txn_stage_id_, replica_txn_resolve_id_,
+                  fo_txn_commit_id_, fo_txn_abort_id_};
   }
 
   Context* ctx_;
@@ -1341,7 +1871,10 @@ class map {
 
   rpc::FuncId insert_id_ = 0, find_id_ = 0, erase_id_ = 0, resize_id_ = 0,
               replica_upsert_id_ = 0, replica_erase_id_ = 0, fo_insert_id_ = 0,
-              fo_find_id_ = 0, fo_erase_id_ = 0, repair_id_ = 0;
+              fo_find_id_ = 0, fo_erase_id_ = 0, repair_id_ = 0,
+              txn_prepare_id_ = 0, txn_commit_id_ = 0, txn_abort_id_ = 0,
+              replica_txn_stage_id_ = 0, replica_txn_resolve_id_ = 0,
+              fo_txn_commit_id_ = 0, fo_txn_abort_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
   HashFn hash_;
 

@@ -8,8 +8,10 @@
 // network (Fig. 7a).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -21,11 +23,14 @@
 #include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
+#include "txn/txn.h"
 
 namespace hcl {
 
 template <typename T, typename Less = std::less<T>>
 class priority_queue {
+  class TxnParticipant;  // defined with the txn internals below
+
  public:
   using value_type = T;
 
@@ -278,6 +283,78 @@ class priority_queue {
                                                                pop_id_);
   }
 
+  // ---- transactions (DESIGN.md §5h) ---------------------------------
+  // Single-participant like hcl::queue, with one extra rule: a transaction
+  // stages AT MOST ONE pop (pop-min's target shifts once the first staged
+  // pop lands, so a second's read could not be validated). At commit, pops
+  // apply BEFORE pushes, so a transaction can never consume its own pushed
+  // element even when that element would be the new minimum. Same txn-
+  // islands contract as the queue: plain pops void pop atomicity.
+
+  /// Stage a push. Blind (no epoch capture).
+  void txn_push(txn::Txn& t, const T& value) {
+    participant(t).stage(LogOp::kPush, &value);
+  }
+
+  /// Read the pre-transaction minimum and stage a pop of it. False — and
+  /// nothing staged — when empty (the epoch is still captured, so prepare
+  /// re-validates emptiness). A second staged pop throws FailedPrecondition.
+  bool txn_pop(sim::Actor& self, txn::Txn& t, T* out) {
+    TxnParticipant& part = participant(t);
+    if (part.staged_pops() > 0) {
+      throw HclError(Status::FailedPrecondition(
+          "txn pop: priority queue supports one staged pop per transaction"));
+    }
+    if (node_ == self.node()) {
+      T tmp{};
+      bool ok = false;
+      std::uint64_t epoch = 0;
+      {
+        std::lock_guard<std::mutex> guard(pop_mutex_);
+        epoch = epoch_.load(std::memory_order_acquire);
+        ok = impl_.peek(&tmp);
+      }
+      charge_local_pop(self, ok ? bytes_of(tmp) : 8);
+      part.note_epoch(epoch);
+      if (!ok) return false;
+      part.stage(LogOp::kPop, nullptr);
+      if (out != nullptr) *out = std::move(tmp);
+      return true;
+    }
+    if (ctx_->fabric().node_down(node_)) {
+      throw HclError(
+          Status::Unavailable("txn read: priority-queue host is down"));
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke<std::optional<T>>(
+          self, node_, txn_peek_id_);
+      auto result = future.get(self);
+      part.note_epoch(future.response_epoch());
+      if (!result.has_value()) return false;
+      part.stage(LogOp::kPop, nullptr);
+      if (out != nullptr) *out = std::move(*result);
+      return true;
+    } catch (const HclError& e) {
+      if (e.code() == StatusCode::kAborted ||
+          e.code() == StatusCode::kFailedPrecondition) {
+        throw;
+      }
+      if (e.code() == StatusCode::kUnavailable &&
+          ctx_->fabric().node_down(node_)) {
+        throw;  // fail fast: promoted reads cannot be epoch-validated
+      }
+      throw HclError(Status::Aborted(e.what()));
+    }
+  }
+
+  /// Diagnostic: is a prepared transaction's intent slot currently held?
+  [[nodiscard]] bool txn_slot_held() {
+    std::lock_guard<std::mutex> guard(txn_mutex_);
+    return txn_holder_ != 0;
+  }
+
   [[nodiscard]] sim::NodeId host_node() const noexcept { return node_; }
   [[nodiscard]] sim::NodeId standby_node() const noexcept { return standby_node_; }
   [[nodiscard]] std::size_t size() const { return impl_.size(); }
@@ -327,6 +404,14 @@ class priority_queue {
       throw HclError(Status::FailedPrecondition(
           "rebalance: queue promoted; heal() first"));
     }
+    {
+      // Prepared intents pin the host (DESIGN.md §5h).
+      std::lock_guard<std::mutex> txn_guard(txn_mutex_);
+      if (txn_holder_ != 0 || !txn_staged_.empty()) {
+        throw HclError(Status::FailedPrecondition(
+            "rebalance: transaction intents pending"));
+      }
+    }
     if (node == node_) return false;
     const sim::Nanos start = self.now();
     const auto elements = static_cast<std::int64_t>(impl_.size());
@@ -334,6 +419,9 @@ class priority_queue {
     const sim::NodeId src = node_;
     node_ = node;
     standby_node_ = (node + 1) % ctx_->topology().num_nodes();
+    // The move is a mutation: in-flight transactional reads that captured
+    // the old home's epoch must abort at prepare rather than commit.
+    epoch_.fetch_add(1, std::memory_order_release);
     sim::Nanos t = ctx_->fabric().local_read(src, start, bytes);
     t += ctx_->model().wire_time(bytes);
     t = ctx_->fabric().local_write(node_, t, bytes);
@@ -375,10 +463,17 @@ class priority_queue {
   void apply_push(const T& value) {
     impl_.push(value);
     journal(LogOp::kPush, &value);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
   bool apply_pop(T* out) {
+    // pop_mutex_ keeps a txn_peek's min snapshot and its captured epoch
+    // consistent against concurrent pop-min.
+    std::lock_guard<std::mutex> guard(pop_mutex_);
     const bool ok = impl_.pop(out);
-    if (ok) journal(LogOp::kPop, nullptr);
+    if (ok) {
+      journal(LogOp::kPop, nullptr);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
     return ok;
   }
 
@@ -558,6 +653,178 @@ class priority_queue {
     }
   }
 
+  // ---- transaction internals (DESIGN.md §5h) ------------------------
+
+  static std::vector<std::byte> encode_intents(
+      const std::vector<FoRecord>& recs) {
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(recs.size()));
+    for (const FoRecord& rec : recs) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      if (rec.op == LogOp::kPush) serial::save(out, rec.value);
+    }
+    return out.take();
+  }
+  static std::vector<FoRecord> decode_intents(
+      const std::vector<std::byte>& blob) {
+    serial::InArchive in{std::span<const std::byte>(blob)};
+    const std::uint64_t count = in.u64();
+    std::vector<FoRecord> recs;
+    recs.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FoRecord rec;
+      rec.op = static_cast<LogOp>(in.u64());
+      if (rec.op == LogOp::kPush) serial::load(in, rec.value);
+      recs.push_back(std::move(rec));
+    }
+    return recs;
+  }
+
+  /// ParticipantBase implementation; structurally identical to
+  /// hcl::queue's (see there for the protocol notes).
+  class TxnParticipant : public txn::ParticipantBase {
+   public:
+    explicit TxnParticipant(priority_queue* owner) : owner_(owner) {}
+
+    void stage(LogOp op, const T* value) {
+      intents_.push_back(FoRecord{op, value != nullptr ? *value : T{}});
+    }
+
+    [[nodiscard]] std::size_t staged_pops() const {
+      std::size_t n = 0;
+      for (const FoRecord& rec : intents_) {
+        if (rec.op == LogOp::kPop) ++n;
+      }
+      return n;
+    }
+
+    void note_epoch(std::uint64_t epoch) {
+      if (expected_epoch_ == txn::kBlindEpoch) {
+        expected_epoch_ = epoch;
+      } else if (expected_epoch_ != epoch) {
+        throw HclError(
+            Status::Aborted("txn read: priority-queue epoch moved"));
+      }
+    }
+
+    void enqueue_prepare(sim::Actor& self, rpc::Batcher& batch,
+                         std::uint64_t txn_id) override {
+      if (owner_->ctx_->fabric().node_down(owner_->node_)) {
+        node_down_ = true;  // settle_prepare fails fast
+        return;
+      }
+      owner_->ctx_->op_stats().remote_invocations.fetch_add(
+          1, std::memory_order_relaxed);
+      prepare_ = batch.template enqueue<std::uint64_t>(
+          self, owner_->node_, owner_->txn_prepare_id_, txn_id,
+          expected_epoch_, encode_intents(intents_));
+    }
+
+    Status settle_prepare(sim::Actor& self) override {
+      if (node_down_) {
+        return Status::Unavailable("txn: priority-queue host is down");
+      }
+      try {
+        (void)prepare_.get(self);
+        return Status::Ok();
+      } catch (const HclError& e) {
+        if (e.code() == StatusCode::kAborted) return Status(e.code(), e.what());
+        if (e.code() == StatusCode::kUnavailable &&
+            owner_->ctx_->fabric().node_down(owner_->node_)) {
+          return Status(e.code(), e.what());  // died mid-prepare: fail fast
+        }
+        return Status::Aborted(e.what());
+      }
+    }
+
+    void enqueue_commit(sim::Actor& self, rpc::Batcher& batch,
+                        std::uint64_t txn_id) override {
+      owner_->ctx_->op_stats().remote_invocations.fetch_add(
+          1, std::memory_order_relaxed);
+      commit_ = batch.template enqueue<std::uint64_t>(
+          self, owner_->node_, owner_->txn_commit_id_, txn_id);
+    }
+
+    Status settle_commit(sim::Actor& self, std::uint64_t txn_id) override {
+      for (int round = 0; round < 4; ++round) {
+        try {
+          (void)(round == 0 && prepare_.valid() && commit_.valid()
+                     ? commit_.get(self)
+                     : owner_->ctx_->rpc()
+                           .template async_invoke<std::uint64_t>(
+                               self, owner_->node_, owner_->txn_commit_id_,
+                               txn_id)
+                           .get(self));
+          return Status::Ok();
+        } catch (const HclError& e) {
+          if (e.code() == StatusCode::kUnavailable &&
+              owner_->ctx_->fabric().node_down(owner_->node_)) {
+            return commit_failover(self, txn_id);
+          }
+          if (round == 3) return Status(e.code(), e.what());
+        }
+      }
+      return Status::Internal("txn commit: unreachable");
+    }
+
+    void send_abort(sim::Actor& self, std::uint64_t txn_id) noexcept override {
+      try {
+        if (owner_->ctx_->fabric().node_down(owner_->node_)) {
+          if (owner_->standby_live()) {
+            auto future =
+                owner_->ctx_->rpc().template async_invoke_failover<bool>(
+                    self, owner_->standby_node_, owner_->fo_txn_abort_id_,
+                    txn_id);
+            (void)future.get(self);
+          }
+          return;
+        }
+        auto future = owner_->ctx_->rpc().template async_invoke<bool>(
+            self, owner_->node_, owner_->txn_abort_id_, txn_id);
+        (void)future.get(self);
+      } catch (...) {
+        // Best effort: a slot left held is cleared by the repair pass.
+      }
+    }
+
+    [[nodiscard]] std::shared_mutex* latch() const noexcept override {
+      return nullptr;  // migrate is fenced via the intent-slot refusal
+    }
+
+   private:
+    Status commit_failover(sim::Actor& self, std::uint64_t txn_id) {
+      if (!owner_->standby_live()) {
+        return Status::Unavailable(
+            "txn commit: priority-queue host down, no standby");
+      }
+      owner_->ctx_->rpc().route().mark_down(owner_->node_);
+      try {
+        auto future =
+            owner_->ctx_->rpc().template async_invoke_failover<std::uint64_t>(
+                self, owner_->standby_node_, owner_->fo_txn_commit_id_,
+                txn_id);
+        (void)future.get(self);
+        return Status::Ok();
+      } catch (const HclError& e) {
+        return Status(e.code(), e.what());
+      }
+    }
+
+    friend class priority_queue;
+
+    priority_queue* owner_;
+    std::uint64_t expected_epoch_ = txn::kBlindEpoch;
+    std::vector<FoRecord> intents_;
+    rpc::Future<std::uint64_t> prepare_;
+    rpc::Future<std::uint64_t> commit_;
+    bool node_down_ = false;
+  };
+
+  TxnParticipant& participant(txn::Txn& t) {
+    return t.template participant<TxnParticipant>(
+        this, 0, [&] { return std::make_unique<TxnParticipant>(this); });
+  }
+
   void bind_handlers() {
     auto& engine = ctx_->rpc();
     push_id_ = engine.bind<bool, T>([this](rpc::ServerCtx& sctx, const T& value) {
@@ -708,14 +975,211 @@ class priority_queue {
           }
           charge_server(sctx, bytes, /*write=*/true,
                         static_cast<std::int64_t>(count));
+          // Presumed abort (§5h): intent state from before the crash is dead.
+          {
+            std::lock_guard<std::mutex> guard(txn_mutex_);
+            txn_holder_ = 0;
+            txn_intents_.clear();
+            txn_staged_.clear();
+          }
           ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
               count, std::memory_order_relaxed);
           return count;
         });
+    // ---- transaction stubs (DESIGN.md §5h; protocol notes in
+    // hcl::unordered_map). Commit applies pops BEFORE pushes so a staged
+    // pop can never consume the transaction's own pushed minimum.
+    txn_peek_id_ = engine.bind<std::optional<T>>([this](rpc::ServerCtx& sctx) {
+      T tmp{};
+      bool ok = false;
+      std::uint64_t epoch = 0;
+      {
+        std::lock_guard<std::mutex> guard(pop_mutex_);
+        epoch = epoch_.load(std::memory_order_acquire);
+        ok = impl_.peek(&tmp);
+      }
+      charge_server(sctx, ok ? bytes_of(tmp) : 8, /*write=*/false);
+      sctx.epoch = epoch;
+      return ok ? std::optional<T>(std::move(tmp)) : std::nullopt;
+    });
+    txn_prepare_id_ =
+        engine.bind<std::uint64_t, std::uint64_t, std::uint64_t,
+                    std::vector<std::byte>>(
+            [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id,
+                   const std::uint64_t& expected,
+                   const std::vector<std::byte>& blob) {
+              const sim::Nanos ready = charge_server(
+                  sctx, static_cast<std::int64_t>(blob.size()) + 16,
+                  /*write=*/true);
+              const std::vector<FoRecord> intents = decode_intents(blob);
+              std::size_t pops = 0;
+              for (const FoRecord& rec : intents) {
+                if (rec.op == LogOp::kPop) ++pops;
+              }
+              std::uint64_t cur = 0;
+              {
+                std::lock_guard<std::mutex> guard(txn_mutex_);
+                cur = epoch_.load(std::memory_order_acquire);
+                if (last_committed_txn_ == txn_id) {
+                  sctx.epoch = cur;
+                  return cur;
+                }
+                if (txn_holder_ != 0 && txn_holder_ != txn_id) {
+                  throw HclError(
+                      Status::Aborted("txn prepare: intent slot held"));
+                }
+                if (expected != txn::kBlindEpoch && cur != expected) {
+                  throw HclError(
+                      Status::Aborted("txn prepare: epoch conflict"));
+                }
+                if (pops > impl_.size()) {
+                  throw HclError(
+                      Status::Aborted("txn prepare: queue underflow"));
+                }
+                txn_holder_ = txn_id;
+                txn_intents_ = intents;
+              }
+              if (has_standby() && !intents.empty()) {
+                ctx_->rpc().server_invoke(node_, standby_node_, ready,
+                                          replica_txn_stage_id_, txn_id, blob);
+              }
+              sctx.epoch = cur;
+              return cur;
+            });
+    txn_commit_id_ = engine.bind<std::uint64_t, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id) {
+          std::vector<FoRecord> intents;
+          {
+            std::lock_guard<std::mutex> guard(txn_mutex_);
+            if (last_committed_txn_ == txn_id) {
+              charge_server(sctx, 16, /*write=*/true);
+              const std::uint64_t cur = epoch_.load(std::memory_order_acquire);
+              sctx.epoch = cur;
+              return cur;
+            }
+            if (txn_holder_ != txn_id) {
+              throw HclError(Status::FailedPrecondition(
+                  "txn commit: intent slot not held (presumed abort)"));
+            }
+            intents.swap(txn_intents_);
+            txn_holder_ = 0;
+            last_committed_txn_ = txn_id;
+            std::int64_t bytes = 16;
+            for (const FoRecord& rec : intents) {
+              bytes += rec.op == LogOp::kPush ? bytes_of(rec.value) : 8;
+            }
+            charge_server(sctx, bytes, /*write=*/true,
+                          static_cast<std::int64_t>(intents.size()));
+            for (const FoRecord& rec : intents) {  // pops first
+              if (rec.op != LogOp::kPop) continue;
+              T scratch{};
+              if (apply_pop(&scratch)) mirror_pop(sctx.finish);
+            }
+            for (const FoRecord& rec : intents) {
+              if (rec.op != LogOp::kPush) continue;
+              apply_push(rec.value);
+              mirror_push(sctx.finish, rec.value);
+            }
+          }
+          if (has_standby() && !intents.empty()) {
+            ctx_->rpc().server_invoke(node_, standby_node_, sctx.finish,
+                                      replica_txn_resolve_id_, txn_id);
+          }
+          const std::uint64_t cur = epoch_.load(std::memory_order_acquire);
+          sctx.epoch = cur;
+          return cur;
+        });
+    txn_abort_id_ = engine.bind<bool, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id) {
+          charge_server(sctx, 16, /*write=*/true);
+          bool held = false;
+          {
+            std::lock_guard<std::mutex> guard(txn_mutex_);
+            if (txn_holder_ == txn_id) {
+              txn_holder_ = 0;
+              txn_intents_.clear();
+              held = true;
+            }
+          }
+          if (has_standby()) {
+            ctx_->rpc().server_invoke(node_, standby_node_, sctx.finish,
+                                      replica_txn_resolve_id_, txn_id);
+          }
+          // Aborts bump nothing: no epoch, no journal, no mirror writes.
+          sctx.epoch = epoch_.load(std::memory_order_acquire);
+          return held;
+        });
+    replica_txn_stage_id_ =
+        engine.bind<bool, std::uint64_t, std::vector<std::byte>>(
+            [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id,
+                   const std::vector<std::byte>& blob) {
+              charge_server(sctx, static_cast<std::int64_t>(blob.size()),
+                            /*write=*/true);
+              std::vector<FoRecord> intents = decode_intents(blob);
+              std::lock_guard<std::mutex> guard(txn_mutex_);
+              txn_staged_[txn_id] = std::move(intents);
+              return true;
+            });
+    replica_txn_resolve_id_ = engine.bind<bool, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id) {
+          charge_server(sctx, 16, /*write=*/true);
+          std::lock_guard<std::mutex> guard(txn_mutex_);
+          txn_staged_.erase(txn_id);
+          return true;
+        });
+    fo_txn_commit_id_ = engine.bind<std::uint64_t, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id) {
+          std::vector<FoRecord> intents;
+          {
+            std::lock_guard<std::mutex> guard(txn_mutex_);
+            auto it = txn_staged_.find(txn_id);
+            if (it != txn_staged_.end()) {
+              intents = std::move(it->second);
+              txn_staged_.erase(it);
+            }
+          }
+          std::int64_t bytes = 16;
+          for (const FoRecord& rec : intents) {
+            bytes += rec.op == LogOp::kPush ? bytes_of(rec.value) : 8;
+          }
+          charge_server(sctx, bytes, /*write=*/true,
+                        static_cast<std::int64_t>(intents.size()));
+          std::lock_guard<std::mutex> guard(fo_mutex_);
+          require_host_down();
+          fo_promoted_ = true;
+          std::uint64_t applied = 0;
+          for (const FoRecord& rec : intents) {  // pops first, as on commit
+            if (rec.op != LogOp::kPop) continue;
+            T scratch{};
+            if (mirror_.pop(&scratch)) {
+              fo_journal_.push_back(FoRecord{LogOp::kPop, T{}});
+              ++applied;
+            }
+          }
+          for (const FoRecord& rec : intents) {
+            if (rec.op != LogOp::kPush) continue;
+            mirror_.push(rec.value);
+            fo_journal_.push_back(FoRecord{LogOp::kPush, rec.value});
+            ++applied;
+          }
+          return applied;
+        });
+    fo_txn_abort_id_ = engine.bind<bool, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const std::uint64_t& txn_id) {
+          charge_server(sctx, 16, /*write=*/true);
+          // No promotion: dropping staged intents is not a failover write.
+          std::lock_guard<std::mutex> guard(txn_mutex_);
+          txn_staged_.erase(txn_id);
+          return true;
+        });
     bound_ids_ = {push_id_,        push_bulk_id_,    pop_id_,
                   pop_bulk_id_,    replica_push_id_, replica_pop_id_,
                   fo_push_id_,     fo_push_bulk_id_, fo_pop_id_,
-                  fo_pop_bulk_id_, repair_id_};
+                  fo_pop_bulk_id_, repair_id_,
+                  txn_peek_id_,    txn_prepare_id_, txn_commit_id_,
+                  txn_abort_id_,   replica_txn_stage_id_,
+                  replica_txn_resolve_id_, fo_txn_commit_id_,
+                  fo_txn_abort_id_};
   }
 
   Context* ctx_;
@@ -730,10 +1194,22 @@ class priority_queue {
   std::mutex fo_mutex_;
   bool fo_promoted_ = false;
   std::vector<FoRecord> fo_journal_;
+  /// Mutation epoch + txn intent slot (DESIGN.md §5h); semantics match
+  /// hcl::queue's fields of the same names.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex pop_mutex_;
+  std::mutex txn_mutex_;
+  std::uint64_t txn_holder_ = 0;
+  std::vector<FoRecord> txn_intents_;
+  std::uint64_t last_committed_txn_ = 0;
+  std::map<std::uint64_t, std::vector<FoRecord>> txn_staged_;
   rpc::FuncId push_id_ = 0, push_bulk_id_ = 0, pop_id_ = 0, pop_bulk_id_ = 0,
               replica_push_id_ = 0, replica_pop_id_ = 0, fo_push_id_ = 0,
               fo_push_bulk_id_ = 0, fo_pop_id_ = 0, fo_pop_bulk_id_ = 0,
-              repair_id_ = 0;
+              repair_id_ = 0, txn_peek_id_ = 0, txn_prepare_id_ = 0,
+              txn_commit_id_ = 0, txn_abort_id_ = 0, replica_txn_stage_id_ = 0,
+              replica_txn_resolve_id_ = 0, fo_txn_commit_id_ = 0,
+              fo_txn_abort_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
 };
 

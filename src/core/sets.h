@@ -92,6 +92,16 @@ class unordered_set {
     return impl_.rebalances();
   }
 
+  // Transactions (DESIGN.md §5h), forwarded to the map. txn_add/txn_remove
+  // stage intents on the coordinator; txn_contains is a validated read.
+  void txn_add(txn::Txn& t, const K& key) {
+    impl_.txn_put(t, key, core::Unit{});
+  }
+  void txn_remove(txn::Txn& t, const K& key) { impl_.txn_erase(t, key); }
+  bool txn_contains(sim::Actor& self, txn::Txn& t, const K& key) {
+    return impl_.txn_find(self, t, key, nullptr);
+  }
+
   template <typename F>
   void for_each(F&& fn) {
     impl_.for_each([&fn](const K& k, const core::Unit&) { fn(k); });
@@ -165,6 +175,15 @@ class set {
   }
   [[nodiscard]] std::size_t rebalances() const noexcept {
     return impl_.rebalances();
+  }
+
+  // Transactions (DESIGN.md §5h), forwarded to the map.
+  void txn_add(txn::Txn& t, const K& key) {
+    impl_.txn_put(t, key, core::Unit{});
+  }
+  void txn_remove(txn::Txn& t, const K& key) { impl_.txn_erase(t, key); }
+  bool txn_contains(sim::Actor& self, txn::Txn& t, const K& key) {
+    return impl_.txn_find(self, t, key, nullptr);
   }
 
   /// Visit keys in comparator order across all partitions.

@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -43,11 +44,17 @@
 #include "rpc/batch.h"
 #include "rpc/engine.h"
 #include "serial/databox.h"
+#include "txn/txn.h"
 
 namespace hcl {
 
 template <typename K, typename V, typename HashFn = Hash<K>>
 class unordered_map {
+ private:
+  // Defined with the other transaction internals below (§5h); declared here
+  // so the public txn_* methods can name it.
+  class TxnParticipant;
+
  public:
   using key_type = K;
   using mapped_type = V;
@@ -698,6 +705,85 @@ class unordered_map {
   }
 
   // ------------------------------------------------------------------
+  // Transactions (DESIGN.md §5h). These stage intents CLIENT-side into the
+  // Txn; nothing ships until TxnCoordinator::commit runs the two-phase
+  // epoch-validated protocol through the participants created here.
+  // ------------------------------------------------------------------
+
+  /// Stage an upsert of `key` into the transaction. Last write per key wins
+  /// within the txn; the write is blind (no epoch captured) unless the txn
+  /// also read this partition.
+  void txn_put(txn::Txn& t, const K& key, const V& value) {
+    auto guard = op_guard();
+    participant(t, partition_of(key)).stage(LogOp::kUpsert, key, &value);
+  }
+
+  /// Stage an erase of `key` into the transaction.
+  void txn_erase(txn::Txn& t, const K& key) {
+    auto guard = op_guard();
+    participant(t, partition_of(key)).stage(LogOp::kErase, key, nullptr);
+  }
+
+  /// Transactional read: serves the txn's own staged write first
+  /// (read-your-writes), otherwise reads the authoritative partition —
+  /// BYPASSING the read cache, because the partition epoch captured here is
+  /// what prepare validates; a cached value would pin a lease epoch, not the
+  /// partition's current one. Throws kUnavailable when the partition's node
+  /// is down (fail fast — no standby reroute, the fenced failover epoch
+  /// stream cannot be validated) and kAborted when this partition's epoch
+  /// already moved since the txn first read it (eager conflict).
+  bool txn_find(sim::Actor& self, txn::Txn& t, const K& key, V* out = nullptr) {
+    auto guard = op_guard();
+    const int p = partition_of(key);
+    TxnParticipant& tp = participant(t, p);
+    bool staged_hit = false;
+    bool staged_present = false;
+    tp.read_intent(key, &staged_hit, &staged_present, out);
+    if (staged_hit) return staged_present;
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    if (ctx_->fabric().node_down(part.node)) {
+      throw HclError(Status::Unavailable("txn read: partition node is down"));
+    }
+    if (part.node == self.node()) {
+      // Epoch BEFORE the read, the same conservative rule the find stub uses.
+      const std::uint64_t epoch = part.epoch.load(std::memory_order_acquire);
+      V tmp{};
+      const bool hit = part.map.find(key, &tmp);
+      charge_local_read(self, part, hit ? wire_bytes(key, tmp) : key_bytes(key));
+      tp.note_epoch(epoch);
+      if (hit && out != nullptr) *out = std::move(tmp);
+      return hit;
+    }
+    try {
+      ctx_->op_stats().remote_invocations.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      auto future = ctx_->rpc().template async_invoke<std::optional<V>>(
+          self, part.node, find_id_, p, key);
+      auto result = future.get(self);
+      tp.note_epoch(future.response_epoch());
+      if (!result.has_value()) return false;
+      if (out != nullptr) *out = std::move(*result);
+      return true;
+    } catch (const HclError& e) {
+      if (e.code() == StatusCode::kAborted ||
+          (e.code() == StatusCode::kUnavailable &&
+           ctx_->fabric().node_down(part.node))) {
+        throw;
+      }
+      // Transient transport failure: surface as a retryable txn abort so
+      // run() re-stages the whole transaction.
+      throw HclError(Status::Aborted(e.what()));
+    }
+  }
+
+  /// Diagnostics: is partition `p`'s intent slot currently held (§5h)?
+  [[nodiscard]] bool txn_slot_held(int p) {
+    Partition& part = *partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> guard(part.txn_mutex);
+    return part.txn_holder != 0;
+  }
+
+  // ------------------------------------------------------------------
   // Introspection
   // ------------------------------------------------------------------
 
@@ -1000,7 +1086,267 @@ class unordered_map {
     std::uint64_t fo_term = 0;
     std::uint64_t fo_epoch = 0;
     std::vector<FoRecord> fo_journal;
+    /// Transaction intent slot (DESIGN.md §5h): a no-wait exclusive latch
+    /// over the partition's COMMIT pipeline. txn_holder is the txn id whose
+    /// prepare validated here (0 = free); txn_intents are its journal-backed
+    /// write records, applied by txn_commit or discarded by txn_abort.
+    /// last_committed_txn makes commit idempotent against re-sent bundles.
+    /// txn_staged holds OTHER partitions' intents staged onto this replica
+    /// host, keyed by (txn id, primary partition), so a standby promotion
+    /// can replay a prepared-but-uncommitted txn (fo_txn_commit) or drop it
+    /// (fo_txn_abort). All five mutate only under txn_mutex — which is
+    /// NEVER held across a replica fan-out (two crossing prepares would
+    /// deadlock on each other's host mutex).
+    std::mutex txn_mutex;
+    std::uint64_t txn_holder = 0;
+    std::vector<FoRecord> txn_intents;
+    std::uint64_t last_committed_txn = 0;
+    std::map<std::pair<std::uint64_t, int>, std::vector<FoRecord>> txn_staged;
   };
+
+  // ---- transaction internals (DESIGN.md §5h) ------------------------
+
+  /// Intent records on the wire: the prepare bundle carries them packed so
+  /// one RDMA_SEND validates + locks a partition no matter how many keys
+  /// the txn touches there. Same record shape the failover journal uses.
+  static std::vector<std::byte> encode_intents(
+      const std::vector<FoRecord>& recs) {
+    serial::OutArchive out;
+    out.u64(static_cast<std::uint64_t>(recs.size()));
+    for (const FoRecord& rec : recs) {
+      out.u64(static_cast<std::uint64_t>(rec.op));
+      serial::save(out, rec.key);
+      if (rec.op != LogOp::kErase) serial::save(out, rec.value);
+    }
+    return out.take();
+  }
+  static std::vector<FoRecord> decode_intents(
+      const std::vector<std::byte>& blob) {
+    serial::InArchive in{std::span<const std::byte>(blob)};
+    const std::uint64_t count = in.u64();
+    std::vector<FoRecord> recs;
+    recs.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FoRecord rec;
+      rec.op = static_cast<LogOp>(in.u64());
+      serial::load(in, rec.key);
+      if (rec.op != LogOp::kErase) serial::load(in, rec.value);
+      recs.push_back(std::move(rec));
+    }
+    return recs;
+  }
+
+  /// ParticipantBase implementation for one partition of this map: staged
+  /// intents, the first-contact epoch, and the in-flight prepare/commit
+  /// futures. Lives inside the Txn; the coordinator drives it through the
+  /// txn::ParticipantBase interface.
+  class TxnParticipant : public txn::ParticipantBase {
+   public:
+    TxnParticipant(unordered_map* owner, int p) : owner_(owner), p_(p) {}
+
+    // -- client-side staging (txn_put / txn_erase / txn_find) ---------
+
+    void stage(LogOp op, const K& key, const V* value) {
+      for (FoRecord& rec : intents_) {
+        if (rec.key == key) {
+          rec.op = op;
+          rec.value = value != nullptr ? *value : V{};
+          return;
+        }
+      }
+      intents_.push_back(
+          FoRecord{op, key, value != nullptr ? *value : V{}});
+    }
+
+    /// Read-your-writes: *hit = this txn staged `key`; *present = it stages
+    /// a value (vs. an erase).
+    void read_intent(const K& key, bool* hit, bool* present, V* out) const {
+      *hit = false;
+      *present = false;
+      for (const FoRecord& rec : intents_) {
+        if (rec.key != key) continue;
+        *hit = true;
+        if (rec.op != LogOp::kErase) {
+          *present = true;
+          if (out != nullptr) *out = rec.value;
+        }
+        return;
+      }
+    }
+
+    /// Capture the partition epoch at first contact; a later read observing
+    /// a different epoch is a conflict we can abort on eagerly, before the
+    /// prepare bundle ever ships.
+    void note_epoch(std::uint64_t epoch) {
+      if (expected_epoch_ == txn::kBlindEpoch) {
+        expected_epoch_ = epoch;
+      } else if (expected_epoch_ != epoch) {
+        throw HclError(Status::Aborted("txn read: partition epoch moved"));
+      }
+    }
+
+    // -- protocol legs driven by the coordinator ----------------------
+
+    void enqueue_prepare(sim::Actor& self, rpc::Batcher& batch,
+                         std::uint64_t txn_id) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      if (owner_->ctx_->fabric().node_down(part.node)) {
+        node_down_ = true;  // settle_prepare fails fast
+        return;
+      }
+      owner_->ctx_->op_stats().remote_invocations.fetch_add(
+          1, std::memory_order_relaxed);
+      prepare_ = batch.template enqueue<std::uint64_t>(
+          self, part.node, owner_->txn_prepare_id_, p_, txn_id,
+          expected_epoch_, encode_intents(intents_));
+    }
+
+    Status settle_prepare(sim::Actor& self) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      if (node_down_) {
+        return Status::Unavailable("txn: participant node is down");
+      }
+      try {
+        (void)prepare_.get(self);
+        return Status::Ok();
+      } catch (const HclError& e) {
+        if (e.code() == StatusCode::kAborted) return Status(e.code(), e.what());
+        if (e.code() == StatusCode::kUnavailable &&
+            owner_->ctx_->fabric().node_down(part.node)) {
+          return Status(e.code(), e.what());  // died mid-prepare: fail fast
+        }
+        // Transient transport failure (lost bundle, injected fault): the
+        // slot MAY be held server-side without us knowing — the coordinator
+        // aborts every participant before retrying, which clears it.
+        return Status::Aborted(e.what());
+      }
+    }
+
+    void enqueue_commit(sim::Actor& self, rpc::Batcher& batch,
+                        std::uint64_t txn_id) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      for (const FoRecord& rec : intents_) {
+        owner_->cache_->begin_write(self, p_, rec.key);
+      }
+      owner_->ctx_->op_stats().remote_invocations.fetch_add(
+          1, std::memory_order_relaxed);
+      commit_ = batch.template enqueue<std::uint64_t>(
+          self, part.node, owner_->txn_commit_id_, p_, txn_id);
+    }
+
+    Status settle_commit(sim::Actor& self, std::uint64_t txn_id) override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      // Commit is idempotent server-side (last_committed_txn), so transient
+      // failures re-invoke directly; a primary that died after prepare-ack
+      // reroutes to the staged replica chain (fo_txn_commit).
+      for (int round = 0; round < 4; ++round) {
+        try {
+          const std::uint64_t epoch =
+              round == 0 && prepare_.valid() && commit_.valid()
+                  ? commit_.get(self)
+                  : owner_->ctx_->rpc()
+                        .template async_invoke<std::uint64_t>(
+                            self, part.node, owner_->txn_commit_id_, p_, txn_id)
+                        .get(self);
+          finalize_cache(self, epoch);
+          return Status::Ok();
+        } catch (const HclError& e) {
+          if (e.code() == StatusCode::kUnavailable &&
+              owner_->ctx_->fabric().node_down(part.node)) {
+            return commit_failover(self, txn_id);
+          }
+          if (round == 3) return Status(e.code(), e.what());
+        }
+      }
+      return Status::Internal("txn commit: unreachable");
+    }
+
+    void send_abort(sim::Actor& self, std::uint64_t txn_id) noexcept override {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      try {
+        if (owner_->ctx_->fabric().node_down(part.node)) {
+          // Primary dead: drop the staged replica records so a later
+          // promotion cannot replay this txn's intents.
+          const int q = owner_->standby_partition(p_);
+          if (q >= 0) {
+            auto future =
+                owner_->ctx_->rpc().template async_invoke_failover<bool>(
+                    self,
+                    owner_->partitions_[static_cast<std::size_t>(q)]->node,
+                    owner_->fo_txn_abort_id_, p_, q, txn_id);
+            (void)future.get(self);
+          }
+          return;
+        }
+        auto future = owner_->ctx_->rpc().template async_invoke<bool>(
+            self, part.node, owner_->txn_abort_id_, p_, txn_id);
+        (void)future.get(self);
+      } catch (...) {
+        // Best effort: a slot left held is cleared by the repair pass
+        // (presumed abort) once the fault heals.
+      }
+    }
+
+    [[nodiscard]] std::shared_mutex* latch() const noexcept override {
+      return owner_->options_.rebalance.enabled ? &owner_->rebalance_latch_
+                                                : nullptr;
+    }
+
+   private:
+    /// Commit writes through the staged replica chain after the primary
+    /// died between prepare-ack and commit: the host replays the records it
+    /// staged at prepare into its promoted replica set + failover journal.
+    Status commit_failover(sim::Actor& self, std::uint64_t txn_id) {
+      Partition& part = *owner_->partitions_[static_cast<std::size_t>(p_)];
+      const int q = owner_->standby_partition(p_);
+      if (q < 0) {
+        return Status::Unavailable("txn commit: primary down, no live standby");
+      }
+      owner_->ctx_->rpc().route().mark_down(part.node);
+      try {
+        auto future =
+            owner_->ctx_->rpc().template async_invoke_failover<std::uint64_t>(
+                self, owner_->partitions_[static_cast<std::size_t>(q)]->node,
+                owner_->fo_txn_commit_id_, p_, q, txn_id);
+        const std::uint64_t epoch = future.get(self);
+        finalize_cache(self, epoch);
+        return Status::Ok();
+      } catch (const HclError& e) {
+        return Status(e.code(), e.what());
+      }
+    }
+
+    /// Close the begin_write window opened in enqueue_commit: committed
+    /// values (or definite absences) re-enter the cache under the commit
+    /// epoch. Abort paths never call this, so the entries stay invalidated
+    /// — an aborted intent can never be served from a lease.
+    void finalize_cache(sim::Actor& self, std::uint64_t epoch) {
+      for (const FoRecord& rec : intents_) {
+        if (rec.op == LogOp::kErase) {
+          const std::optional<V> absent;
+          owner_->cache_->complete_write(self, p_, rec.key, epoch, &absent);
+        } else {
+          const std::optional<V> known(rec.value);
+          owner_->cache_->complete_write(self, p_, rec.key, epoch, &known);
+        }
+      }
+    }
+
+    friend class unordered_map;
+
+    unordered_map* owner_;
+    int p_;
+    std::uint64_t expected_epoch_ = txn::kBlindEpoch;
+    std::vector<FoRecord> intents_;
+    rpc::Future<std::uint64_t> prepare_;
+    rpc::Future<std::uint64_t> commit_;
+    bool node_down_ = false;
+  };
+
+  TxnParticipant& participant(txn::Txn& t, int p) {
+    return t.template participant<TxnParticipant>(
+        this, p, [&] { return std::make_unique<TxnParticipant>(this, p); });
+  }
 
   // ---- shard rebalancing internals (DESIGN.md §5g) ------------------
 
@@ -1029,7 +1375,11 @@ class unordered_map {
   }
 
   /// Moves touch failover state only when it is quiescent: both endpoints
-  /// must be un-promoted with live primaries (heal() first after a fault).
+  /// must be un-promoted with live primaries (heal() first after a fault)
+  /// and hold no transaction intents — a moved key would strand its intent
+  /// record on the old owner, so the move defers to the in-flight commit
+  /// (which the rebalance latch already fences at the container level; this
+  /// check catches slots left by a coordinator that died mid-protocol).
   void require_movable(int p, int q) {
     for (int part_id : {p, q}) {
       Partition& part = *partitions_[static_cast<std::size_t>(part_id)];
@@ -1037,10 +1387,17 @@ class unordered_map {
         throw HclError(
             Status::FailedPrecondition("rebalance: partition node is down"));
       }
-      std::lock_guard<std::mutex> guard(part.fo_mutex);
-      if (part.fo_promoted) {
+      {
+        std::lock_guard<std::mutex> guard(part.fo_mutex);
+        if (part.fo_promoted) {
+          throw HclError(Status::FailedPrecondition(
+              "rebalance: partition promoted; heal() first"));
+        }
+      }
+      std::lock_guard<std::mutex> txn_guard(part.txn_mutex);
+      if (part.txn_holder != 0 || !part.txn_staged.empty()) {
         throw HclError(Status::FailedPrecondition(
-            "rebalance: partition promoted; heal() first"));
+            "rebalance: transaction intents pending"));
       }
     }
   }
@@ -1721,17 +2078,248 @@ class unordered_map {
               const std::uint64_t adopted =
                   std::max(part.epoch.load(std::memory_order_acquire), fence) + 1;
               part.epoch.store(adopted, std::memory_order_release);
+              // Presumed abort (§5h): any intent slot or staged records left
+              // from before the crash are dead — their coordinators saw the
+              // node down and either committed through fo_txn_commit (the
+              // journal just replayed those writes) or aborted.
+              {
+                std::lock_guard<std::mutex> txn_guard(part.txn_mutex);
+                part.txn_holder = 0;
+                part.txn_intents.clear();
+                part.txn_staged.clear();
+              }
               ctx_->fabric().nic(sctx.node).counters().repair_ops.fetch_add(
                   count, std::memory_order_relaxed);
               sctx.epoch = adopted;
               return count;
             });
+    // ---- transaction stubs (DESIGN.md §5h). Slot state mutates under
+    // txn_mutex, which is RELEASED before any replica fan-out: staging and
+    // resolve RPCs execute inline on this thread and take the HOST
+    // partition's txn_mutex, so holding ours across the call would deadlock
+    // two concurrent prepares whose replica chains cross.
+    txn_prepare_id_ =
+        engine.bind<std::uint64_t, int, std::uint64_t, std::uint64_t,
+                    std::vector<std::byte>>(
+            [this](rpc::ServerCtx& sctx, const int& p,
+                   const std::uint64_t& txn_id, const std::uint64_t& expected,
+                   const std::vector<std::byte>& blob) {
+              Partition& part = *partitions_[static_cast<std::size_t>(p)];
+              const sim::Nanos ready = charge_server_write(
+                  sctx, static_cast<std::int64_t>(blob.size()) + 16);
+              const std::vector<FoRecord> intents = decode_intents(blob);
+              std::uint64_t cur = 0;
+              {
+                std::lock_guard<std::mutex> guard(part.txn_mutex);
+                cur = part.epoch.load(std::memory_order_acquire);
+                if (part.last_committed_txn == txn_id) {
+                  // Re-sent prepare of an already-committed txn: the slot is
+                  // long gone, the outcome stands.
+                  sctx.epoch = cur;
+                  return cur;
+                }
+                if (part.txn_holder != 0 && part.txn_holder != txn_id) {
+                  // No-wait: a rival's slot means abort, never a queue —
+                  // the deadlock-freedom half of the OCC bargain.
+                  throw HclError(
+                      Status::Aborted("txn prepare: intent slot held"));
+                }
+                if (expected != txn::kBlindEpoch && cur != expected) {
+                  throw HclError(
+                      Status::Aborted("txn prepare: epoch conflict"));
+                }
+                for (const FoRecord& rec : intents) {
+                  // A shard move between staging and prepare re-homed the
+                  // key; blind writes carry no epoch, so validate routes.
+                  if (route_partition(rec.key) != p) {
+                    throw HclError(
+                        Status::Aborted("txn prepare: key moved by rebalance"));
+                  }
+                }
+                part.txn_holder = txn_id;
+                part.txn_intents = intents;
+              }
+              // Stage onto the replica chain (slot lock released, see above)
+              // so a standby promotion can replay a prepared txn's writes.
+              if (!intents.empty()) {
+                for (int r = 1; r <= options_.replication; ++r) {
+                  const int target = (p + r) % num_partitions_;
+                  ctx_->rpc().server_invoke(
+                      part.node,
+                      partitions_[static_cast<std::size_t>(target)]->node,
+                      ready, replica_txn_stage_id_, target, p, txn_id, blob);
+                }
+              }
+              sctx.epoch = cur;
+              return cur;
+            });
+    txn_commit_id_ = engine.bind<std::uint64_t, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p,
+               const std::uint64_t& txn_id) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          std::vector<FoRecord> intents;
+          {
+            std::lock_guard<std::mutex> guard(part.txn_mutex);
+            if (part.last_committed_txn == txn_id) {
+              // Idempotent re-commit after a lost response: already applied.
+              const std::uint64_t cur =
+                  part.epoch.load(std::memory_order_acquire);
+              charge_server_write(sctx, 16);
+              sctx.epoch = cur;
+              return cur;
+            }
+            if (part.txn_holder != txn_id) {
+              throw HclError(Status::FailedPrecondition(
+                  "txn commit: intent slot not held (presumed abort)"));
+            }
+            intents.swap(part.txn_intents);
+            part.txn_holder = 0;
+            part.last_committed_txn = txn_id;
+            std::int64_t bytes = 16;
+            for (const FoRecord& rec : intents) {
+              bytes += rec.op == LogOp::kErase ? key_bytes(rec.key)
+                                               : wire_bytes(rec.key, rec.value);
+            }
+            const sim::Nanos ready = charge_server_write(sctx, bytes);
+            // Apply under the slot lock so a rival prepare cannot interleave
+            // between two of our intents; replicate_* fans out WITHOUT
+            // taking any txn_mutex, so this cannot deadlock. Read-only
+            // participants (no intents) just release the slot — no epoch
+            // bump, no needless lease invalidation.
+            for (const FoRecord& rec : intents) {
+              if (rec.op == LogOp::kErase) {
+                apply_erase(part, rec.key);
+                replicate_erase(p, ready, rec.key);
+              } else {
+                apply_upsert(part, rec.key, rec.value, ready);
+                replicate_upsert(p, ready, rec.key, rec.value);
+              }
+            }
+          }
+          if (!intents.empty()) {
+            for (int r = 1; r <= options_.replication; ++r) {
+              const int target = (p + r) % num_partitions_;
+              ctx_->rpc().server_invoke(
+                  part.node,
+                  partitions_[static_cast<std::size_t>(target)]->node,
+                  sctx.finish, replica_txn_resolve_id_, target, p, txn_id);
+            }
+          }
+          const std::uint64_t cur = part.epoch.load(std::memory_order_acquire);
+          sctx.epoch = cur;
+          return cur;
+        });
+    txn_abort_id_ = engine.bind<bool, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p,
+               const std::uint64_t& txn_id) {
+          Partition& part = *partitions_[static_cast<std::size_t>(p)];
+          charge_server_write(sctx, 16);
+          bool held = false;
+          {
+            std::lock_guard<std::mutex> guard(part.txn_mutex);
+            if (part.txn_holder == txn_id) {
+              part.txn_holder = 0;
+              part.txn_intents.clear();
+              held = true;
+            }
+          }
+          // Drop staged replica records unconditionally: a prepare whose
+          // response was lost may have staged before the client gave up.
+          for (int r = 1; r <= options_.replication; ++r) {
+            const int target = (p + r) % num_partitions_;
+            ctx_->rpc().server_invoke(
+                part.node, partitions_[static_cast<std::size_t>(target)]->node,
+                sctx.finish, replica_txn_resolve_id_, target, p, txn_id);
+          }
+          // Aborts bump NOTHING: no epoch, no journal, no replica writes —
+          // the "zero observable state" invariant the sweep asserts.
+          sctx.epoch = part.epoch.load(std::memory_order_acquire);
+          return held;
+        });
+    replica_txn_stage_id_ =
+        engine.bind<bool, int, int, std::uint64_t, std::vector<std::byte>>(
+            [this](rpc::ServerCtx& sctx, const int& q, const int& p,
+                   const std::uint64_t& txn_id,
+                   const std::vector<std::byte>& blob) {
+              Partition& host = *partitions_[static_cast<std::size_t>(q)];
+              charge_server_write(sctx,
+                                  static_cast<std::int64_t>(blob.size()));
+              std::vector<FoRecord> intents = decode_intents(blob);
+              std::lock_guard<std::mutex> guard(host.txn_mutex);
+              host.txn_staged[{txn_id, p}] = std::move(intents);
+              sctx.epoch = host.epoch.load(std::memory_order_acquire);
+              return true;
+            });
+    replica_txn_resolve_id_ = engine.bind<bool, int, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& q, const int& p,
+               const std::uint64_t& txn_id) {
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server_write(sctx, 16);
+          std::lock_guard<std::mutex> guard(host.txn_mutex);
+          host.txn_staged.erase({txn_id, p});
+          sctx.epoch = host.epoch.load(std::memory_order_acquire);
+          return true;
+        });
+    // Failover legs: the primary died between prepare-ack and commit. The
+    // standby host replays (or drops) the records the prepare staged on it.
+    fo_txn_commit_id_ = engine.bind<std::uint64_t, int, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q,
+               const std::uint64_t& txn_id) {
+          Partition& primary = *partitions_[static_cast<std::size_t>(p)];
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          std::vector<FoRecord> intents;
+          {
+            std::lock_guard<std::mutex> guard(host.txn_mutex);
+            auto it = host.txn_staged.find({txn_id, p});
+            if (it != host.txn_staged.end()) {
+              intents = std::move(it->second);
+              host.txn_staged.erase(it);
+            }
+          }
+          std::int64_t bytes = 16;
+          for (const FoRecord& rec : intents) {
+            bytes += rec.op == LogOp::kErase ? key_bytes(rec.key)
+                                             : wire_bytes(rec.key, rec.value);
+          }
+          charge_server_write(sctx, bytes);
+          std::lock_guard<std::mutex> guard(primary.fo_mutex);
+          require_primary_down(primary);
+          promote_locked(primary);
+          for (const FoRecord& rec : intents) {
+            if (rec.op == LogOp::kErase) {
+              host.replicas.erase(rec.key);
+              primary.fo_journal.push_back(FoRecord{LogOp::kErase, rec.key, V{}});
+            } else {
+              host.replicas.upsert(rec.key, rec.value);
+              primary.fo_journal.push_back(
+                  FoRecord{LogOp::kUpsert, rec.key, rec.value});
+            }
+            ++primary.fo_epoch;
+          }
+          // A re-sent commit after a lost response finds nothing staged and
+          // returns the fenced epoch unchanged — idempotent.
+          sctx.epoch = primary.fo_epoch;
+          return primary.fo_epoch;
+        });
+    fo_txn_abort_id_ = engine.bind<bool, int, int, std::uint64_t>(
+        [this](rpc::ServerCtx& sctx, const int& p, const int& q,
+               const std::uint64_t& txn_id) {
+          Partition& host = *partitions_[static_cast<std::size_t>(q)];
+          charge_server_write(sctx, 16);
+          // No promotion: dropping staged intents is not a failover write.
+          std::lock_guard<std::mutex> guard(host.txn_mutex);
+          host.txn_staged.erase({txn_id, p});
+          return true;
+        });
     bound_ids_ = {insert_id_,      upsert_id_,         find_id_,
                   erase_id_,       resize_id_,         apply_id_,
                   apply_fetch_id_, replica_upsert_id_, replica_erase_id_,
                   fo_insert_id_,   fo_upsert_id_,      fo_find_id_,
                   fo_erase_id_,    fo_apply_id_,       fo_apply_fetch_id_,
-                  repair_id_};
+                  repair_id_,      txn_prepare_id_,    txn_commit_id_,
+                  txn_abort_id_,   replica_txn_stage_id_,
+                  replica_txn_resolve_id_, fo_txn_commit_id_,
+                  fo_txn_abort_id_};
   }
 
   Context* ctx_;
@@ -1754,7 +2342,10 @@ class unordered_map {
               replica_upsert_id_ = 0, replica_erase_id_ = 0,
               fo_insert_id_ = 0, fo_upsert_id_ = 0, fo_find_id_ = 0,
               fo_erase_id_ = 0, fo_apply_id_ = 0, fo_apply_fetch_id_ = 0,
-              repair_id_ = 0;
+              repair_id_ = 0, txn_prepare_id_ = 0, txn_commit_id_ = 0,
+              txn_abort_id_ = 0, replica_txn_stage_id_ = 0,
+              replica_txn_resolve_id_ = 0, fo_txn_commit_id_ = 0,
+              fo_txn_abort_id_ = 0;
   std::vector<rpc::FuncId> bound_ids_;
   HashFn hash_;
 

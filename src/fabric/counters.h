@@ -70,6 +70,14 @@ struct NicCounters {
   std::atomic<std::int64_t> migrations{0};
   std::atomic<std::int64_t> migrated_keys{0};
   std::atomic<std::int64_t> migrated_bytes{0};
+  /// Cross-partition transaction outcomes attributed to the COORDINATOR's
+  /// node (DESIGN.md §5h): every TxnCoordinator attempt ends as exactly one
+  /// commit or one abort, so txn_commits + txn_aborts reconciles against the
+  /// tracer's kTxn span count. txn_retries counts abort-then-retry loops
+  /// (attempts re-run after a validation conflict), a subset of txn_aborts.
+  std::atomic<std::int64_t> txn_commits{0};
+  std::atomic<std::int64_t> txn_aborts{0};
+  std::atomic<std::int64_t> txn_retries{0};
 
   void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
     packets.add(t, n);
@@ -103,6 +111,9 @@ struct NicCounters {
     migrations.store(0);
     migrated_keys.store(0);
     migrated_bytes.store(0);
+    txn_commits.store(0);
+    txn_aborts.store(0);
+    txn_retries.store(0);
   }
 };
 

@@ -107,6 +107,37 @@ class MsQueue {
     return n;
   }
 
+  /// Copy the front element without dequeuing; false when empty. Safe
+  /// against concurrent pushes (they only touch the tail), but callers that
+  /// interleave peek with pop on the same queue must serialize the two
+  /// externally: the winning pop CAS moves the payload out of the node the
+  /// peek may be reading (the distributed queue wraps both in one mutex).
+  bool peek(T* out) const {
+    Ebr::Guard guard(ebr_);
+    for (;;) {
+      Node* head = head_.load(std::memory_order_acquire);
+      Node* next = head->next.load(std::memory_order_acquire);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) return false;
+      if (out != nullptr && next->value.has_value()) *out = *next->value;
+      return true;
+    }
+  }
+
+  /// Copy the element `n` places behind the front (peek(0) == peek). Same
+  /// external-serialization contract as peek. False when fewer than n+1
+  /// elements are queued.
+  bool peek_nth(std::size_t n, T* out) const {
+    Ebr::Guard guard(ebr_);
+    Node* cur = head_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i <= n; ++i) {
+      cur = cur->next.load(std::memory_order_acquire);
+      if (cur == nullptr) return false;
+    }
+    if (out != nullptr && cur->value.has_value()) *out = *cur->value;
+    return true;
+  }
+
   [[nodiscard]] bool empty() const {
     Node* head = head_.load(std::memory_order_acquire);
     return head->next.load(std::memory_order_acquire) == nullptr;

@@ -62,8 +62,9 @@ enum class SpanKind : std::uint8_t {
   kFailover = 7,     // op re-routed to a promoted replica (primary down)
   kRepair = 8,       // anti-entropy replay into a rejoined primary
   kMigration = 9,    // bulk-path shard move (split/merge/migrate, §5g)
+  kTxn = 10,         // one TxnCoordinator attempt (validate→commit|abort, §5h)
 };
-inline constexpr std::size_t kNumSpanKinds = 10;
+inline constexpr std::size_t kNumSpanKinds = 11;
 
 [[nodiscard]] inline std::string_view to_string(SpanKind kind) noexcept {
   switch (kind) {
@@ -77,6 +78,7 @@ inline constexpr std::size_t kNumSpanKinds = 10;
     case SpanKind::kFailover: return "failover";
     case SpanKind::kRepair: return "repair";
     case SpanKind::kMigration: return "migration";
+    case SpanKind::kTxn: return "txn";
   }
   return "unknown";
 }

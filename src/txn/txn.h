@@ -1,0 +1,455 @@
+// Cross-partition transactions with an epoch-validated optimistic commit
+// (DESIGN.md §5h; ROADMAP item 1, after Storm's argument that a fast
+// transactional dataplane is the step past one-shot remote ops).
+//
+// The protocol composes parts the codebase already ships:
+//
+//   * staging      — reads and writes buffer CLIENT-side in a Txn; each
+//                    touched partition's mutation epoch is captured at first
+//                    contact (reads return the authoritative value, writes
+//                    are "blind" until validated),
+//   * validate+lock — one batched prepare bundle per target node: each
+//                    partition compares its current epoch against the
+//                    captured one, takes a no-wait intent slot (conflict →
+//                    kAborted, never a queue), stores the journal-backed
+//                    intent records, and stages them onto its replica chain,
+//   * commit       — a second bundle applies every intent through the same
+//                    apply_*/replicate_* paths ordinary writes use (journal,
+//                    epoch bump, replication fan-out, cache completion), or
+//   * abort        — a fan-out clears every intent slot; aborted intents
+//                    were never applied, so rollback is O(participants) and
+//                    leaves zero observable state (journal, cache, replicas).
+//
+// The commit sequence number (CSN) is drawn while every participant's intent
+// slot is held, so CSN order IS a legal serial order — the property the
+// serializability-oracle sweep replays against. Serializability is
+// guaranteed among transactional ops; plain container ops interleave at op
+// granularity (they do not consult intent slots), matching the "txn islands"
+// contract FaRM-style OCC systems document.
+//
+// Interaction matrix (details in DESIGN.md §5h): intents ride the batch
+// coalescer; commits bump partition epochs so ReadCache leases revalidate
+// and aborts never touch the cache; prepare stages intents to the replica
+// chain so a standby promotion can replay them (fo_txn_commit) or drop them
+// (fo_txn_abort); the containers' rebalance latch is held shared for the
+// whole commit so shard moves fence against in-flight transactions; every
+// coordinator attempt ends as exactly one kTxn span plus one txn_commits or
+// txn_aborts count on the coordinator's NIC.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "core/context.h"
+#include "rpc/batch.h"
+
+namespace hcl::txn {
+
+/// Process-wide transaction id source. Ids must be unique across every
+/// coordinator and every retry attempt (a retried transaction re-runs under
+/// a FRESH id so a stale intent slot from a dropped prepare response can
+/// never be mistaken for the new attempt's).
+inline std::atomic<std::uint64_t> g_txn_id{1};
+
+/// Epoch sentinel for blind writes: the transaction never read the
+/// partition, so prepare skips the epoch compare (route validation and the
+/// intent slot still guard it against shard moves and rival transactions).
+inline constexpr std::uint64_t kBlindEpoch = ~std::uint64_t{0};
+
+/// Coordinator knobs. default_txn_policy() honors HCL_TXN_RETRIES and
+/// HCL_TXN_BACKOFF_NS so whole suites can be tuned without code changes.
+struct TxnPolicy {
+  /// Abort-then-retry attempts run() makes after a validation conflict
+  /// (kAborted). Other failures surface immediately.
+  int max_retries = 8;
+  /// Linear backoff before retry k waits k * backoff_ns in SIMULATED time,
+  /// de-synchronizing rival coordinators the way the engine's exponential
+  /// backoff de-synchronizes transport retries.
+  sim::Nanos backoff_ns = 2 * sim::kMicrosecond;
+  /// Flush policy for the prepare/commit bundles. Intents for co-located
+  /// partitions coalesce into one RDMA_SEND per target node per phase;
+  /// max_delay_ns is 0 because the coordinator flushes explicitly.
+  rpc::BatchPolicy batch{/*max_ops=*/16, /*max_bytes=*/32 << 10,
+                         /*max_delay_ns=*/0};
+};
+
+inline TxnPolicy default_txn_policy() {
+  static const TxnPolicy policy = [] {
+    TxnPolicy p;
+    if (const char* raw = std::getenv("HCL_TXN_RETRIES")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(raw, &end, 10);
+      if (end != raw && v >= 0) p.max_retries = static_cast<int>(v);
+    }
+    if (const char* raw = std::getenv("HCL_TXN_BACKOFF_NS")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(raw, &end, 10);
+      if (end != raw && v >= 0) p.backoff_ns = static_cast<sim::Nanos>(v);
+    }
+    return p;
+  }();
+  return policy;
+}
+
+/// One (container, partition) a transaction touched. Containers implement
+/// this next to their server stubs (they know the wire format, FuncIds, and
+/// failover layout); the coordinator drives the protocol through it.
+class ParticipantBase {
+ public:
+  virtual ~ParticipantBase() = default;
+
+  /// Enqueue this participant's validate+lock op onto the prepare bundle.
+  virtual void enqueue_prepare(sim::Actor& self, rpc::Batcher& batch,
+                               std::uint64_t txn_id) = 0;
+  /// Await the prepare. Ok = epoch validated and intent slot held. kAborted
+  /// = validation conflict (retryable by re-running the whole transaction).
+  /// kUnavailable = the partition's node is down — fail fast, no standby
+  /// reroute (the promoted stream's fenced epochs cannot be validated
+  /// against a primary-captured snapshot).
+  [[nodiscard]] virtual Status settle_prepare(sim::Actor& self) = 0;
+
+  /// Enqueue this participant's commit op (apply intents, bump epochs).
+  virtual void enqueue_commit(sim::Actor& self, rpc::Batcher& batch,
+                              std::uint64_t txn_id) = 0;
+  /// Await the commit. Commits are idempotent server-side, so participants
+  /// re-invoke on transient failures and reroute to fo_txn_commit when the
+  /// primary died between prepare-ack and commit.
+  [[nodiscard]] virtual Status settle_commit(sim::Actor& self,
+                                             std::uint64_t txn_id) = 0;
+
+  /// Roll this participant back: clear the intent slot (no-op for a rival
+  /// or already-resolved txn_id) and drop staged replica records. Must not
+  /// throw — abort runs on every failure path, dead nodes included.
+  virtual void send_abort(sim::Actor& self, std::uint64_t txn_id) noexcept = 0;
+
+  /// The owning container's rebalance latch (null when rebalancing is off).
+  /// The coordinator holds every distinct latch SHARED across the whole
+  /// prepare→commit window, so split/merge/migrate (exclusive holders)
+  /// fence against in-flight transactions instead of tearing intents.
+  [[nodiscard]] virtual std::shared_mutex* latch() const noexcept = 0;
+};
+
+/// A staged transaction: client-side read/write intents per touched
+/// (container, partition). Cheap to create and to throw away — nothing
+/// leaves the client until TxnCoordinator::commit ships the prepare bundle.
+class Txn {
+ public:
+  explicit Txn(std::uint64_t id) noexcept : id_(id) {}
+
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+  Txn(Txn&&) = default;
+  Txn& operator=(Txn&&) = default;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Find-or-create the participant for (container, partition). `make`
+  /// builds the container-specific participant on first touch.
+  template <typename P, typename Make>
+  P& participant(const void* container, int partition, Make&& make) {
+    for (auto& e : entries_) {
+      if (e.container == container && e.partition == partition) {
+        return static_cast<P&>(*e.part);
+      }
+    }
+    entries_.push_back(Entry{container, partition, make()});
+    return static_cast<P&>(*entries_.back().part);
+  }
+
+  [[nodiscard]] std::vector<ParticipantBase*> participants() const {
+    std::vector<ParticipantBase*> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.part.get());
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    const void* container;
+    int partition;
+    std::unique_ptr<ParticipantBase> part;
+  };
+
+  std::uint64_t id_;
+  std::vector<Entry> entries_;
+};
+
+/// Drives the two-phase epoch-validated commit. One coordinator is shared by
+/// all ranks (like the containers themselves); commits_/aborts_/retries_
+/// aggregate across them and reconcile with the per-NIC txn_* counters.
+class TxnCoordinator {
+ public:
+  explicit TxnCoordinator(Context& ctx, TxnPolicy policy = default_txn_policy())
+      : ctx_(&ctx), policy_(policy) {}
+
+  TxnCoordinator(const TxnCoordinator&) = delete;
+  TxnCoordinator& operator=(const TxnCoordinator&) = delete;
+
+  [[nodiscard]] Txn begin() {
+    return Txn(g_txn_id.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  /// Run the staged transaction through prepare → commit (or abort). On Ok,
+  /// *csn receives the commit sequence number — drawn while every intent
+  /// slot is held, so CSN order is a legal serial order. kAborted means a
+  /// rival won validation (retryable); kUnavailable means a touched node is
+  /// down. Either way every intent slot has been released.
+  Status commit(sim::Actor& self, Txn& txn, std::uint64_t* csn = nullptr) {
+    const sim::Nanos start = self.now();
+    const auto parts = txn.participants();
+
+    // Fence shard moves: collect the distinct container latches and hold
+    // them shared for the whole commit. Address order prevents two
+    // opposite-direction transfers from deadlocking on each other's latch.
+    std::vector<std::shared_mutex*> latches;
+    for (auto* p : parts) {
+      if (auto* l = p->latch(); l != nullptr) latches.push_back(l);
+    }
+    std::sort(latches.begin(), latches.end());
+    latches.erase(std::unique(latches.begin(), latches.end()), latches.end());
+    std::vector<std::shared_lock<std::shared_mutex>> held;
+    held.reserve(latches.size());
+    for (auto* l : latches) held.emplace_back(*l);
+
+    // Phase 1: validate + lock. One bundle per target node.
+    {
+      rpc::Batcher prep(ctx_->rpc(), policy_.batch);
+      for (auto* p : parts) p->enqueue_prepare(self, prep, txn.id());
+      prep.flush_all(self);
+    }
+    Status bad = Status::Ok();
+    for (auto* p : parts) {
+      const Status st = p->settle_prepare(self);
+      if (!st.ok() && bad.ok()) bad = st;
+    }
+    const sim::Nanos validated = self.now();
+    if (!bad.ok()) {
+      // Abort EVERY participant, including ones whose prepare "failed": a
+      // dropped response may have left the slot held server-side, and abort
+      // is idempotent everywhere else.
+      abort_all(self, txn);
+      finish(self, start, validated, self.now(), /*committed=*/false,
+             bad.code());
+      return bad;
+    }
+
+    // Every slot is held: this CSN's position is the serial position.
+    const std::uint64_t csn_value =
+        next_csn_.fetch_add(1, std::memory_order_relaxed);
+
+    // Phase 2: apply intents, bump epochs, release slots.
+    const sim::Nanos committing = self.now();
+    {
+      rpc::Batcher apply(ctx_->rpc(), policy_.batch);
+      for (auto* p : parts) p->enqueue_commit(self, apply, txn.id());
+      apply.flush_all(self);
+    }
+    for (auto* p : parts) {
+      const Status st = p->settle_commit(self, txn.id());
+      if (!st.ok() && bad.ok()) bad = st;
+    }
+    if (!bad.ok()) {
+      // A commit leg failed terminally (possible only when a partition with
+      // no replica died mid-commit — documented limitation). Release any
+      // still-held slots; participants that already applied are unaffected
+      // (abort is a no-op after commit). Counted as an abort for span and
+      // counter parity.
+      abort_all(self, txn);
+      finish(self, start, validated, committing, /*committed=*/false,
+             bad.code());
+      return bad;
+    }
+
+    if (csn != nullptr) *csn = csn_value;
+    finish(self, start, validated, committing, /*committed=*/true,
+           StatusCode::kOk);
+    return Status::Ok();
+  }
+
+  /// Stage-and-commit with the abort-then-retry loop: `fn(Txn&)` stages the
+  /// transaction body (it may throw HclError on a read failure or an eager
+  /// client-side conflict), then commit() runs it. kAborted outcomes re-run
+  /// `fn` under a FRESH txn id with linear simulated-time backoff, up to
+  /// max_retries times; anything else surfaces immediately.
+  template <typename Fn>
+  Status run(sim::Actor& self, Fn&& fn, std::uint64_t* csn = nullptr) {
+    Status last = Status::Aborted("txn retry budget exhausted");
+    for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+      if (attempt > 0) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        ctx_->fabric().nic(self.node()).counters().txn_retries.fetch_add(
+            1, std::memory_order_relaxed);
+        if (policy_.backoff_ns > 0) self.advance(policy_.backoff_ns * attempt);
+      }
+      Txn txn = begin();
+      const sim::Nanos start = self.now();
+      try {
+        fn(txn);
+      } catch (const HclError& e) {
+        // Staging failed before anything shipped: no server-side state
+        // exists (prepare only runs inside commit()), so there is nothing
+        // to roll back — record the abort and decide on retry.
+        finish(self, start, self.now(), self.now(), /*committed=*/false,
+               e.code());
+        last = Status(e.code(), e.what());
+        if (e.code() == StatusCode::kAborted) continue;
+        return last;
+      }
+      last = commit(self, txn, csn);
+      if (last.code() != StatusCode::kAborted) return last;
+    }
+    return last;
+  }
+
+  // ------------------------------------------------------------------
+  // High-level multi-key ops (ROADMAP item 1's headline shapes). All are
+  // run() wrappers, so each inherits the abort-then-retry loop.
+  // ------------------------------------------------------------------
+
+  /// Atomically upsert every pair — all visible or none, across partitions
+  /// and containers' shard moves.
+  template <typename Map, typename K, typename V>
+  Status multi_put(sim::Actor& self, Map& map,
+                   const std::vector<std::pair<K, V>>& pairs,
+                   std::uint64_t* csn = nullptr) {
+    return run(
+        self,
+        [&](Txn& t) {
+          for (const auto& [k, v] : pairs) map.txn_put(t, k, v);
+        },
+        csn);
+  }
+
+  /// Compare-and-swap on a key's VALUE: swap to `desired` iff the key is
+  /// present and currently equals `expected`. *swapped reports whether the
+  /// swap happened (a committed "no" is a successful transaction).
+  template <typename Map, typename K, typename V>
+  Status compare_and_swap_value(sim::Actor& self, Map& map, const K& key,
+                                const V& expected, const V& desired,
+                                bool* swapped = nullptr,
+                                std::uint64_t* csn = nullptr) {
+    bool did = false;
+    const Status st = run(
+        self,
+        [&](Txn& t) {
+          V current{};
+          const bool found = map.txn_find(self, t, key, &current);
+          did = found && current == expected;
+          if (did) map.txn_put(t, key, desired);
+        },
+        csn);
+    if (swapped != nullptr) *swapped = st.ok() && did;
+    return st;
+  }
+
+  /// Read-modify-write: `fn(std::optional<V>&)` sees the current value (or
+  /// nullopt) and leaves the desired one (nullopt = erase). The write is
+  /// epoch-validated against the read, so a racing writer aborts us instead
+  /// of being silently overwritten.
+  template <typename Map, typename K, typename F>
+  Status read_modify_write(sim::Actor& self, Map& map, const K& key, F&& fn,
+                           std::uint64_t* csn = nullptr) {
+    return run(
+        self,
+        [&](Txn& t) {
+          typename Map::mapped_type current{};
+          const bool found = map.txn_find(self, t, key, &current);
+          std::optional<typename Map::mapped_type> value;
+          if (found) value.emplace(std::move(current));
+          fn(value);
+          if (value.has_value()) {
+            map.txn_put(t, key, *value);
+          } else if (found) {
+            map.txn_erase(t, key);
+          }
+        },
+        csn);
+  }
+
+  /// Cross-container transfer: pop the queue's front and insert it into the
+  /// map under `make_kv(item) -> {key, value}` — atomically. An empty queue
+  /// commits a no-op (*transferred = false); the popped item can never be
+  /// lost or duplicated, the A10 ablation's invariant.
+  template <typename Queue, typename Map, typename MakeKV>
+  Status transfer(sim::Actor& self, Queue& from, Map& to, MakeKV&& make_kv,
+                  bool* transferred = nullptr, std::uint64_t* csn = nullptr) {
+    bool moved = false;
+    const Status st = run(
+        self,
+        [&](Txn& t) {
+          moved = false;
+          typename Queue::value_type item{};
+          if (!from.txn_pop(self, t, &item)) return;
+          auto kv = make_kv(std::move(item));
+          to.txn_put(t, kv.first, kv.second);
+          moved = true;
+        },
+        csn);
+    if (transferred != nullptr) *transferred = st.ok() && moved;
+    return st;
+  }
+
+  [[nodiscard]] std::int64_t commits() const noexcept {
+    return commits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t aborts() const noexcept {
+    return aborts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const TxnPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// Fan the abort out to EVERY participant. Idempotent at every receiver:
+  /// a slot held by a rival txn, an already-committed txn, or no txn at all
+  /// is left untouched.
+  void abort_all(sim::Actor& self, Txn& txn) noexcept {
+    for (auto* p : txn.participants()) p->send_abort(self, txn.id());
+  }
+
+  /// Record one attempt's outcome: exactly one kTxn span and exactly one
+  /// txn_commits or txn_aborts count, both on the coordinator's NIC — the
+  /// reconciliation the sweep and A10 assert. The span is fabricated
+  /// client-side (like migration spans): validate = issue→inject_done,
+  /// commit/abort = exec_start→handler_end.
+  void finish(sim::Actor& self, sim::Nanos start, sim::Nanos validated,
+              sim::Nanos resolving, bool committed, StatusCode code) {
+    auto& counters = ctx_->fabric().nic(self.node()).counters();
+    (committed ? counters.txn_commits : counters.txn_aborts)
+        .fetch_add(1, std::memory_order_relaxed);
+    (committed ? commits_ : aborts_).fetch_add(1, std::memory_order_relaxed);
+    if (auto* tracer = ctx_->tracer_if_enabled()) {
+      auto span = std::make_shared<obs::Span>();
+      span->kind = obs::SpanKind::kTxn;
+      span->target = self.node();
+      span->client_rank = self.rank();
+      span->status = code;
+      span->issue_ns = start;
+      span->inject_done_ns = validated;  // validate stage (prepare settled)
+      span->arrival_ns = resolving;      // commit/abort bundle enqueued
+      span->exec_start_ns = resolving;
+      span->handler_end_ns = self.now();
+      span->ready_ns = self.now();
+      tracer->commit(span);
+    }
+  }
+
+  Context* ctx_;
+  TxnPolicy policy_;
+  std::atomic<std::uint64_t> next_csn_{1};
+  std::atomic<std::int64_t> commits_{0};
+  std::atomic<std::int64_t> aborts_{0};
+  std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace hcl::txn

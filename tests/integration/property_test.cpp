@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -15,6 +17,7 @@
 #include "lf/cuckoo_map.h"
 #include "lf/skiplist_map.h"
 #include "serial/serialize.h"
+#include "txn/txn.h"
 
 namespace hcl {
 namespace {
@@ -1489,6 +1492,283 @@ TEST_P(PayloadMonotonicity, BiggerPayloadsCostMore) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PayloadMonotonicity,
                          ::testing::Values(64 << 10, 512 << 10, 2 << 20));
+
+// ---------------------------------------------------------------------------
+// Transaction serializability oracle (DESIGN.md §5h): concurrent multi-key
+// transactions from every rank — under per-constituent kBatchOp faults,
+// cache modes, batching policies, a mid-run node kill, and a mid-run shard
+// split — must produce a final state byte-for-byte identical to a
+// single-threaded replay of the COMMITTED transactions in CSN order. The
+// CSN is drawn while every participant's intent slot is held, so CSN order
+// is a legal serial order; any divergence is a serializability violation.
+// Aborted transactions (conflicts, down nodes, exhausted retry budgets) are
+// excluded from the replay and must leave zero observable state.
+// ---------------------------------------------------------------------------
+
+struct TxnSweepCase {
+  int nodes;
+  int procs;
+  int partitions;
+  int replication;
+  cache::CacheMode mode;  // read-cache mode for the transactional run
+  bool batched;           // inject per-constituent kBatchOp faults
+  bool failover;          // kill node 1 mid-run (needs replication >= 1)
+  bool split;             // split shard 0 mid-run (enables rebalancing)
+  std::uint64_t seed;
+};
+
+class TxnSerializabilitySweep : public ::testing::TestWithParam<TxnSweepCase> {};
+
+namespace txn_sweep {
+
+constexpr std::uint64_t kKeys = 48;
+constexpr int kTxnsPerRank = 24;
+
+/// Abstract single-transaction body: the SAME deterministic function runs
+/// against the distributed map (staged through a Txn) and against the local
+/// model (during the CSN-order replay). `read` returns 0 for absent keys.
+struct TxnOps {
+  std::function<std::uint64_t(std::uint64_t)> read;
+  std::function<void(std::uint64_t, std::uint64_t)> write;
+  std::function<void(std::uint64_t)> erase;
+};
+
+/// Body (sweep_seed, rank, idx, round) — reads two keys, writes one derived
+/// value, and either erases or rewrites the second key. Pure given the map
+/// state it reads, which is what makes the serial-order replay an oracle.
+inline void run_body(std::uint64_t sweep_seed, int rank, int idx, int round,
+                     const TxnOps& ops) {
+  Rng g(mix64(sweep_seed ^ (static_cast<std::uint64_t>(rank) * 1000003 +
+                            static_cast<std::uint64_t>(idx) * 7919 +
+                            static_cast<std::uint64_t>(round) * 104729)));
+  const std::uint64_t k1 = g.next_below(kKeys);
+  const std::uint64_t k2 = g.next_below(kKeys);
+  const bool drop_k2 = (g.next() & 1) != 0;
+  const std::uint64_t v1 = ops.read(k1);
+  const std::uint64_t v2 = ops.read(k2);
+  ops.write(k1, v1 + v2 + static_cast<std::uint64_t>(idx) + 1);
+  if (drop_k2) {
+    ops.erase(k2);
+  } else {
+    ops.write(k2, v2 * 3 + static_cast<std::uint64_t>(rank) + 1);
+  }
+}
+
+struct Commit {
+  std::uint64_t csn;
+  int rank;
+  int idx;
+  int round;
+};
+
+}  // namespace txn_sweep
+
+TEST_P(TxnSerializabilitySweep, ConcurrentTxnsMatchCsnOrderReplay) {
+  using txn_sweep::Commit;
+  using txn_sweep::kKeys;
+  using txn_sweep::kTxnsPerRank;
+  using txn_sweep::TxnOps;
+  const auto& param = GetParam();
+  const std::uint64_t seed = env_seed(param.seed);
+  SCOPED_TRACE(::testing::Message()
+               << "reproduce with HCL_SEED=" << seed << " ctest -R TxnSeri");
+  constexpr sim::NodeId kVictim = 1;
+
+  auto plan = std::make_shared<fabric::FaultPlan>(seed);
+  if (param.batched) {
+    // Transient per-constituent faults inside the prepare/commit bundles:
+    // drops and handler throws surface as kAborted and must be absorbed by
+    // the coordinator's abort-then-retry loop, never by lost intents.
+    fabric::FaultProbabilities op_p;
+    op_p.drop = 0.02;
+    op_p.throw_handler = 0.02;
+    op_p.unavailable = 0.02;
+    plan->set(fabric::OpClass::kBatchOp, op_p);
+  }
+
+  Context::Config cfg;
+  cfg.num_nodes = param.nodes;
+  cfg.procs_per_node = param.procs;
+  cfg.model = sim::CostModel::zero();
+  cfg.fault_plan = plan;
+  Context ctx(cfg);
+
+  core::ContainerOptions opts;
+  opts.num_partitions = param.partitions;
+  opts.replication = param.replication;
+  opts.cache = {.capacity = 256,
+                .ttl_ns = 50 * sim::kMicrosecond,
+                .mode = param.mode};
+  if (param.batched) {
+    opts.batch = {.max_ops = 8, .max_bytes = 1 << 16, .max_delay_ns = 0};
+  }
+  opts.rebalance.enabled = param.split;
+  unordered_map<std::uint64_t, std::uint64_t> m(ctx, opts);
+  txn::TxnCoordinator coord(ctx);
+
+  // Phase A: deterministic base state, mirrored into the local model.
+  std::map<std::uint64_t, std::uint64_t> model;
+  ctx.run_one(0, [&](sim::Actor&) {
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(m.insert(k, k * 7 + 1));
+    }
+  });
+  for (std::uint64_t k = 0; k < kKeys; ++k) model[k] = k * 7 + 1;
+
+  // Phases B/C: every rank runs its transaction stream CONCURRENTLY against
+  // the shared keyspace. Commits are logged with their CSN; aborted or
+  // unavailable transactions are logged nowhere and must stay invisible.
+  std::mutex log_mutex;
+  std::vector<Commit> committed;
+  auto run_round = [&](int round) {
+    ctx.run([&](sim::Actor& self) {
+      if (param.failover && round == 1 && self.node() == kVictim) {
+        return;  // SPMD ranks on the victim cannot run once it dies
+      }
+      for (int i = 0; i < kTxnsPerRank; ++i) {
+        // Rank 0 fires the mid-run events halfway through round 1, while
+        // every other rank's transactions are in flight.
+        if (round == 1 && self.rank() == 0 && i == kTxnsPerRank / 2) {
+          if (param.split) m.split(0);
+          if (param.failover) plan->fail_node(kVictim);
+        }
+        std::uint64_t csn = 0;
+        const Status st = coord.run(
+            self,
+            [&](txn::Txn& t) {
+              TxnOps ops;
+              ops.read = [&](std::uint64_t k) {
+                std::uint64_t v = 0;
+                return m.txn_find(self, t, k, &v) ? v : 0;
+              };
+              ops.write = [&](std::uint64_t k, std::uint64_t v) {
+                m.txn_put(t, k, v);
+              };
+              ops.erase = [&](std::uint64_t k) { m.txn_erase(t, k); };
+              txn_sweep::run_body(seed, self.rank(), i, round, ops);
+            },
+            &csn);
+        if (st.ok()) {
+          std::lock_guard<std::mutex> lk(log_mutex);
+          committed.push_back(Commit{csn, self.rank(), i, round});
+        } else {
+          // Only conflict exhaustion or a down participant may fail a
+          // transaction; anything else is a protocol bug.
+          EXPECT_TRUE(st.code() == StatusCode::kAborted ||
+                      st.code() == StatusCode::kUnavailable)
+              << st.message();
+        }
+      }
+    });
+  };
+  run_round(0);
+  run_round(1);
+
+  // Recovery: rejoin the victim and heal every promoted partition before
+  // the oracle reads. Transactions committed through fo_txn_commit during
+  // the down window must survive the repair.
+  if (param.failover) {
+    plan->rejoin_node(kVictim);
+    ctx.run_one(0, [&](sim::Actor& self) { m.heal(self); });
+    for (int p = 0; p < m.num_partitions(); ++p) {
+      EXPECT_FALSE(m.partition_promoted(p)) << "partition " << p;
+    }
+  }
+
+  // Deliberate abort, post-run: a conflicting rival forces kAborted with a
+  // zero retry budget; the staged sentinel write must never become visible.
+  const std::uint64_t kSentinel = kKeys + 1000;
+  txn::TxnPolicy no_retry;
+  no_retry.max_retries = 0;
+  txn::TxnCoordinator doomed(ctx, no_retry);
+  ctx.run_one(0, [&](sim::Actor& self) {
+    const Status st = doomed.run(self, [&](txn::Txn& t) {
+      std::uint64_t v = 0;
+      (void)m.txn_find(self, t, 0, &v);  // v stays 0 when key 0 was erased
+      (void)m.upsert(0, v + 1);  // rival moves the epoch after our read
+      m.txn_put(t, kSentinel, 0xDEAD);
+    });
+    EXPECT_EQ(st.code(), StatusCode::kAborted);
+  });
+
+  // The oracle: replay ONLY the committed transactions, single-threaded, in
+  // CSN order, against the local model.
+  std::sort(committed.begin(), committed.end(),
+            [](const Commit& a, const Commit& b) { return a.csn < b.csn; });
+  for (std::size_t i = 1; i < committed.size(); ++i) {
+    ASSERT_NE(committed[i].csn, committed[i - 1].csn) << "duplicate CSN";
+  }
+  for (const Commit& c : committed) {
+    TxnOps ops;
+    ops.read = [&](std::uint64_t k) {
+      auto it = model.find(k);
+      return it == model.end() ? 0 : it->second;
+    };
+    ops.write = [&](std::uint64_t k, std::uint64_t v) { model[k] = v; };
+    ops.erase = [&](std::uint64_t k) { model.erase(k); };
+    txn_sweep::run_body(seed, c.rank, c.idx, c.round, ops);
+  }
+  {
+    // The doomed transaction's rival write ran AFTER every commit above, so
+    // it lands on the model after the replay, at whatever value the serial
+    // history left behind (0 when some commit erased key 0).
+    auto it0 = model.find(0);
+    model[0] = (it0 == model.end() ? 0 : it0->second) + 1;
+  }
+
+  // Byte-for-byte convergence over the whole keyspace (plus the sentinel,
+  // which must have stayed invisible).
+  std::vector<std::optional<std::uint64_t>> dist_state;
+  ctx.run_one(0, [&](sim::Actor&) {
+    for (std::uint64_t k = 0; k <= kKeys; ++k) {
+      const std::uint64_t probe = (k == kKeys) ? kSentinel : k;
+      std::uint64_t v = 0;
+      dist_state.push_back(m.find(probe, &v) ? std::optional<std::uint64_t>(v)
+                                             : std::nullopt);
+    }
+  });
+  std::vector<std::optional<std::uint64_t>> model_state;
+  for (std::uint64_t k = 0; k <= kKeys; ++k) {
+    const std::uint64_t probe = (k == kKeys) ? kSentinel : k;
+    auto it = model.find(probe);
+    model_state.push_back(it == model.end()
+                              ? std::nullopt
+                              : std::optional<std::uint64_t>(it->second));
+  }
+  EXPECT_EQ(dist_state, model_state);
+  EXPECT_FALSE(model_state.back().has_value());
+
+  // Counter parity: coordinator aggregates and the per-NIC txn_* counters
+  // tell the same story, and every logged commit is a counted commit.
+  EXPECT_EQ(static_cast<std::int64_t>(committed.size()), coord.commits());
+  std::int64_t nic_commits = 0, nic_aborts = 0, nic_retries = 0;
+  for (int n = 0; n < param.nodes; ++n) {
+    auto& c = ctx.fabric().nic(n).counters();
+    nic_commits += c.txn_commits.load();
+    nic_aborts += c.txn_aborts.load();
+    nic_retries += c.txn_retries.load();
+  }
+  EXPECT_EQ(nic_commits, coord.commits() + doomed.commits());
+  EXPECT_EQ(nic_aborts, coord.aborts() + doomed.aborts());
+  EXPECT_EQ(nic_retries, coord.retries() + doomed.retries());
+  EXPECT_GE(doomed.aborts(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TxnSerializabilitySweep,
+    ::testing::Values(
+        TxnSweepCase{2, 2, 4, 0, cache::CacheMode::kOff, false, false, false,
+                     101u},
+        TxnSweepCase{3, 1, 3, 1, cache::CacheMode::kInvalidate, true, true,
+                     false, 202u},
+        TxnSweepCase{3, 2, 6, 1, cache::CacheMode::kUpdate, true, false, true,
+                     303u},
+        TxnSweepCase{4, 1, 4, 1, cache::CacheMode::kInvalidate, false, true,
+                     true, 404u},
+        TxnSweepCase{2, 1, 4, 0, cache::CacheMode::kUpdate, true, false, false,
+                     505u},
+        TxnSweepCase{4, 2, 8, 2, cache::CacheMode::kOff, false, true, false,
+                     606u}));
 
 }  // namespace
 }  // namespace hcl
