@@ -35,9 +35,22 @@
 //       placement bottlenecks one server NIC; the split spreads it. Run
 //       cache-off and cache-on; the migration window must lose zero ops and
 //       both variants must converge byte-for-byte.
+//   A11. Shared-memory transport tier (DESIGN.md §5i): small pod-local echo
+//       ops through the shm ring (doorbell + consumer-lane dispatch +
+//       local-memory byte time) vs the same ops over the RDMA scalar path
+//       (wire overhead + base latency + NIC dispatch + 3x-latency pull).
+//       The tier's per-op floor must sit >=3x below the wire's.
 //
-// A6-A9 additionally drop BENCH_A<k>.json next to the binary so CI can diff
+// A6-A11 additionally drop BENCH_A<k>.json next to the binary so CI can diff
 // the perf trajectory across commits (ROADMAP item 5).
+//
+// JSON determinism contract: simulated time is integer nanoseconds, but the
+// reservation order of real threads can wobble a makespan by a few ns
+// run-to-run. Every emitted float is therefore rounded COARSER than that
+// noise floor (ms to microsecond precision, ratios to two decimals, op
+// rates to integers), seeds are the Config defaults, and field order is
+// fixed by the format strings — so a BENCH_A*.json only changes when the
+// cost model or mechanism under test actually changes.
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
@@ -298,10 +311,10 @@ int main(int argc, char** argv) {
     const double total_ops = static_cast<double>(ops) * clients;
     write_json(
         "BENCH_A6.json",
-        jsonf("{\"ablation\": \"A6\", \"batched_ms\": %.6f, "
-              "\"unbatched_ms\": %.6f, \"speedup\": %.3f, "
-              "\"bundles\": %" PRId64 ", \"batched_ops_per_sec\": %.1f, "
-              "\"unbatched_ops_per_sec\": %.1f}",
+        jsonf("{\"ablation\": \"A6\", \"batched_ms\": %.3f, "
+              "\"unbatched_ms\": %.3f, \"speedup\": %.2f, "
+              "\"bundles\": %" PRId64 ", \"batched_ops_per_sec\": %.0f, "
+              "\"unbatched_ops_per_sec\": %.0f}",
               batched * 1e3, scalar * 1e3, scalar / batched, bundles,
               total_ops / batched, total_ops / scalar));
   }
@@ -404,11 +417,11 @@ int main(int argc, char** argv) {
     const double total_ops = static_cast<double>(cache_ops) * clients;
     write_json(
         "BENCH_A7.json",
-        jsonf("{\"ablation\": \"A7\", \"zipf_cached_ms\": %.6f, "
-              "\"zipf_uncached_ms\": %.6f, \"zipf_speedup\": %.3f, "
-              "\"zipf_hit_rate_pct\": %.2f, \"zipf_ops_per_sec\": %.1f, "
-              "\"stale_reads\": %" PRId64 ", \"control_cached_ms\": %.6f, "
-              "\"control_uncached_ms\": %.6f, \"control_speedup\": %.3f, "
+        jsonf("{\"ablation\": \"A7\", \"zipf_cached_ms\": %.3f, "
+              "\"zipf_uncached_ms\": %.3f, \"zipf_speedup\": %.2f, "
+              "\"zipf_hit_rate_pct\": %.1f, \"zipf_ops_per_sec\": %.0f, "
+              "\"stale_reads\": %" PRId64 ", \"control_cached_ms\": %.3f, "
+              "\"control_uncached_ms\": %.3f, \"control_speedup\": %.2f, "
               "\"invalidations\": %" PRId64 "}",
               zipf_on * 1e3, zipf_off * 1e3, zipf_off / zipf_on,
               hit_rate(zipf_stats), total_ops / zipf_on,
@@ -507,8 +520,8 @@ int main(int argc, char** argv) {
     print_line("kill/rejoin (+cache)", on);
     print_line("kill, no replication", bare);
     auto variant_json = [&](const char* tag, const A8Result& r) {
-      return jsonf("\"%s\": {\"pre_us_per_op\": %.4f, "
-                   "\"outage_us_per_op\": %.4f, \"post_us_per_op\": %.4f, "
+      return jsonf("\"%s\": {\"pre_us_per_op\": %.2f, "
+                   "\"outage_us_per_op\": %.2f, \"post_us_per_op\": %.2f, "
                    "\"failed_ops\": %" PRId64 ", \"failovers\": %" PRId64
                    ", \"repaired\": %" PRId64 "}",
                    tag, per_op(r.pre_ms, ops), per_op(r.down_ms, ops / 2),
@@ -614,11 +627,11 @@ int main(int argc, char** argv) {
                 converged ? "converged" : "DIVERGED");
     write_json(
         "BENCH_A9.json",
-        jsonf("{\"ablation\": \"A9\", \"pre_split_ms\": %.6f, "
-              "\"post_split_ms\": %.6f, \"speedup\": %.3f, "
-              "\"pre_ops_per_sec\": %.1f, \"post_ops_per_sec\": %.1f, "
+        jsonf("{\"ablation\": \"A9\", \"pre_split_ms\": %.3f, "
+              "\"post_split_ms\": %.3f, \"speedup\": %.2f, "
+              "\"pre_ops_per_sec\": %.0f, \"post_ops_per_sec\": %.0f, "
               "\"moved_keys\": %zu, \"failed_ops\": %" PRId64 ", "
-              "\"cached_speedup\": %.3f, \"cache_converged\": %s}",
+              "\"cached_speedup\": %.2f, \"cache_converged\": %s}",
               plain.pre_ms, plain.post_ms, speedup,
               total_ops / (plain.pre_ms / 1e3),
               total_ops / (plain.post_ms / 1e3), plain.moved_keys,
@@ -733,8 +746,8 @@ int main(int argc, char** argv) {
         counters_reconcile ? "reconcile" : "DIVERGED");
     write_json(
         "BENCH_A10.json",
-        jsonf("{\"ablation\": \"A10\", \"baseline_ms\": %.6f, "
-              "\"txn_ms\": %.6f, \"txn_overhead\": %.3f, "
+        jsonf("{\"ablation\": \"A10\", \"baseline_ms\": %.3f, "
+              "\"txn_ms\": %.3f, \"txn_overhead\": %.2f, "
               "\"items\": %" PRId64 ", \"baseline_moved\": %" PRId64 ", "
               "\"txn_moved\": %" PRId64 ", "
               "\"atomicity_violations\": %" PRId64 ", "
@@ -746,6 +759,69 @@ int main(int argc, char** argv) {
               static_cast<long long>(coord.retries()),
               static_cast<long long>(txn_spans),
               counters_reconcile ? "true" : "false"));
+  }
+
+  // --- A11: shared-memory transport tier (DESIGN.md §5i) ------------------
+  // Per-op FLOOR comparison on engine-level echo handlers (no container
+  // handler base, which would drown the transport delta): clients on node 0,
+  // server on node 1, pod_nodes=2 — pod-local but NOT same-node, so neither
+  // the hybrid bypass nor the RPC loopback fires and the two runs differ
+  // only in fabric tier. Few clients keep the single consumer lane (ring)
+  // and the NIC cores (wire) out of saturation, so the elapsed/ops quotient
+  // is each tier's unloaded per-op latency.
+  {
+    constexpr int kA11Procs = 4;
+    const std::int64_t a11_ops = ops;
+    std::int64_t failed[2] = {0, 0}, sends[2] = {0, 0}, fallbacks[2] = {0, 0};
+    const auto run_tier = [&](bool shm_on, int slot) {
+      Context::Config cfg;
+      cfg.num_nodes = 2;
+      cfg.procs_per_node = kA11Procs;
+      cfg.shm.enabled = shm_on;
+      cfg.shm.pod_nodes = 2;
+      Context ctx(cfg);
+      auto& engine = ctx.rpc();
+      const auto echo = engine.bind<std::uint64_t, std::uint64_t>(
+          [](rpc::ServerCtx&, const std::uint64_t& v) { return v; });
+      std::atomic<std::int64_t> errors{0};
+      ctx.reset_measurement();
+      ctx.run([&](sim::Actor& self) {
+        if (self.node() != 0) return;
+        for (std::int64_t i = 0; i < a11_ops; ++i) {
+          try {
+            (void)engine.invoke<std::uint64_t>(self, 1, echo,
+                                               static_cast<std::uint64_t>(i));
+          } catch (const HclError&) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+      const auto& c = ctx.fabric().nic(1).counters();
+      failed[slot] = errors.load();
+      sends[slot] = c.shm_sends.load(std::memory_order_relaxed);
+      fallbacks[slot] =
+          c.shm_ring_full_fallbacks.load(std::memory_order_relaxed);
+      // Every rank runs the same closed loop, so makespan / ops is one
+      // client's sequential per-op latency.
+      return ctx.elapsed_seconds() / static_cast<double>(a11_ops) * 1e6;
+    };
+    const double shm_us = run_tier(true, 0);
+    const double rdma_us = run_tier(false, 1);
+    const double ratio = rdma_us / shm_us;
+    std::printf(
+        "A11 shm transport tier    : ring %.3f us/op vs RDMA %.3f us/op -> "
+        "%.1fx floor (%" PRId64 " shm sends, %" PRId64 " ring-full fallbacks, "
+        "%" PRId64 " failed)\n",
+        shm_us, rdma_us, ratio, sends[0], fallbacks[0],
+        failed[0] + failed[1]);
+    write_json(
+        "BENCH_A11.json",
+        jsonf("{\"ablation\": \"A11\", \"shm_us_per_op\": %.2f, "
+              "\"rdma_us_per_op\": %.2f, \"floor_ratio\": %.2f, "
+              "\"failed_ops\": %" PRId64 ", \"shm_sends\": %" PRId64 ", "
+              "\"ring_full_fallbacks\": %" PRId64 "}",
+              shm_us, rdma_us, ratio, failed[0] + failed[1], sends[0],
+              fallbacks[0]));
   }
 
   std::printf("\nEach mechanism is a net win, as the paper claims (§III.C).\n");

@@ -29,6 +29,7 @@
 #include "memory/segment.h"
 #include "rpc/engine.h"
 #include "core/op_stats.h"
+#include "shm/transport.h"
 #include "sim/cluster.h"
 #include "sim/cost_model.h"
 #include "sim/topology.h"
@@ -56,6 +57,11 @@ class Context {
     /// HCL_TRACE_PATH so whole suites can run trace-on without code changes
     /// (the CI trace-on matrix leg).
     obs::TracePolicy trace = obs::default_trace_policy();
+    /// Shared-memory transport tier (DESIGN.md §5i). Off by default;
+    /// default_shm_policy() honors HCL_SHM / HCL_SHM_POD /
+    /// HCL_SHM_RING_SLOTS so whole suites can run with pod-local traffic on
+    /// the ring (the tier1-shm CI leg).
+    shm::ShmPolicy shm = shm::default_shm_policy();
   };
 
   explicit Context(const Config& config)
@@ -66,6 +72,10 @@ class Context {
         engine_(fabric_) {
     engine_.set_default_options(config.rpc_options);
     engine_.set_tracer(&tracer_);
+    if (config.shm.enabled) {
+      shm_ = std::make_unique<shm::Transport>(topology_, config.shm);
+      engine_.set_shm(shm_.get());
+    }
     if (config.fault_plan != nullptr) {
       fabric_.set_fault_plan(config.fault_plan);
     }
@@ -82,6 +92,17 @@ class Context {
     return fabric_.model();
   }
   [[nodiscard]] core::OpStats& op_stats() noexcept { return op_stats_; }
+
+  /// The shm transport tier (DESIGN.md §5i); null when Config.shm is off.
+  [[nodiscard]] shm::Transport* shm_transport() noexcept { return shm_.get(); }
+
+  /// Per-container shm opt-out (ContainerOptions.shm.enabled == false): the
+  /// container registers its bound FuncIds here so its ops ride RDMA even
+  /// when pod-local. No-op when the tier itself is off.
+  void shm_opt_out(const std::vector<rpc::FuncId>& ids) {
+    if (shm_ == nullptr) return;
+    for (auto id : ids) shm_->deny(id);
+  }
 
   /// The pipeline tracer (DESIGN.md §5e): per-node/per-op-class latency and
   /// stage histograms plus sampled spans for the Chrome-trace exporter.
@@ -168,6 +189,7 @@ class Context {
     fabric_.reset_metrics();
     tracer_.reset();
     op_stats_.reset();
+    if (shm_ != nullptr) shm_->reset_timing();
   }
 
  private:
@@ -177,6 +199,7 @@ class Context {
   obs::Tracer tracer_;
   rpc::Engine engine_;
   core::OpStats op_stats_;
+  std::unique_ptr<shm::Transport> shm_;
 
   std::mutex cache_hooks_mutex_;
   std::uint64_t next_cache_hook_id_ = 1;
@@ -224,6 +247,13 @@ struct ContainerOptions {
   /// Only consulted when the owning Context's tracer is enabled; the policy
   /// here lets a single container opt its cache spans out.
   obs::TracePolicy trace = obs::default_trace_policy();
+  /// Shared-memory transport tier participation (DESIGN.md §5i). Only the
+  /// `enabled` field is consulted per-container, and only as an OPT-OUT:
+  /// when the Context's tier is on but this is off, the container denies its
+  /// bound FuncIds so its ops ride RDMA even when pod-local. Defaults to
+  /// participating (a no-op when the Context's tier is off); ring/pod sizing
+  /// always comes from Context::Config.shm.
+  shm::ShmPolicy shm{.enabled = true};
 };
 
 /// Helpers shared by container implementations.

@@ -1180,6 +1180,9 @@ class priority_queue {
                   txn_abort_id_,   replica_txn_stage_id_,
                   replica_txn_resolve_id_, fo_txn_commit_id_,
                   fo_txn_abort_id_};
+    // Per-container shm opt-out (DESIGN.md §5i): route this queue's ops over
+    // RDMA even when pod-local.
+    if (!options_.shm.enabled) ctx_->shm_opt_out(bound_ids_);
   }
 
   Context* ctx_;

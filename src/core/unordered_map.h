@@ -2320,6 +2320,9 @@ class unordered_map {
                   txn_abort_id_,   replica_txn_stage_id_,
                   replica_txn_resolve_id_, fo_txn_commit_id_,
                   fo_txn_abort_id_};
+    // Per-container shm opt-out (DESIGN.md §5i): route this map's ops over
+    // RDMA even when pod-local.
+    if (!options_.shm.enabled) ctx_->shm_opt_out(bound_ids_);
   }
 
   Context* ctx_;

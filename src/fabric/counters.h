@@ -78,6 +78,17 @@ struct NicCounters {
   std::atomic<std::int64_t> txn_commits{0};
   std::atomic<std::int64_t> txn_aborts{0};
   std::atomic<std::int64_t> txn_retries{0};
+  /// Shared-memory transport tier (DESIGN.md §5i), attributed to the
+  /// DESTINATION node: requests delivered through its shm ring instead of
+  /// the wire (client RPCs also count in rpc_count — shm_sends tells the
+  /// tier split; replication fan-out rides the ring without bumping
+  /// rpc_count, matching its wire path, so it shows only here),
+  /// payload bytes carried in ring arenas (never in total_bytes —
+  /// they cross memory channels, not the wire), and requests that found the
+  /// ring full and fell back to the RDMA path.
+  std::atomic<std::int64_t> shm_sends{0};
+  std::atomic<std::int64_t> shm_bytes{0};
+  std::atomic<std::int64_t> shm_ring_full_fallbacks{0};
 
   void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
     packets.add(t, n);
@@ -114,6 +125,9 @@ struct NicCounters {
     txn_commits.store(0);
     txn_aborts.store(0);
     txn_retries.store(0);
+    shm_sends.store(0);
+    shm_bytes.store(0);
+    shm_ring_full_fallbacks.store(0);
   }
 };
 

@@ -277,14 +277,16 @@ class Fabric {
     caller.sync_window();
     const sim::Nanos t0 = std::max(caller.now(), not_before);
     if (issued_at != nullptr) *issued_at = t0;
-    caller.advance(model_.wire_overhead_ns);  // WQE injection on the client
     if (target == caller.node()) {
       // Hybrid model note: HCL containers never RPC to their own node, but
-      // the RPC layer still supports it (used by the ablation bench). The
-      // request buffer write starts only after the WQE injection overhead,
-      // exactly as the remote path charges injection before the wire.
-      return local_write(target, t0 + model_.wire_overhead_ns, bytes);
+      // the RPC layer still supports it (used by the ablation bench). A
+      // node-local request needs no DMA setup — it pays the same doorbell
+      // the shm tier charges ("local" has one injection constant, §5i), then
+      // the request buffer write rides the node memory channels.
+      caller.advance(model_.shm_doorbell_ns);
+      return local_write(target, t0 + model_.shm_doorbell_ns, bytes);
     }
+    caller.advance(model_.wire_overhead_ns);  // WQE injection on the client
     sim::Nanos arrival = t0 + model_.net_base_latency_ns;
     arrival = node(target).nic.ingress().reserve(arrival, model_.wire_time(bytes));
     record_remote(target, arrival, bytes);
@@ -319,6 +321,48 @@ class Fabric {
       t += model_.net_base_latency_ns;  // response payload returns
     }
     caller.advance_to(t);
+  }
+
+  // ------------------------------------------------------------------
+  // Shm transport tier hooks (DESIGN.md §5i; used by rpc::Engine when the
+  // route is pod-local). Payload movement rides the destination node's
+  // memory channels — the SAME local-memory term the hybrid co-located
+  // bypass charges — and records no wire packets.
+  // ------------------------------------------------------------------
+
+  /// Is `n`'s shm tier degraded on the installed fault plan? With no plan
+  /// every pod link is healthy.
+  [[nodiscard]] bool shm_degraded(sim::NodeId n) const noexcept {
+    return fault_plan_ != nullptr && fault_plan_->shm_degraded(n);
+  }
+
+  /// Shm-tier request: producer doorbell plus one payload crossing into the
+  /// destination ring's arena. Returns the time the filled slot is visible
+  /// to the ring consumer. Counts rpc_count (it IS an RPC; shm_sends records
+  /// the tier split) but no packets — nothing crossed the wire.
+  sim::Nanos shm_send(sim::Actor& caller, sim::NodeId target, std::int64_t bytes,
+                      sim::Nanos not_before = 0,
+                      sim::Nanos* issued_at = nullptr) {
+    caller.sync_window();
+    const sim::Nanos t0 = std::max(caller.now(), not_before);
+    if (issued_at != nullptr) *issued_at = t0;
+    caller.advance(model_.shm_doorbell_ns);
+    auto& counters = node(target).nic.counters();
+    counters.rpc_count.fetch_add(1, std::memory_order_relaxed);
+    counters.shm_sends.fetch_add(1, std::memory_order_relaxed);
+    counters.shm_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    return local_write(target, t0 + model_.shm_doorbell_ns, bytes);
+  }
+
+  /// Shm-tier response pull: the client reads the response view out of the
+  /// arena at local-memory rates. No completion round trips, no packets.
+  void shm_pull(sim::Actor& caller, sim::NodeId target, std::int64_t bytes,
+                sim::Nanos response_ready) {
+    const sim::Nanos start =
+        response_ready < caller.now() ? caller.now() : response_ready;
+    node(target).nic.counters().shm_bytes.fetch_add(bytes,
+                                                    std::memory_order_relaxed);
+    caller.advance_to(local_read(target, start, bytes));
   }
 
   // ------------------------------------------------------------------

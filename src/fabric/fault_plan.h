@@ -166,6 +166,29 @@ class FaultPlan {
   }
 
   // ------------------------------------------------------------------
+  // Shm-tier degradation (DESIGN.md §5i).
+  // ------------------------------------------------------------------
+
+  /// Mark `node`'s shared-memory transport degraded (a CXL-pod link fault,
+  /// a poisoned ring): pod-local requests to or from it fall back to the
+  /// RDMA path until restore_shm(). The node itself stays up — this is a
+  /// tier outage, not a membership event. Idempotent; callable mid-run.
+  void degrade_shm(sim::NodeId node) {
+    shm_degraded_mask_.fetch_or(node_bit(node), std::memory_order_acq_rel);
+  }
+
+  /// Restore `node`'s shared-memory transport.
+  void restore_shm(sim::NodeId node) {
+    shm_degraded_mask_.fetch_and(~node_bit(node), std::memory_order_acq_rel);
+  }
+
+  /// Is `node`'s shm tier currently degraded?
+  [[nodiscard]] bool shm_degraded(sim::NodeId node) const noexcept {
+    return (shm_degraded_mask_.load(std::memory_order_acquire) &
+            node_bit(node)) != 0;
+  }
+
+  // ------------------------------------------------------------------
   // Hot path
   // ------------------------------------------------------------------
 
@@ -286,6 +309,7 @@ class FaultPlan {
 
   std::uint64_t seed_;
   std::atomic<std::uint64_t> down_mask_{0};
+  std::atomic<std::uint64_t> shm_degraded_mask_{0};
   std::mutex config_mutex_;
   std::array<FaultProbabilities, kNumOpClasses> defaults_{};
   std::unordered_map<std::uint64_t, FaultProbabilities> overrides_;

@@ -63,8 +63,9 @@ enum class SpanKind : std::uint8_t {
   kRepair = 8,       // anti-entropy replay into a rejoined primary
   kMigration = 9,    // bulk-path shard move (split/merge/migrate, §5g)
   kTxn = 10,         // one TxnCoordinator attempt (validate→commit|abort, §5h)
+  kShm = 11,         // scalar op delivered through the shm ring tier (§5i)
 };
-inline constexpr std::size_t kNumSpanKinds = 11;
+inline constexpr std::size_t kNumSpanKinds = 12;
 
 [[nodiscard]] inline std::string_view to_string(SpanKind kind) noexcept {
   switch (kind) {
@@ -79,6 +80,7 @@ inline constexpr std::size_t kNumSpanKinds = 11;
     case SpanKind::kRepair: return "repair";
     case SpanKind::kMigration: return "migration";
     case SpanKind::kTxn: return "txn";
+    case SpanKind::kShm: return "shm";
   }
   return "unknown";
 }
@@ -312,6 +314,7 @@ class Tracer {
           .load(std::memory_order_relaxed);
     };
     return sum(SpanKind::kScalar, Stage::kHandler) +
+           sum(SpanKind::kShm, Stage::kHandler) +
            sum(SpanKind::kReplication, Stage::kHandler) +
            sum(SpanKind::kBatchOp, Stage::kDispatch) +
            sum(SpanKind::kBatchOp, Stage::kHandler) +

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -50,7 +51,9 @@
 #include "fabric/fabric.h"
 #include "obs/trace.h"
 #include "rpc/future.h"
+#include "serial/arena.h"
 #include "serial/databox.h"
+#include "shm/transport.h"
 #include "sim/actor.h"
 
 namespace hcl::rpc {
@@ -198,6 +201,25 @@ class Engine {
     return tracer_ != nullptr && tracer_->enabled();
   }
 
+  /// Attach the Context's shared-memory transport tier (DESIGN.md §5i).
+  /// Null (the default) keeps every send on the RDMA path; when set, each
+  /// send consults shm_route_ok() and rides the destination's ring when the
+  /// endpoints share a memory domain. Set before traffic.
+  void set_shm(shm::Transport* transport) noexcept { shm_ = transport; }
+  [[nodiscard]] shm::Transport* shm_transport() const noexcept { return shm_; }
+
+  /// Tier eligibility for one (source node, destination node, function)
+  /// triple: a transport is attached, the endpoints are pod-local, neither
+  /// end's shm tier is fault-degraded, and the function's container has not
+  /// opted out. Ring capacity and payload size are checked at send time —
+  /// this is the routing predicate only.
+  [[nodiscard]] bool shm_route_ok(sim::NodeId from, sim::NodeId to,
+                                  FuncId id) const {
+    return shm_ != nullptr && shm_->pod_local(from, to) &&
+           !fabric_->shm_degraded(from) && !fabric_->shm_degraded(to) &&
+           shm_->allows(id);
+  }
+
   /// Default reliability policy applied to every invoke/async_invoke that
   /// does not pass explicit options. Set before traffic (not synchronized
   /// against in-flight invocations).
@@ -301,6 +323,60 @@ class Engine {
                                    FuncId id, std::vector<FuncId> chain,
                                    const InvokeOptions& options,
                                    const Args&... args) {
+    // Zero-allocation fast path (DESIGN.md §5i): when the op can ride the
+    // shm tier, serialize the arguments STRAIGHT into an acquired ring slot
+    // — varint header, then the payload via the flat arena archive — so a
+    // small pod-local op touches no heap on the request side. Overflowing
+    // the slot's arena chunk means the op is oversize for the ring: release
+    // the slot and fall through to the ordinary heap path (plain RDMA, not
+    // a ring-full fallback). A full ring IS the fallback case and counts.
+    if (shm_route_ok(caller.node(), target, id)) {
+      shm::SlotHandle slot = shm_->try_acquire(target);
+      if (slot.valid()) {
+        const std::span<std::byte> chunk = slot.chunk();
+        serial::PackedFlatOutArchive header(chunk);
+        header.u64(id);
+        header.u64(chain.size());
+        for (FuncId c : chain) header.u64(c);
+        if (header.ok()) {
+          serial::FlatOutArchive payload(chunk.subspan(header.size()));
+          (serial::save(payload, args), ...);
+          if (payload.ok()) {
+            std::byte* cursor = chunk.data() + header.size() + payload.size();
+            if (serial::PackedBackend::put_u64(cursor,
+                                               chunk.data() + chunk.size(),
+                                               payload.size())) {
+              const auto total =
+                  static_cast<std::int64_t>(cursor - chunk.data());
+              slot.ring()->publish(slot.slot(), total);
+              auto state = std::make_shared<detail::FutureState>();
+              run_attempts(caller, target, id, chain, payload.written(),
+                           total, options, *state, obs::SpanKind::kScalar,
+                           std::move(slot), /*try_shm=*/false);
+              return Future<R>(state, this, target);
+            }
+          }
+        }
+        slot.reset();
+      } else {
+        fabric_->nic(target).counters().shm_ring_full_fallbacks.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      // Fall through with try_shm=false: this op already had its shot at
+      // the ring (full, or oversize for a slot chunk) — do not retry it in
+      // run_attempts or double-count the fallback.
+      serial::OutArchive out;
+      (serial::save(out, args), ...);
+      auto request = std::make_shared<std::vector<std::byte>>(out.take());
+      const auto wire_bytes = static_cast<std::int64_t>(
+          kHeaderBytes + 8 * chain.size() + request->size());
+      auto state = std::make_shared<detail::FutureState>();
+      run_attempts(caller, target, id, chain, *request, wire_bytes, options,
+                   *state, obs::SpanKind::kScalar, shm::SlotHandle{},
+                   /*try_shm=*/false);
+      return Future<R>(state, this, target);
+    }
+
     serial::OutArchive out;
     (serial::save(out, args), ...);
     auto request = std::make_shared<std::vector<std::byte>>(out.take());
@@ -416,12 +492,26 @@ class Engine {
     const auto wire_bytes =
         static_cast<std::int64_t>(kHeaderBytes + request.size());
 
+    // A bundle may ride the shm ring only if EVERY constituent's container
+    // allows it — the batch executor id itself is engine-level and never
+    // denied, so the per-op check carries the opt-out through coalescing.
+    bool shm_ok = true;
+    if (shm_ != nullptr) {
+      for (const auto& op : ops) {
+        if (!shm_->allows(op.id)) {
+          shm_ok = false;
+          break;
+        }
+      }
+    }
+
     // The parent future carries the whole bundle through the ordinary
     // attempt loop (retry/backoff/deadline included); run_attempts always
     // fulfills it synchronously because handlers execute inline.
     detail::FutureState parent;
     run_attempts(caller, target, batch_exec_id_, {}, request, wire_bytes,
-                 options, parent, obs::SpanKind::kBatch);
+                 options, parent, obs::SpanKind::kBatch, shm::SlotHandle{},
+                 shm_ok);
     if (parent.span != nullptr) {
       parent.span->bundle_ops = static_cast<std::uint32_t>(bundle_size);
     }
@@ -430,6 +520,7 @@ class Engine {
     pull->total_bytes = parent.payload.size();
     pull->ready = parent.response_ready_ns;
     pull->span = parent.span;  // the ONE shared pull is recorded there
+    pull->via_shm = parent.via_shm;
     if (!parent.status.ok()) {
       // Whole-bundle transport failure: every constituent gets the parent's
       // status (no response to unpack, so the shared pull is empty).
@@ -517,16 +608,49 @@ class Engine {
     auto request = std::make_shared<std::vector<std::byte>>(out.take());
 
     sim::Nanos arrival = ready;
+    std::span<const std::byte> req_view(*request);
+    shm::SlotHandle slot;
+    sim::Resource* consumer = nullptr;
     if (origin != target) {
-      arrival += fabric_->model().net_base_latency_ns;
-      arrival = fabric_->nic(target).ingress().reserve(
-          arrival, fabric_->model().wire_time(
-                       static_cast<std::int64_t>(kHeaderBytes + request->size())));
+      // Pod-local fan-out rides the ring (DESIGN.md §5i): the replica copy
+      // lands in the destination's arena for shm_doorbell_ns + memory-channel
+      // time instead of a wire crossing. No rpc_count either way — the
+      // replication fan-out was never a client RPC — so shm_sends here tells
+      // the tier split for replication traffic specifically.
+      if (shm_route_ok(origin, target, id)) {
+        slot = shm_->try_acquire(target);
+        if (slot.valid()) {
+          std::size_t payload_off = 0;
+          const std::int64_t packed =
+              pack_slot(slot.chunk(), id, {}, req_view, &payload_off);
+          if (packed >= 0) {
+            slot.ring()->publish(slot.slot(), packed);
+            auto& counters = fabric_->nic(target).counters();
+            counters.shm_sends.fetch_add(1, std::memory_order_relaxed);
+            counters.shm_bytes.fetch_add(packed, std::memory_order_relaxed);
+            arrival = ready + fabric_->model().shm_doorbell_ns;
+            arrival = fabric_->local_write(target, arrival, packed);
+            consumer = &slot.ring()->consumer();
+            req_view = {slot.chunk().data() + payload_off, request->size()};
+          } else {
+            slot.reset();  // oversize for a slot chunk: plain wire path
+          }
+        } else {
+          fabric_->nic(target).counters().shm_ring_full_fallbacks.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      if (consumer == nullptr) {
+        arrival += fabric_->model().net_base_latency_ns;
+        arrival = fabric_->nic(target).ingress().reserve(
+            arrival, fabric_->model().wire_time(static_cast<std::int64_t>(
+                         kHeaderBytes + request->size())));
+      }
     }
     // Fire-and-forget: the completion (including any failure status) is
     // dropped, but execute() still contains every exception, so a crashing
     // replication handler can never unwind into the primary's stub.
-    Completion done = execute(target, id, {}, *request, arrival);
+    Completion done = execute(target, id, {}, req_view, arrival, false, consumer);
     if (tracing()) {
       auto span = std::make_shared<obs::Span>();
       span->kind = obs::SpanKind::kReplication;
@@ -536,7 +660,9 @@ class Engine {
       span->issue_ns = ready;
       span->inject_done_ns = ready;  // no client WQE: originates server-side
       span->arrival_ns = arrival;
-      span->dispatch_ns = fabric_->model().nic_rpc_dispatch_ns;
+      span->dispatch_ns = consumer != nullptr
+                              ? fabric_->model().shm_dispatch_ns
+                              : fabric_->model().nic_rpc_dispatch_ns;
       span->exec_start_ns = done.exec_start;
       span->handler_end_ns = done.ready;
       span->ready_ns = done.ready;
@@ -557,6 +683,15 @@ class Engine {
                    detail::FutureState& state) {
     const auto bytes =
         static_cast<std::int64_t>(state.payload.size() + kResponseHeaderBytes);
+    if (state.via_shm) {
+      // The response sits in pod-shared memory: read it at local-memory
+      // rates — no 3x net_base_latency RDMA_READ, no packets (§5i).
+      fabric_->shm_pull(caller, target, bytes, state.response_ready_ns);
+      if (tracing() && state.span != nullptr && state.span->pull_done_ns < 0) {
+        tracer_->record_pull(*state.span, caller.now(), 0);
+      }
+      return;
+    }
     fabric_->pull_response(caller, target, bytes, state.response_ready_ns);
     if (tracing() && state.span != nullptr && state.span->pull_done_ns < 0) {
       tracer_->record_pull(
@@ -574,13 +709,19 @@ class Engine {
     if (!pull.charged) {
       const auto bytes =
           static_cast<std::int64_t>(pull.total_bytes + kResponseHeaderBytes);
-      fabric_->pull_response(caller, target, bytes, pull.ready);
+      if (pull.via_shm) {
+        fabric_->shm_pull(caller, target, bytes, pull.ready);
+      } else {
+        fabric_->pull_response(caller, target, bytes, pull.ready);
+      }
       pull.charged = true;
       pull.completion = caller.now();
       if (tracing() && pull.span != nullptr && pull.span->pull_done_ns < 0) {
         tracer_->record_pull(
             *pull.span, caller.now(),
-            target != caller.node() ? fabric_->model().packets(bytes) : 0);
+            !pull.via_shm && target != caller.node()
+                ? fabric_->model().packets(bytes)
+                : 0);
       }
       return;
     }
@@ -631,6 +772,37 @@ class Engine {
     std::uint64_t epoch = 0;  // piggybacked partition epoch (ServerCtx::epoch)
   };
 
+  /// Serialize the shm slot wire format into `chunk`: varint header (func
+  /// id, chain length, chain ids), the payload bytes, then a varint
+  /// payload-length TRAILER — trailing so a producer can serialize without
+  /// knowing the length up front. Returns the total published bytes (the
+  /// tier's wire_bytes), or -1 when the op does not fit the slot's arena
+  /// chunk (oversize: the caller releases the slot and rides RDMA).
+  /// `payload_offset` receives where the payload starts inside the chunk, so
+  /// the server stub can execute against a zero-copy view of the arena.
+  static std::int64_t pack_slot(std::span<std::byte> chunk, FuncId id,
+                                const std::vector<FuncId>& chain,
+                                std::span<const std::byte> payload,
+                                std::size_t* payload_offset) {
+    serial::PackedFlatOutArchive header(chunk);
+    header.u64(id);
+    header.u64(chain.size());
+    for (FuncId c : chain) header.u64(c);
+    if (!header.ok()) return -1;
+    const std::size_t off = header.size();
+    if (chunk.size() - off < payload.size()) return -1;
+    if (!payload.empty()) {
+      std::memcpy(chunk.data() + off, payload.data(), payload.size());
+    }
+    std::byte* cursor = chunk.data() + off + payload.size();
+    if (!serial::PackedBackend::put_u64(cursor, chunk.data() + chunk.size(),
+                                        payload.size())) {
+      return -1;
+    }
+    *payload_offset = off;
+    return static_cast<std::int64_t>(cursor - chunk.data());
+  }
+
   /// The attempt loop behind every client stub. Exactly one fulfill() on
   /// `state`, no matter which faults fire: injected drops resolve after a
   /// timeout, transient statuses retry with exponential backoff in simulated
@@ -638,22 +810,62 @@ class Engine {
   /// tracing, the op's span records the LAST attempt's stage boundaries
   /// (earlier attempts show up as the attempt count plus their wire packets)
   /// and is committed exactly once, right before the single fulfill().
+  ///
+  /// Tier selection (DESIGN.md §5i) also lives here: a valid `slot` means
+  /// the caller already serialized the request into the destination's ring
+  /// (the zero-alloc fast path); otherwise, when `try_shm` and the route is
+  /// eligible, the heap-serialized request is copied into a freshly acquired
+  /// slot. Either way a ring-resident request replaces send_request with
+  /// shm_send, dispatches on the ring's consumer lane, and emits zero
+  /// packets. Retries re-ring the SAME slot (a fresh doorbell, not a fresh
+  /// slot). Fault draws happen before the tier branch, so the fault stream
+  /// is identical whether or not the tier is enabled.
   void run_attempts(sim::Actor& caller, sim::NodeId target, FuncId id,
                     const std::vector<FuncId>& chain,
-                    const std::vector<std::byte>& request,
+                    std::span<const std::byte> request,
                     std::int64_t wire_bytes, const InvokeOptions& options,
                     detail::FutureState& state,
-                    obs::SpanKind kind = obs::SpanKind::kScalar) {
+                    obs::SpanKind kind = obs::SpanKind::kScalar,
+                    shm::SlotHandle slot = {}, bool try_shm = true) {
     fabric::FaultPlan* plan = fabric_->fault_plan();
     auto& counters = fabric_->nic(target).counters();
     const int attempts = 1 + std::max(0, options.max_retries);
     sim::Nanos backoff = std::max<sim::Nanos>(options.backoff_ns, 1);
     sim::Nanos resend_at = 0;  // 0 = caller's current clock
 
+    if (!slot.valid() && try_shm &&
+        shm_route_ok(caller.node(), target, id)) {
+      slot = shm_->try_acquire(target);
+      if (slot.valid()) {
+        std::size_t payload_off = 0;
+        const std::int64_t packed =
+            pack_slot(slot.chunk(), id, chain, request, &payload_off);
+        if (packed < 0) {
+          slot.reset();  // oversize for a slot chunk: plain RDMA
+        } else {
+          slot.ring()->publish(slot.slot(), packed);
+          wire_bytes = packed;
+          // Execute against the arena copy: the handler's view and the ring
+          // payload are the same bytes.
+          request = {slot.chunk().data() + payload_off, request.size()};
+        }
+      } else {
+        counters.shm_ring_full_fallbacks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+    }
+    const bool use_shm = slot.valid();
+    state.via_shm = use_shm;
+
     std::shared_ptr<obs::Span> span;
     if (tracing()) {
       span = std::make_shared<obs::Span>();
-      span->kind = kind;
+      // Only plain scalar ops change identity when they ride the ring;
+      // failover/repair/batch spans keep their kinds (the tier split for
+      // those still shows in shm_sends).
+      span->kind = use_shm && kind == obs::SpanKind::kScalar
+                       ? obs::SpanKind::kShm
+                       : kind;
       span->func_id = id;
       span->target = target;
       span->client_rank = caller.rank();
@@ -681,15 +893,24 @@ class Engine {
 
       sim::Nanos issued = 0;
       sim::Nanos arrival =
-          fabric_->send_request(caller, target, wire_bytes, resend_at, &issued);
+          use_shm
+              ? fabric_->shm_send(caller, target, wire_bytes, resend_at,
+                                  &issued)
+              : fabric_->send_request(caller, target, wire_bytes, resend_at,
+                                      &issued);
       const sim::Nanos deadline =
           options.timeout_ns > 0 ? issued + options.timeout_ns : 0;
       if (span != nullptr) {
         span->attempts = static_cast<std::uint32_t>(attempt + 1);
         span->issue_ns = issued;
-        span->inject_done_ns = issued + fabric_->model().wire_overhead_ns;
+        // Local injection (ring doorbell or loopback) pays shm_doorbell_ns;
+        // only a true wire crossing pays the WQE injection overhead.
+        span->inject_done_ns =
+            issued + (use_shm || target == caller.node()
+                          ? fabric_->model().shm_doorbell_ns
+                          : fabric_->model().wire_overhead_ns);
         span->arrival_ns = arrival;
-        if (target != caller.node()) {
+        if (!use_shm && target != caller.node()) {
           span->request_packets +=
               static_cast<std::int64_t>(fabric_->model().packets(wire_bytes));
         }
@@ -720,7 +941,10 @@ class Engine {
         // returns it deterministically until rejoin, so burning the retry
         // budget against it only delays the caller — fail fast and let the
         // container's failover path consult fabric().node_down(target).
-        const sim::Nanos nack = arrival + fabric_->model().net_base_latency_ns;
+        // A ring-resident request NACKs at doorbell latency, not wire RTT.
+        const sim::Nanos nack =
+            arrival + (use_shm ? fabric_->model().shm_doorbell_ns
+                               : fabric_->model().net_base_latency_ns);
         if (last || fault.node_down) {
           clear_exec_stages(span);
           finish_span(nack, StatusCode::kUnavailable);
@@ -734,21 +958,23 @@ class Engine {
         backoff = grow(backoff, options);
         continue;
       }
+      sim::Resource* consumer = use_shm ? &slot.ring()->consumer() : nullptr;
       if (fault.duplicate) {
         // Duplicate delivery (NIC-level retransmission): the handler runs
         // twice; the client consumes one response. Containers must be
         // idempotent under this (fault_test proves the contract). The twin
         // execution is invisible to the span (it charges the counters only),
         // so busy/span reconciliation is exact only on fault-free runs.
-        (void)execute(target, id, chain, request, arrival);
+        (void)execute(target, id, chain, request, arrival, false, consumer);
       }
 
-      Completion done =
-          execute(target, id, chain, request, arrival, fault.throw_handler);
+      Completion done = execute(target, id, chain, request, arrival,
+                                fault.throw_handler, consumer);
       const sim::Nanos handler_end = done.ready;  // before any NIC-stall delay
       if (fault.delay_ns > 0) done.ready += fault.delay_ns;  // NIC stall
       if (span != nullptr) {
-        span->dispatch_ns = fabric_->model().nic_rpc_dispatch_ns;
+        span->dispatch_ns = use_shm ? fabric_->model().shm_dispatch_ns
+                                    : fabric_->model().nic_rpc_dispatch_ns;
         span->exec_start_ns = done.exec_start;
         span->handler_end_ns = handler_end;
       }
@@ -821,20 +1047,29 @@ class Engine {
   /// NIC-core busy time (Fig. 4a) on EVERY exit, not just success.
   Completion execute(sim::NodeId target, FuncId id,
                      const std::vector<FuncId>& chain,
-                     const std::vector<std::byte>& request, sim::Nanos arrival,
-                     bool inject_throw = false) {
+                     std::span<const std::byte> request, sim::Nanos arrival,
+                     bool inject_throw = false,
+                     sim::Resource* shm_consumer = nullptr) {
     ServerCtx ctx;
     ctx.node = target;
     ctx.fabric = fabric_;
-    ctx.start = fabric_->nic_begin(target, arrival);
+    // A ring-delivered request dispatches on the destination's single shm
+    // consumer lane (shm_dispatch_ns per slot pickup, DESIGN.md §5i)
+    // instead of the NIC cores' WQE dispatch.
+    const sim::Nanos dispatch_ns = shm_consumer != nullptr
+                                       ? fabric_->model().shm_dispatch_ns
+                                       : fabric_->model().nic_rpc_dispatch_ns;
+    ctx.start = shm_consumer != nullptr
+                    ? shm_consumer->reserve(arrival, dispatch_ns)
+                    : fabric_->nic_begin(target, arrival);
     ctx.finish = ctx.start;
     const sim::Nanos dispatch_start = ctx.start;
     auto& counters = fabric_->nic(target).counters();
     // nic_begin returns the DISPATCH COMPLETION time; anything beyond the
-    // dispatch service itself was spent queued behind other WQEs (Fig. 4's
-    // NIC-queue stage).
-    const sim::Nanos queue_wait =
-        ctx.start - arrival - fabric_->model().nic_rpc_dispatch_ns;
+    // dispatch service itself was spent queued behind other WQEs — or, on
+    // the shm tier, behind earlier slots on the consumer lane (Fig. 4's
+    // queue stage either way).
+    const sim::Nanos queue_wait = ctx.start - arrival - dispatch_ns;
     if (queue_wait > 0) {
       counters.rpc_queue_wait_ns.fetch_add(queue_wait,
                                            std::memory_order_relaxed);
@@ -851,7 +1086,7 @@ class Engine {
         if (inject_throw) {
           throw std::runtime_error("injected handler fault");
         }
-        done.payload = handler(ctx, std::span<const std::byte>(request));
+        done.payload = handler(ctx, request);
         // Server-side callback chain: each stage consumes the previous
         // stage's serialized result, on the same NIC core, de-marshal cost
         // included (charged as one dispatch per stage).
@@ -863,7 +1098,9 @@ class Engine {
             break;
           }
           const sim::Nanos prev_finish = ctx.finish;
-          ctx.start = fabric_->nic_begin(target, ctx.finish);
+          ctx.start = shm_consumer != nullptr
+                          ? shm_consumer->reserve(ctx.finish, dispatch_ns)
+                          : fabric_->nic_begin(target, ctx.finish);
           ctx.finish = ctx.start;
           done.payload = chained(ctx, std::span<const std::byte>(done.payload));
           if (tracing()) {
@@ -876,7 +1113,7 @@ class Engine {
             stage->func_id = next;
             stage->target = target;
             stage->arrival_ns = prev_finish;
-            stage->dispatch_ns = fabric_->model().nic_rpc_dispatch_ns;
+            stage->dispatch_ns = dispatch_ns;
             stage->exec_start_ns = ctx.start;
             stage->handler_end_ns = ctx.finish;
             stage->ready_ns = ctx.finish;
@@ -1007,6 +1244,7 @@ class Engine {
 
   fabric::Fabric* fabric_;
   obs::Tracer* tracer_ = nullptr;
+  shm::Transport* shm_ = nullptr;
   std::shared_mutex registry_mutex_;
   std::unordered_map<FuncId, RawHandler> registry_;
   std::atomic<FuncId> next_id_{1};

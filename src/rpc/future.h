@@ -45,6 +45,10 @@ struct BatchPull {
   /// is recorded there (constituents carry zero pull cost, matching the
   /// counters). Null when tracing is off.
   std::shared_ptr<obs::Span> span;
+  /// Bundle was delivered through the shm ring tier (DESIGN.md §5i): the one
+  /// shared pull reads the packed response out of local memory — no wire
+  /// latency, no packets.
+  bool via_shm = false;
 };
 
 /// Type-erased completion state shared between the NIC executor (producer)
@@ -68,6 +72,10 @@ struct FutureState {
   /// This op's trace span when tracing is on (DESIGN.md §5e); the engine
   /// records the response pull on it when the future is awaited.
   std::shared_ptr<obs::Span> span;
+  /// Request rode the shm ring tier (DESIGN.md §5i): the awaiting client
+  /// pulls the response at local-memory rates (Fabric::shm_pull) instead of
+  /// paying the 3x net_base_latency RDMA_READ, and the pull emits no packets.
+  bool via_shm = false;
   std::vector<std::function<void(const FutureState&)>> continuations;
 
   void fulfill(std::vector<std::byte> bytes, sim::Nanos ready, Status st,

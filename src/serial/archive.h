@@ -105,4 +105,23 @@ using InArchive = BasicInArchive<RawBackend>;
 using PackedOutArchive = BasicOutArchive<PackedBackend>;
 using PackedInArchive = BasicInArchive<PackedBackend>;
 
+/// Any byte sink the save() dispatch can write through — the heap-growing
+/// BasicOutArchive above or the fixed-capacity arena archive (arena.h).
+template <typename Ar>
+concept OutputArchive =
+    Ar::is_saving && SerializerBackend<typename Ar::backend_type> &&
+    requires(Ar& ar, std::uint64_t u, const void* p, std::size_t n) {
+      ar.u64(u);
+      ar.raw_bytes(p, n);
+    };
+
+/// Any byte source the load() dispatch can read through.
+template <typename Ar>
+concept InputArchive =
+    Ar::is_loading && SerializerBackend<typename Ar::backend_type> &&
+    requires(Ar& ar, void* p, std::size_t n) {
+      { ar.u64() } -> std::same_as<std::uint64_t>;
+      ar.raw_bytes(p, n);
+    };
+
 }  // namespace hcl::serial

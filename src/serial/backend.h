@@ -20,12 +20,16 @@
 
 namespace hcl::serial {
 
-/// What a serializer backend must provide.
+/// What a serializer backend must provide. The cursor-based put_u64 writes
+/// into a caller-owned fixed buffer (the arena fast path, DESIGN.md §5i) and
+/// reports overflow instead of growing; the vector overload always succeeds.
 template <typename B>
 concept SerializerBackend = requires(std::vector<std::byte>& out,
                                      const std::byte*& cursor,
-                                     const std::byte* end, std::uint64_t v) {
+                                     const std::byte* end, std::byte*& wcursor,
+                                     std::byte* wend, std::uint64_t v) {
   { B::put_u64(out, v) } -> std::same_as<void>;
+  { B::put_u64(wcursor, wend, v) } -> std::same_as<bool>;
   { B::get_u64(cursor, end) } -> std::same_as<std::uint64_t>;
   { B::name() } -> std::convertible_to<const char*>;
 };
@@ -44,6 +48,15 @@ struct RawBackend {
     std::byte b[8];
     for (int i = 0; i < 8; ++i) b[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
     out.insert(out.end(), b, b + 8);
+  }
+
+  static bool put_u64(std::byte*& cursor, std::byte* end, std::uint64_t v) {
+    if (end - cursor < 8) return false;
+    for (int i = 0; i < 8; ++i) {
+      cursor[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+    }
+    cursor += 8;
+    return true;
   }
 
   static std::uint64_t get_u64(const std::byte*& cursor, const std::byte* end) {
@@ -68,6 +81,20 @@ struct PackedBackend {
       v >>= 7;
     }
     out.push_back(static_cast<std::byte>(v));
+  }
+
+  static bool put_u64(std::byte*& cursor, std::byte* end, std::uint64_t v) {
+    std::byte buf[10];
+    int n = 0;
+    while (v >= 0x80) {
+      buf[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
+      v >>= 7;
+    }
+    buf[n++] = static_cast<std::byte>(v);
+    if (end - cursor < n) return false;
+    std::memcpy(cursor, buf, static_cast<std::size_t>(n));
+    cursor += n;
+    return true;
   }
 
   static std::uint64_t get_u64(const std::byte*& cursor, const std::byte* end) {

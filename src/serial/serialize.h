@@ -115,9 +115,8 @@ inline constexpr bool has_constant_wire_size_v =
 // save
 // ---------------------------------------------------------------------------
 
-template <SerializerBackend B, typename T>
-void save(BasicOutArchive<B>& ar, const T& v) {
-  using Ar = BasicOutArchive<B>;
+template <OutputArchive Ar, typename T>
+void save(Ar& ar, const T& v) {
   if constexpr (HasMemberSerialize<T, Ar>) {
     // Symmetric serialize: contract is "does not mutate when saving".
     const_cast<T&>(v).serialize(ar);
@@ -189,13 +188,12 @@ void save(BasicOutArchive<B>& ar, const T& v) {
 // load
 // ---------------------------------------------------------------------------
 
-template <SerializerBackend B, typename V, std::size_t... Is>
-void load_variant_alt(BasicInArchive<B>& ar, V& v, std::size_t index,
+template <InputArchive Ar, typename V, std::size_t... Is>
+void load_variant_alt(Ar& ar, V& v, std::size_t index,
                       std::index_sequence<Is...>);
 
-template <SerializerBackend B, typename T>
-void load(BasicInArchive<B>& ar, T& v) {
-  using Ar = BasicInArchive<B>;
+template <InputArchive Ar, typename T>
+void load(Ar& ar, T& v) {
   if constexpr (HasMemberSerialize<T, Ar>) {
     v.serialize(ar);
   } else if constexpr (std::is_empty_v<T>) {
@@ -278,8 +276,8 @@ void load(BasicInArchive<B>& ar, T& v) {
   }
 }
 
-template <SerializerBackend B, typename V, std::size_t... Is>
-void load_variant_alt(BasicInArchive<B>& ar, V& v, std::size_t index,
+template <InputArchive Ar, typename V, std::size_t... Is>
+void load_variant_alt(Ar& ar, V& v, std::size_t index,
                       std::index_sequence<Is...>) {
   bool matched = false;
   (([&] {

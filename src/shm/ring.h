@@ -1,0 +1,167 @@
+// Bounded shared-memory request ring: the data plane of the shm transport
+// tier (DESIGN.md §5i).
+//
+// One Ring per destination node, MPSC: every pod-local producer rank
+// competes for one of its bounded slots; the node's single simulated
+// consumer drains them in doorbell order. Each slot exclusively owns a
+// fixed arena chunk inside one contiguous buffer, so a producer serializes
+// its request *directly into the arena* (serial::FlatOutArchive) and the
+// consumer hands the handler a zero-copy view of those same bytes — no
+// heap-serialized DataBox on either side. Slots release out of order
+// (responses complete independently), which is why ownership is a free-slot
+// bitmask rather than head/tail cursors.
+//
+// Real vs simulated: slot acquisition, the arena bytes, and release are
+// real (concurrent producer threads contend on the atomic mask); the
+// consumer is simulated time — a one-lane sim::Resource serializing
+// shm_dispatch_ns per delivered slot, the tier's stand-in for the NIC-core
+// dispatch stage. A full mask is the transparent-fallback signal: the
+// caller takes the RDMA path and counts shm_ring_full_fallbacks.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/time.h"
+
+namespace hcl::shm {
+
+class Ring {
+ public:
+  /// `slots` is capped at 64 (one bitmask word); `chunk_bytes` is the
+  /// largest request the ring can carry — bigger ops fall back to RDMA.
+  Ring(int slots, std::int64_t chunk_bytes)
+      : slots_(slots < 1 ? 1 : (slots > 64 ? 64 : slots)),
+        chunk_bytes_(chunk_bytes < 256 ? 256 : chunk_bytes),
+        arena_(static_cast<std::size_t>(slots_) *
+               static_cast<std::size_t>(chunk_bytes_)),
+        headers_(static_cast<std::size_t>(slots_)),
+        consumer_(1) {
+    free_mask_.store(slots_ >= 64 ? ~0ULL : ((1ULL << slots_) - 1),
+                     std::memory_order_relaxed);
+  }
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  [[nodiscard]] int slots() const noexcept { return slots_; }
+  [[nodiscard]] std::int64_t chunk_bytes() const noexcept {
+    return chunk_bytes_;
+  }
+
+  /// Claim a free slot (lock-free, multi-producer). Returns -1 when the
+  /// ring is full — the caller falls back to the RDMA path.
+  [[nodiscard]] int try_acquire() noexcept {
+    std::uint64_t mask = free_mask_.load(std::memory_order_acquire);
+    while (mask != 0) {
+      const int i = std::countr_zero(mask);
+      if (free_mask_.compare_exchange_weak(mask, mask & (mask - 1),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        headers_[static_cast<std::size_t>(i)].bytes.store(
+            0, std::memory_order_relaxed);
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  /// Return a slot to the free mask. The arena chunk is reusable
+  /// immediately — the caller must be done with every view into it.
+  void release(int slot) noexcept {
+    free_mask_.fetch_or(1ULL << static_cast<unsigned>(slot),
+                        std::memory_order_acq_rel);
+  }
+
+  /// The slot's exclusive arena chunk (producer writes here, consumer reads
+  /// a zero-copy view of the same bytes).
+  [[nodiscard]] std::span<std::byte> chunk(int slot) noexcept {
+    return {arena_.data() + static_cast<std::size_t>(slot) *
+                                static_cast<std::size_t>(chunk_bytes_),
+            static_cast<std::size_t>(chunk_bytes_)};
+  }
+
+  /// Producer doorbell: publish how many chunk bytes are live.
+  void publish(int slot, std::int64_t bytes) noexcept {
+    headers_[static_cast<std::size_t>(slot)].bytes.store(
+        bytes, std::memory_order_release);
+  }
+  [[nodiscard]] std::int64_t published_bytes(int slot) const noexcept {
+    return headers_[static_cast<std::size_t>(slot)].bytes.load(
+        std::memory_order_acquire);
+  }
+
+  [[nodiscard]] int free_slots() const noexcept {
+    return std::popcount(free_mask_.load(std::memory_order_acquire));
+  }
+
+  /// The simulated consumer: one lane serializing slot pickups in doorbell
+  /// order (the shm tier's dispatch stage).
+  [[nodiscard]] sim::Resource& consumer() noexcept { return consumer_; }
+
+  void reset_timing() { consumer_.reset(); }
+
+ private:
+  /// Cache-line-aligned slot metadata — producers on different slots never
+  /// false-share a doorbell line.
+  struct alignas(64) SlotHeader {
+    std::atomic<std::int64_t> bytes{0};
+  };
+
+  int slots_;
+  std::int64_t chunk_bytes_;
+  std::atomic<std::uint64_t> free_mask_{0};
+  std::vector<std::byte> arena_;
+  std::vector<SlotHeader> headers_;
+  sim::Resource consumer_;
+};
+
+/// RAII claim on one ring slot. Move-only; releases on destruction, so every
+/// exit from the send path (success, fallback, retry exhaustion, exception)
+/// returns the slot.
+class SlotHandle {
+ public:
+  SlotHandle() = default;
+  SlotHandle(Ring* ring, int slot) : ring_(ring), slot_(slot) {}
+  SlotHandle(SlotHandle&& other) noexcept
+      : ring_(other.ring_), slot_(other.slot_) {
+    other.ring_ = nullptr;
+    other.slot_ = -1;
+  }
+  SlotHandle& operator=(SlotHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ring_ = other.ring_;
+      slot_ = other.slot_;
+      other.ring_ = nullptr;
+      other.slot_ = -1;
+    }
+    return *this;
+  }
+  SlotHandle(const SlotHandle&) = delete;
+  SlotHandle& operator=(const SlotHandle&) = delete;
+  ~SlotHandle() { reset(); }
+
+  [[nodiscard]] bool valid() const noexcept { return ring_ != nullptr; }
+  [[nodiscard]] int slot() const noexcept { return slot_; }
+  [[nodiscard]] Ring* ring() const noexcept { return ring_; }
+  [[nodiscard]] std::span<std::byte> chunk() const noexcept {
+    return ring_->chunk(slot_);
+  }
+
+  void reset() noexcept {
+    if (ring_ != nullptr) ring_->release(slot_);
+    ring_ = nullptr;
+    slot_ = -1;
+  }
+
+ private:
+  Ring* ring_ = nullptr;
+  int slot_ = -1;
+};
+
+}  // namespace hcl::shm

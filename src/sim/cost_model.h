@@ -64,6 +64,22 @@ struct CostModel {
   /// (the amortization Table I's bulk rows and ablation A6 measure).
   Nanos nic_batch_op_ns = 150;
 
+  // ---- Shared-memory transport tier (DESIGN.md §5i) ----
+  /// Producer-side doorbell: publish a filled ring slot and ring the
+  /// consumer (one release store + one flag line crossing the pod
+  /// interconnect). Replaces wire_overhead_ns + net_base_latency_ns for
+  /// pod-local requests — there is no DMA setup and no wire propagation.
+  /// This is also the injection constant the RoR loopback branch charges:
+  /// "local" has exactly one doorbell cost everywhere.
+  Nanos shm_doorbell_ns = 150;
+  /// Consumer-side slot pickup: read the header, map the payload view.
+  /// Replaces nic_rpc_dispatch_ns — no WQE de-marshal on the shm tier.
+  Nanos shm_dispatch_ns = 250;
+  // Payload movement on the shm tier is charged through the SAME
+  // mem_write_ns_per_byte / mem_read_ns_per_byte channel terms as the
+  // hybrid co-located bypass (fabric local_write/local_read): local memory
+  // has one rate everywhere, ~45-55 GB/s aggregate vs 4.5 GB/s wire.
+
   // ---- Observability (DESIGN.md §5e) ----
   /// Client-core bookkeeping charge per traced op span. Default 0 everywhere
   /// (tracing is free in simulated time so trace-on runs reproduce trace-off
@@ -146,6 +162,8 @@ struct CostModel {
     m.nic_atomic_service_ns = 0;
     m.nic_rpc_dispatch_ns = 0;
     m.nic_batch_op_ns = 0;
+    m.shm_doorbell_ns = 0;
+    m.shm_dispatch_ns = 0;
     m.cache_check_ns = 0;
     m.cache_hit_ns = 0;
     m.mem_insert_base_ns = 0;

@@ -1770,5 +1770,214 @@ INSTANTIATE_TEST_SUITE_P(
         TxnSweepCase{4, 2, 8, 2, cache::CacheMode::kOff, false, true, false,
                      606u}));
 
+// ---------------------------------------------------------------------------
+// Shm-tier equivalence (DESIGN.md §5i): the shared-memory transport is a
+// pure routing/cost substitution — a twin running the identical phased
+// workload with the tier ON (whole cluster one pod, so every eligible op
+// rides a ring) must converge byte-for-byte with a tier-OFF twin, across
+// topology shapes, batching policies, cache modes, and a mid-run failover
+// window with per-constituent kBatchOp faults. Counter parity: client RPCs
+// are counted identically on both tiers (shm_sends only tells the split).
+// ---------------------------------------------------------------------------
+
+struct ShmCase {
+  int nodes;
+  int procs;
+  int partitions;
+  int replication;
+  cache::CacheMode mode;  // forced identically on BOTH twins
+  bool batched;
+  bool faults;  // mid-run kill/promote/rejoin + kBatchOp faults
+  std::uint64_t seed;
+};
+
+class ShmEquivalenceSweep : public ::testing::TestWithParam<ShmCase> {};
+
+TEST_P(ShmEquivalenceSweep, ShmOnMatchesShmOffByteForByte) {
+  const auto& param = GetParam();
+  constexpr sim::NodeId kVictim = 1;
+  constexpr int kPerRank = 48;
+
+  auto make_plan = [&] {
+    auto plan = std::make_shared<fabric::FaultPlan>(param.seed);
+    if (param.faults && param.batched) {
+      fabric::FaultProbabilities op_p;
+      op_p.drop = 0.03;
+      op_p.throw_handler = 0.03;
+      op_p.unavailable = 0.03;
+      plan->set(fabric::OpClass::kBatchOp, op_p);
+    }
+    return plan;
+  };
+
+  Context::Config off_cfg;
+  off_cfg.num_nodes = param.nodes;
+  off_cfg.procs_per_node = param.procs;
+  off_cfg.model = sim::CostModel::zero();
+  off_cfg.shm = shm::ShmPolicy{};  // tier off regardless of the environment
+  Context::Config on_cfg = off_cfg;
+  on_cfg.shm.enabled = true;
+  on_cfg.shm.pod_nodes = param.nodes;  // one pod: maximal ring traffic
+  Context off_ctx(off_cfg);
+  Context on_ctx(on_cfg);
+
+  core::ContainerOptions opts;
+  opts.num_partitions = param.partitions;
+  opts.replication = param.replication;
+  opts.cache = {.capacity = 256,
+                .ttl_ns = 50 * sim::kMicrosecond,
+                .mode = param.mode};
+  if (param.batched) {
+    opts.batch = {.max_ops = 8, .max_bytes = 1 << 16, .max_delay_ns = 0};
+  }
+  unordered_map<std::uint64_t, std::uint64_t> off_map(off_ctx, opts);
+  unordered_map<std::uint64_t, std::uint64_t> on_map(on_ctx, opts);
+
+  auto key_of = [](int rank, int i) {
+    return static_cast<std::uint64_t>(rank) * kPerRank +
+           static_cast<std::uint64_t>(i);
+  };
+  auto fresh_of = [](int rank, int i) {
+    return 1'000'000 + static_cast<std::uint64_t>(rank) * kPerRank +
+           static_cast<std::uint64_t>(i);
+  };
+  auto val_of = [](std::uint64_t k) { return k * 7 + 2; };
+  const auto ranks = static_cast<std::size_t>(on_ctx.topology().num_ranks());
+
+  // Each twin runs the IDENTICAL phased workload; transient per-op failures
+  // during a twin's fault window are repaired by that twin before compare.
+  auto run_workload = [&](Context& ctx,
+                          unordered_map<std::uint64_t, std::uint64_t>& map) {
+    // Phase 1, fault-free: every rank inserts its keys. Must all land.
+    ctx.run([&](sim::Actor& self) {
+      for (int i = 0; i < kPerRank; ++i) {
+        const auto k = key_of(self.rank(), i);
+        ASSERT_TRUE(map.insert(k, val_of(k)));
+      }
+    });
+
+    std::shared_ptr<fabric::FaultPlan> plan;
+    if (param.faults) {
+      plan = make_plan();
+      ctx.set_fault_plan(plan);
+      plan->fail_node(kVictim);
+    }
+
+    // Phase 2: fresh inserts plus erases of a third of the phase-1 keys.
+    // Under faults the victim's ranks stay quiet and failed constituents
+    // are repaired through the failover path, victim still down.
+    std::vector<std::vector<std::uint64_t>> failed_inserts(ranks);
+    std::vector<std::vector<std::uint64_t>> failed_erases(ranks);
+    ctx.run([&](sim::Actor& self) {
+      if (param.faults && self.node() == kVictim) return;
+      const auto r = static_cast<std::size_t>(self.rank());
+      std::vector<std::uint64_t> ins_keys, ins_vals, del_keys;
+      for (int i = 0; i < kPerRank; ++i) {
+        ins_keys.push_back(fresh_of(self.rank(), i));
+        ins_vals.push_back(val_of(ins_keys.back()));
+      }
+      for (int i = 0; i < kPerRank; i += 3) {
+        del_keys.push_back(key_of(self.rank(), i));
+      }
+      if (param.batched) {
+        std::vector<Status> statuses;
+        (void)map.insert_batch(ins_keys, ins_vals, &statuses);
+        for (std::size_t i = 0; i < statuses.size(); ++i) {
+          if (!statuses[i].ok()) failed_inserts[r].push_back(ins_keys[i]);
+        }
+        statuses.clear();
+        (void)map.erase_batch(del_keys, &statuses);
+        for (std::size_t i = 0; i < statuses.size(); ++i) {
+          if (!statuses[i].ok()) failed_erases[r].push_back(del_keys[i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < ins_keys.size(); ++i) {
+          ASSERT_TRUE(map.insert(ins_keys[i], ins_vals[i]));
+        }
+        for (const auto k : del_keys) ASSERT_TRUE(map.erase(k));
+      }
+    });
+    if (param.faults) {
+      ctx.run([&](sim::Actor& self) {
+        if (self.node() == kVictim) return;
+        const auto r = static_cast<std::size_t>(self.rank());
+        for (const auto k : failed_inserts[r]) (void)map.upsert(k, val_of(k));
+        for (const auto k : failed_erases[r]) (void)map.erase(k);
+      });
+      plan->rejoin_node(kVictim);
+      ctx.run_one(0, [&](sim::Actor& self) { map.heal(self); });
+      // But the victim's ranks never ran phase 2: replay their slice so
+      // both twins executed the same logical op stream end-to-end.
+      ctx.run([&](sim::Actor& self) {
+        if (self.node() != kVictim) return;
+        for (int i = 0; i < kPerRank; ++i) {
+          const auto k = fresh_of(self.rank(), i);
+          (void)map.upsert(k, val_of(k));
+        }
+        for (int i = 0; i < kPerRank; i += 3) {
+          (void)map.erase(key_of(self.rank(), i));
+        }
+      });
+    }
+
+    // Final read of the whole keyspace from one rank.
+    std::vector<std::optional<std::uint64_t>> state;
+    ctx.run_one(0, [&](sim::Actor&) {
+      for (std::size_t r = 0; r < ranks; ++r) {
+        for (int i = 0; i < kPerRank; ++i) {
+          std::uint64_t v = 0;
+          state.push_back(map.find(key_of(static_cast<int>(r), i), &v)
+                              ? std::optional<std::uint64_t>(v)
+                              : std::nullopt);
+          v = 0;
+          state.push_back(map.find(fresh_of(static_cast<int>(r), i), &v)
+                              ? std::optional<std::uint64_t>(v)
+                              : std::nullopt);
+        }
+      }
+    });
+    return state;
+  };
+
+  const auto off_state = run_workload(off_ctx, off_map);
+  const auto on_state = run_workload(on_ctx, on_map);
+  EXPECT_EQ(on_map.size(), off_map.size());
+  EXPECT_EQ(on_state, off_state);
+
+  // Tier split: the on-twin really rode rings (multi-node pods put even
+  // cross-node traffic on them), the off-twin never did.
+  std::int64_t on_shm = 0, off_shm = 0;
+  for (int n = 0; n < param.nodes; ++n) {
+    on_shm += on_ctx.fabric().nic(n).counters().shm_sends.load();
+    off_shm += off_ctx.fabric().nic(n).counters().shm_sends.load();
+  }
+  EXPECT_GT(on_shm, 0);
+  EXPECT_EQ(off_shm, 0);
+
+  // Counter parity on the deterministic slice: with no faults and no cache
+  // (retries and hit/miss streams are the only timing-dependent counters),
+  // both twins issued the exact same number of client RPCs — the tier moves
+  // traffic, it never adds or removes ops.
+  if (!param.faults && param.mode == cache::CacheMode::kOff) {
+    std::int64_t on_rpcs = 0, off_rpcs = 0;
+    for (int n = 0; n < param.nodes; ++n) {
+      on_rpcs += on_ctx.fabric().nic(n).counters().rpc_count.load();
+      off_rpcs += off_ctx.fabric().nic(n).counters().rpc_count.load();
+    }
+    EXPECT_EQ(on_rpcs, off_rpcs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShmEquivalenceSweep,
+    ::testing::Values(
+        ShmCase{2, 2, 4, 1, cache::CacheMode::kOff, false, false, 17u},
+        ShmCase{3, 1, 3, 1, cache::CacheMode::kOff, true, false, 28u},
+        ShmCase{4, 2, 8, 2, cache::CacheMode::kInvalidate, true, false, 39u},
+        ShmCase{3, 2, 6, 1, cache::CacheMode::kUpdate, false, false, 40u},
+        ShmCase{2, 2, 4, 2, cache::CacheMode::kOff, false, true, 51u},
+        ShmCase{3, 1, 3, 2, cache::CacheMode::kInvalidate, true, true, 62u},
+        ShmCase{4, 2, 8, 2, cache::CacheMode::kUpdate, true, true, 73u}));
+
 }  // namespace
 }  // namespace hcl

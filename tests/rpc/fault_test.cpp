@@ -341,10 +341,12 @@ TEST_F(FaultTest, SeededMixedFaultsAlwaysResolveDefinite) {
 TEST(SendRequestTiming, LocalPathChargesInjectionOverhead) {
   fabric::Fabric fabric(Topology(2, 1), CostModel::ares());
   Actor client(0, 0, 1);
-  // Node-local request-buffer write begins only after the WQE injection
-  // overhead, mirroring the remote path's pre-wire injection charge.
+  // Node-local request-buffer write begins only after the local doorbell
+  // charge (DESIGN.md §5i): "local" pays the same shm_doorbell_ns rate the
+  // shared-memory tier uses, not the NIC WQE injection overhead.
   const Nanos arrival = fabric.send_request(client, 0, 0);
-  EXPECT_GE(arrival, fabric.model().wire_overhead_ns);
+  EXPECT_GE(arrival, fabric.model().shm_doorbell_ns);
+  EXPECT_LT(arrival, fabric.model().wire_overhead_ns + fabric.model().net_base_latency_ns);
 }
 
 TEST(SendRequestTiming, NotBeforeDefersReissue) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "serial/arena.h"
+
 #include <map>
 #include <optional>
 #include <string>
@@ -237,6 +239,63 @@ TEST(Archive, RemainingTracksCursor) {
   EXPECT_EQ(in.remaining(), 16u);
   in.u64();
   EXPECT_EQ(in.remaining(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Flat (arena) archives: the zero-allocation shm fast path (DESIGN.md §5i)
+// ---------------------------------------------------------------------------
+
+TEST(FlatArchive, RoundTripsThroughCallerBuffer) {
+  std::byte arena[256];
+  FlatOutArchive out(arena);
+  save(out, 42);
+  save(out, std::string("ring"));
+  save(out, std::vector<double>{1.5, 2.5});
+  ASSERT_TRUE(out.ok());
+  // Flat bytes are identical to the heap archive's — the reader cannot tell.
+  InArchive in(out.written());
+  int a;
+  std::string b;
+  std::vector<double> c;
+  load(in, a);
+  load(in, b);
+  load(in, c);
+  EXPECT_EQ(a, 42);
+  EXPECT_EQ(b, "ring");
+  EXPECT_EQ(c, (std::vector<double>{1.5, 2.5}));
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(FlatArchive, OverflowFlagsInsteadOfGrowing) {
+  std::byte arena[8];
+  FlatOutArchive out(arena);
+  save(out, std::string("this string does not fit in eight bytes"));
+  EXPECT_FALSE(out.ok());
+  // Writes after overflow are swallowed; size never passes the capacity.
+  save(out, 7);
+  EXPECT_FALSE(out.ok());
+  EXPECT_LE(out.size(), sizeof(arena));
+}
+
+TEST(FlatArchive, PackedBackendWritesVarints) {
+  std::byte arena[64];
+  PackedFlatOutArchive out(arena);
+  out.u64(5);  // one varint byte, vs 8 fixed bytes on the raw backend
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.size(), 1u);
+  PackedInArchive in(out.written());
+  EXPECT_EQ(in.u64(), 5u);
+}
+
+TEST(FlatArchive, PackedPutU64BoundsChecks) {
+  std::byte buf[16];
+  std::byte* cursor = buf;
+  EXPECT_TRUE(PackedBackend::put_u64(cursor, buf + sizeof(buf), 300));
+  EXPECT_EQ(cursor - buf, 2);  // 300 needs two varint bytes
+  std::byte tiny[1];
+  std::byte* c2 = tiny;
+  EXPECT_FALSE(PackedBackend::put_u64(c2, tiny + 1, ~0ULL));  // 10 bytes
+  EXPECT_EQ(c2, tiny);  // a failed put leaves the cursor untouched
 }
 
 }  // namespace
