@@ -67,26 +67,8 @@ namespace {
 using namespace hcl;         // NOLINT
 using namespace hcl::bench;  // NOLINT
 
-/// Machine-checkable perf record: one flat JSON object per ablation file.
-void write_json(const char* path, const std::string& body) {
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fputs(body.c_str(), f);
-    std::fputs("\n", f);
-    std::fclose(f);
-    std::printf("   wrote %s\n", path);
-  } else {
-    std::fprintf(stderr, "   could not write %s\n", path);
-  }
-}
-
-std::string jsonf(const char* fmt, ...) {
-  char buf[2048];
-  va_list ap;
-  va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, ap);
-  va_end(ap);
-  return buf;
-}
+// write_json / jsonf live in bench_util.h now that every figure bench emits
+// a BENCH_*.json record under the same determinism contract.
 
 }  // namespace
 

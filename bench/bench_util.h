@@ -7,7 +7,9 @@
 // override.
 #pragma once
 
+#include <chrono>
 #include <cinttypes>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,8 @@
 #include <vector>
 
 #include "core/hcl.h"
+#include "fabric/fabric.h"
+#include "sim/cluster.h"
 
 namespace hcl::bench {
 
@@ -96,6 +100,146 @@ inline std::string human_bytes(std::int64_t bytes) {
     std::snprintf(buf, sizeof(buf), "%" PRId64 "KB", bytes >> 10);
   }
   return buf;
+}
+
+/// Machine-checkable perf record: one flat JSON object per BENCH_*.json
+/// file, deterministic under the rounding contract documented at the top of
+/// bench/ablations.cpp (floats rounded coarser than the ns-level reservation
+/// noise floor, fixed field order, Config-default seeds).
+inline void write_json(const char* path, const std::string& body) {
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(body.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::printf("   wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "   could not write %s\n", path);
+  }
+}
+
+inline std::string jsonf(const char* fmt, ...) {
+  char buf[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+/// Real wall-clock budget guard (--budget-s): the paper-scale harness must
+/// provably not melt, so CI runs the figure benches under a hard budget and
+/// the bench exits non-zero the moment a checkpoint exceeds it.
+class WallBudget {
+ public:
+  explicit WallBudget(double budget_seconds)
+      : budget_s_(budget_seconds),
+        start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Call at phase boundaries; no-op when no budget was requested.
+  void check(const char* tag) const {
+    if (budget_s_ <= 0) return;
+    const double e = elapsed_s();
+    if (e > budget_s_) {
+      std::fprintf(stderr,
+                   "BUDGET EXCEEDED at %s: %.1f s wall > %.1f s budget\n", tag,
+                   e, budget_s_);
+      std::exit(3);
+    }
+  }
+
+  [[nodiscard]] double budget_s() const noexcept { return budget_s_; }
+
+ private:
+  double budget_s_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Multiplexing-equivalence probe (DESIGN.md §5j), run by the figure benches
+/// before their headline topology: the same contention-free spaced put
+/// workload at several real-thread caps must produce byte-identical
+/// per-rank simulated clocks and fabric counter totals. Returns the
+/// verdicts for BENCH_*.json emission (CI asserts both true).
+struct EquivalenceReport {
+  bool clocks_equal = false;
+  bool counters_equal = false;
+  int levels = 0;
+};
+
+inline EquivalenceReport run_equivalence_probe(int nodes, int procs) {
+  using sim::Nanos;
+  const sim::Topology topo(nodes, procs);
+  const int ranks = topo.num_ranks();
+  constexpr int kIters = 8;
+  constexpr std::size_t kLen = 2048;
+  const Nanos slot = 8 * sim::kMicrosecond;
+  const Nanos stride = slot * procs;
+
+  struct Outcome {
+    std::vector<Nanos> clocks;
+    std::int64_t packets = 0, bytes = 0, writes = 0;
+  };
+  auto run_level = [&](unsigned max_threads) {
+    sim::Cluster cluster(topo, /*seed=*/42);
+    fabric::Fabric fab(topo, sim::CostModel::ares());
+    std::vector<std::vector<char>> dst(
+        static_cast<std::size_t>(nodes),
+        std::vector<char>(static_cast<std::size_t>(procs) * kLen, 0));
+    std::vector<char> src(kLen, 'x');
+    cluster.run(
+        [&](sim::Actor& a) {
+          const int local = topo.local_index(a.rank());
+          const sim::NodeId target = (a.node() + 1) % nodes;
+          for (int i = 0; i < kIters; ++i) {
+            a.advance_to(i * stride + local * slot);
+            fab.put(a, target,
+                    dst[static_cast<std::size_t>(target)].data() +
+                        static_cast<std::size_t>(local) * kLen,
+                    src.data(), kLen);
+          }
+        },
+        max_threads);
+    Outcome out;
+    out.clocks.reserve(static_cast<std::size_t>(ranks));
+    for (sim::Rank r = 0; r < ranks; ++r) {
+      out.clocks.push_back(cluster.actor(r).now());
+    }
+    for (sim::NodeId n = 0; n < nodes; ++n) {
+      const auto& c = fab.nic(n).counters();
+      out.packets += c.total_packets.load();
+      out.bytes += c.total_bytes.load();
+      out.writes += c.write_count.load();
+    }
+    return out;
+  };
+
+  std::vector<unsigned> levels;
+  for (unsigned cap : {static_cast<unsigned>(ranks),
+                       static_cast<unsigned>(ranks > 4 ? ranks / 4 : 1), 16u,
+                       2u}) {
+    cap = cap == 0 ? 1 : cap;
+    bool dup = false;
+    for (unsigned seen : levels) dup = dup || seen == cap;
+    if (!dup) levels.push_back(cap);
+  }
+
+  EquivalenceReport rep;
+  rep.levels = static_cast<int>(levels.size());
+  rep.clocks_equal = true;
+  rep.counters_equal = true;
+  const Outcome ref = run_level(levels[0]);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    const Outcome got = run_level(levels[i]);
+    rep.clocks_equal = rep.clocks_equal && got.clocks == ref.clocks;
+    rep.counters_equal = rep.counters_equal && got.packets == ref.packets &&
+                         got.bytes == ref.bytes && got.writes == ref.writes;
+  }
+  return rep;
 }
 
 inline void print_header(const char* figure, const char* description) {

@@ -167,6 +167,16 @@ int main(int argc, char** argv) {
   std::printf("\nspeedup vs BCL:  RPC with CAS %.2fx   RPC lock-free %.2fx\n",
               bcl.total() / rpc_cas.total(), bcl.total() / rpc_lf.total());
   std::printf("paper:           RPC with CAS ~2x     RPC lock-free ~2.5x\n");
+  write_json(
+      "BENCH_FIG1_MOTIVATING.json",
+      jsonf("{\"bench\": \"fig1_motivating\", \"clients\": %d, "
+            "\"ops_per_client\": %" PRId64 ", \"op_bytes\": %" PRId64 ", "
+            "\"bcl_client_s\": %.4f, \"rpc_cas_client_s\": %.4f, "
+            "\"rpc_lockfree_client_s\": %.4f, "
+            "\"rpc_cas_speedup_x\": %.2f, \"rpc_lockfree_speedup_x\": %.2f}",
+            clients, ops, op_bytes, bcl.total() * scale,
+            rpc_cas.total() * scale, rpc_lf.total() * scale,
+            bcl.total() / rpc_cas.total(), bcl.total() / rpc_lf.total()));
   print_footer();
   return 0;
 }

@@ -238,6 +238,20 @@ int main(int argc, char** argv) {
   std::printf("peak memory: HCL %.1f MB (dynamic ramp)  BCL %.1f MB (static from t=0)\n",
               *std::max_element(hcl_series.memory_mb.begin(), hcl_series.memory_mb.end()),
               *std::max_element(bcl_series.memory_mb.begin(), bcl_series.memory_mb.end()));
+  write_json(
+      "BENCH_FIG4_PROFILING.json",
+      jsonf("{\"bench\": \"fig4_profiling\", \"clients\": %d, "
+            "\"ops_per_client\": %" PRId64 ", "
+            "\"hcl_seconds\": %.3f, \"bcl_seconds\": %.3f, "
+            "\"bcl_hcl_ratio\": %.2f, "
+            "\"hcl_mean_nic_util_pct\": %.1f, \"bcl_mean_nic_util_pct\": %.1f, "
+            "\"hcl_bcl_packet_rate_x\": %.2f}",
+            clients, ops, hcl_series.seconds, bcl_series.seconds,
+            bcl_series.seconds / hcl_series.seconds,
+            100 * mean_nonzero(hcl_series.nic_util),
+            100 * mean_nonzero(bcl_series.nic_util),
+            mean_nonzero(hcl_series.packets_per_s) /
+                std::max(1.0, mean_nonzero(bcl_series.packets_per_s))));
 
   // ---- Read cache: RPC traffic a warm cache removes (DESIGN.md §5d) -------
   // Same topology, Zipfian read-back of a warm keyspace, cache off vs. on.

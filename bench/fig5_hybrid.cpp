@@ -53,6 +53,10 @@ int main(int argc, char** argv) {
       4 << 10,  8 << 10,  16 << 10,  32 << 10,  64 << 10,  128 << 10,
       256 << 10, 512 << 10, 1 << 20, 2 << 20,  4 << 20,   8 << 20};
 
+  // Headline means per locality (for BENCH_FIG5_HYBRID.json).
+  double mean_ins[2] = {0, 0}, mean_find[2] = {0, 0};
+  double mean_bcl_ins[2] = {0, 0}, mean_bcl_find[2] = {0, 0};
+
   // One context per locality so budgets/lanes are clean.
   for (const bool intra : {true, false}) {
     Context::Config cfg;
@@ -174,6 +178,10 @@ int main(int argc, char** argv) {
       std::printf("mean over non-OOM sizes: HCL ins %.1f find %.1f | BCL ins %.1f find %.1f GB/s\n",
                   hcl_ins_sum / summed, hcl_find_sum / summed,
                   bcl_ins_sum / summed, bcl_find_sum / summed);
+      mean_ins[intra ? 0 : 1] = hcl_ins_sum / summed;
+      mean_find[intra ? 0 : 1] = hcl_find_sum / summed;
+      mean_bcl_ins[intra ? 0 : 1] = bcl_ins_sum / summed;
+      mean_bcl_find[intra ? 0 : 1] = bcl_find_sum / summed;
     }
     if (intra) {
       std::printf("paper: HCL plateaus ~45 (ins) / ~55 (find) GB/s from 32KB; "
@@ -183,6 +191,17 @@ int main(int argc, char** argv) {
                   "HCL 3.1-12x (ins), 1.1-9x (find); BCL OOM above 1MB\n\n");
     }
   }
+  write_json(
+      "BENCH_FIG5_HYBRID.json",
+      jsonf("{\"bench\": \"fig5_hybrid\", \"clients\": %d, "
+            "\"base_ops\": %" PRId64 ", "
+            "\"intra_hcl_insert_gbps\": %.2f, \"intra_hcl_find_gbps\": %.2f, "
+            "\"intra_bcl_insert_gbps\": %.2f, \"intra_bcl_find_gbps\": %.2f, "
+            "\"inter_hcl_insert_gbps\": %.2f, \"inter_hcl_find_gbps\": %.2f, "
+            "\"inter_bcl_insert_gbps\": %.2f, \"inter_bcl_find_gbps\": %.2f}",
+            clients, base_ops, mean_ins[0], mean_find[0], mean_bcl_ins[0],
+            mean_bcl_find[0], mean_ins[1], mean_find[1], mean_bcl_ins[1],
+            mean_bcl_find[1]));
   print_footer();
   return 0;
 }

@@ -6,6 +6,7 @@
 // Reported: aggregate throughput (ops/s). Paper shapes: near-linear scaling
 // with partitions; the ordered map ~54% slower than the unordered map;
 // BCL ~9.1x slower on inserts and ~4.5x on finds.
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -31,16 +32,34 @@ int main(int argc, char** argv) {
   const int procs = static_cast<int>(args.get("--procs-per-node", full ? 40 : 4));
   const auto ops = args.get("--ops", full ? 8192 : 128);
   const std::int64_t op_bytes = args.get("--bytes", 64 << 10);
+  // --nodes pins a single topology (the paper headline is 64 x 40 = 2560
+  // ranks: `--nodes 64 --procs-per-node 40`); otherwise sweep the figure's
+  // node counts. --budget-s arms the wall-clock assert.
+  const int only_nodes = static_cast<int>(args.get("--nodes", 0));
+  const WallBudget budget(static_cast<double>(args.get("--budget-s", 0)));
   std::vector<int> node_counts = full ? std::vector<int>{8, 16, 32, 64}
                                       : std::vector<int>{4, 8, 16, 32};
+  if (only_nodes > 0) node_counts = {only_nodes};
 
   print_header("Figure 6(a)", "map scaling with partition count");
   std::printf("procs/node=%d ops/client=%" PRId64 " op=%s (paper: 2560 clients, 8192 x 64KB)\n\n",
               procs, ops, human_bytes(op_bytes).c_str());
+
+  // Fidelity gate before the headline numbers: simulated results must be
+  // independent of how many real threads the runner multiplexes ranks onto.
+  const EquivalenceReport equiv =
+      run_equivalence_probe(std::min(node_counts.back(), 8), procs);
+  std::printf("multiplex equivalence: %d thread caps, clocks %s, counters %s\n\n",
+              equiv.levels, equiv.clocks_equal ? "identical" : "DIVERGED",
+              equiv.counters_equal ? "identical" : "DIVERGED");
+  budget.check("equivalence-probe");
   std::printf("%6s | %13s %13s %13s | %13s %13s\n", "nodes",
               "HCL::umap ins", "HCL::map ins", "BCL::umap ins", "HCL::umap find",
               "BCL::umap find");
 
+  // Headline metrics of the last (largest) topology, emitted as JSON below.
+  double umap_ins = 0, umap_find = 0, omap_ins = 0, bcl_ins = 0, bcl_find = 0;
+  std::atomic<std::int64_t> failed_ops{0};
   for (int nodes : node_counts) {
     Context::Config cfg;
     cfg.num_nodes = nodes;
@@ -52,11 +71,16 @@ int main(int argc, char** argv) {
 
     auto client_keys = [&](sim::Actor& self, auto&& op) {
       for (std::int64_t i = 0; i < ops; ++i) {
-        op(static_cast<std::uint64_t>(self.rank()) * ops + i);
+        try {
+          op(static_cast<std::uint64_t>(self.rank()) * ops + i);
+        } catch (const HclError&) {
+          failed_ops.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     };
 
-    double umap_ins = 0, umap_find = 0, omap_ins = 0, bcl_ins = 0, bcl_find = 0;
+    umap_ins = umap_find = omap_ins = bcl_ins = bcl_find = 0;
+    failed_ops.store(0, std::memory_order_relaxed);
     {
       unordered_map<std::uint64_t, Blob> m(ctx);
       ctx.reset_measurement();
@@ -107,7 +131,35 @@ int main(int argc, char** argv) {
     std::printf("%6s | ordered/unordered %.0f%% slower; HCL/BCL ins %.1fx, find %.1fx\n",
                 "", 100.0 * (1.0 - omap_ins / umap_ins), umap_ins / bcl_ins,
                 umap_find / bcl_find);
+    budget.check(jsonf("nodes=%d", nodes).c_str());
   }
+
+  // Deterministic record for the final (largest) topology. Wall-clock time is
+  // printed, never serialized — the JSON must be byte-stable across hosts.
+  const int last_nodes = node_counts.back();
+  write_json(
+      "BENCH_FIG6_MAPS.json",
+      jsonf("{\"bench\": \"fig6_maps\", \"nodes\": %d, \"procs_per_node\": %d, "
+            "\"ranks\": %d, \"ops_per_client\": %" PRId64 ", "
+            "\"failed_ops\": %" PRId64 ", "
+            "\"umap_insert_ops_s\": %.0f, \"omap_insert_ops_s\": %.0f, "
+            "\"bcl_insert_ops_s\": %.0f, \"umap_find_ops_s\": %.0f, "
+            "\"bcl_find_ops_s\": %.0f, "
+            "\"omap_vs_umap_pct\": %.2f, \"umap_vs_bcl_insert_x\": %.2f, "
+            "\"umap_vs_bcl_find_x\": %.2f, "
+            "\"mux_levels\": %d, \"clocks_equal\": %s, "
+            "\"counter_totals_equal\": %s}",
+            last_nodes, procs, last_nodes * procs, ops,
+            failed_ops.load(std::memory_order_relaxed),
+            umap_ins, omap_ins, bcl_ins, umap_find, bcl_find,
+            100.0 * (1.0 - omap_ins / umap_ins), umap_ins / bcl_ins,
+            umap_find / bcl_find, equiv.levels,
+            equiv.clocks_equal ? "true" : "false",
+            equiv.counters_equal ? "true" : "false"));
+  std::printf("wall: %.1f s%s\n", budget.elapsed_s(),
+              budget.budget_s() > 0
+                  ? jsonf(" (budget %.0f s)", budget.budget_s()).c_str()
+                  : "");
   std::printf("\npaper: unordered_map scales ~linearly to ~600K op/s at 64 nodes;\n"
               "HCL::map ~54%% slower; BCL 9.1x slower inserts, 4.5x slower finds.\n");
   print_footer();

@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   std::printf("%8s | %12s %12s %12s | %12s %12s\n", "clients", "FIFO push/s",
               "PQ push/s", "BCL push/s", "FIFO pop/s", "BCL pop/s");
 
+  double last_fifo_push = 0, last_fifo_pop = 0, last_pq_push = 0;
+  double last_bcl_push = 0, last_bcl_pop = 0;
   for (int clients : client_counts) {
     // Topology: clients spread over nodes with 8 per node (so most are
     // remote from the queue's host, as in the paper's 64-node runs).
@@ -100,7 +102,24 @@ int main(int argc, char** argv) {
     std::printf("%8d | %10.0f/s %10.0f/s %10.0f/s | %10.0f/s %10.0f/s  (PQ %-3.0f%% of FIFO, HCL/BCL %.1fx)\n",
                 clients, fifo_push, pq_push, bcl_push, fifo_pop, bcl_pop,
                 100.0 * pq_push / fifo_push, fifo_push / bcl_push);
+    last_fifo_push = fifo_push;
+    last_fifo_pop = fifo_pop;
+    last_pq_push = pq_push;
+    last_bcl_push = bcl_push;
+    last_bcl_pop = bcl_pop;
   }
+  write_json(
+      "BENCH_FIG6_QUEUES.json",
+      jsonf("{\"bench\": \"fig6_queues\", \"clients\": %d, "
+            "\"ops_per_client\": %" PRId64 ", "
+            "\"fifo_push_ops_s\": %.0f, \"pq_push_ops_s\": %.0f, "
+            "\"bcl_push_ops_s\": %.0f, \"fifo_pop_ops_s\": %.0f, "
+            "\"bcl_pop_ops_s\": %.0f, "
+            "\"pq_vs_fifo_pct\": %.2f, \"fifo_vs_bcl_x\": %.2f}",
+            client_counts.back(), ops, last_fifo_push, last_pq_push,
+            last_bcl_push, last_fifo_pop, last_bcl_pop,
+            100.0 * last_pq_push / last_fifo_push,
+            last_fifo_push / last_bcl_push));
   std::printf("\npaper: throughput peaks once the host NIC saturates, then plateaus;\n"
               "priority queue ~30%% slower than FIFO; BCL caps at ~35K push / 43K pop.\n");
   print_footer();

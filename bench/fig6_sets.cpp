@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   std::printf("%6s | %14s %14s | %14s | %16s\n", "nodes", "uset ins op/s",
               "set ins op/s", "uset find op/s", "uset vs umap ins");
 
+  double last_uset_ins = 0, last_uset_find = 0, last_oset_ins = 0;
+  double last_uset_vs_umap_pct = 0;
   for (int nodes : node_counts) {
     Context::Config cfg;
     cfg.num_nodes = nodes;
@@ -90,7 +92,19 @@ int main(int argc, char** argv) {
     std::printf("%6d | %12.0f/s %12.0f/s | %12.0f/s | %+14.0f%%\n", nodes,
                 uset_ins, oset_ins, uset_find,
                 100.0 * (uset_ins / umap_ins - 1.0));
+    last_uset_ins = uset_ins;
+    last_uset_find = uset_find;
+    last_oset_ins = oset_ins;
+    last_uset_vs_umap_pct = 100.0 * (uset_ins / umap_ins - 1.0);
   }
+  write_json(
+      "BENCH_FIG6_SETS.json",
+      jsonf("{\"bench\": \"fig6_sets\", \"nodes\": %d, \"procs_per_node\": %d, "
+            "\"ops_per_client\": %" PRId64 ", "
+            "\"uset_insert_ops_s\": %.0f, \"oset_insert_ops_s\": %.0f, "
+            "\"uset_find_ops_s\": %.0f, \"uset_vs_umap_insert_pct\": %.2f}",
+            node_counts.back(), procs, ops, last_uset_ins, last_oset_ins,
+            last_uset_find, last_uset_vs_umap_pct));
   std::printf("\npaper: unordered_set ~620K op/s at 64 partitions, ~linear;\n"
               "sets 7-14%% faster than maps; ordered set slower than unordered.\n");
   print_footer();

@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
   std::printf("%6s | %10s %10s | %8s | %9s %12s\n", "nodes", "HCL (s)",
               "BCL (s)", "BCL/HCL", "contigs", "bases");
 
+  double last_hcl_s = 0, last_bcl_s = 0;
+  std::uint64_t last_contigs = 0, last_bases = 0;
   for (int nodes : node_counts) {
     Context::Config cfg;
     cfg.num_nodes = nodes;
@@ -49,7 +51,20 @@ int main(int argc, char** argv) {
                 nodes, hcl_result.seconds, bcl_result.seconds,
                 bcl_result.seconds / hcl_result.seconds, hcl_result.contigs,
                 hcl_result.total_bases);
+    last_hcl_s = hcl_result.seconds;
+    last_bcl_s = bcl_result.seconds;
+    last_contigs = hcl_result.contigs;
+    last_bases = hcl_result.total_bases;
   }
+  write_json(
+      "BENCH_FIG7_CONTIG.json",
+      jsonf("{\"bench\": \"fig7_contig\", \"nodes\": %d, "
+            "\"procs_per_node\": %d, \"ref_per_node\": %" PRId64 ", "
+            "\"hcl_seconds\": %.3f, \"bcl_seconds\": %.3f, "
+            "\"bcl_hcl_ratio\": %.2f, \"contigs\": %" PRIu64 ", "
+            "\"bases\": %" PRIu64 "}",
+            node_counts.back(), procs, ref_per_node, last_hcl_s, last_bcl_s,
+            last_bcl_s / last_hcl_s, last_contigs, last_bases));
   std::printf("\npaper: HCL 1.8x faster at 8 nodes growing to 12x at 64 nodes.\n");
   print_footer();
   return 0;

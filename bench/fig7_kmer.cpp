@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
   std::printf("%6s | %10s %10s | %8s | %12s\n", "nodes", "HCL (s)", "BCL (s)",
               "BCL/HCL", "kmers");
 
+  double last_hcl_s = 0, last_bcl_s = 0;
+  std::uint64_t last_kmers = 0;
   for (int nodes : node_counts) {
     Context::Config cfg;
     cfg.num_nodes = nodes;
@@ -48,7 +50,18 @@ int main(int argc, char** argv) {
     std::printf("%6d | %10.3f %10.3f | %7.2fx | %12" PRIu64 "\n", nodes,
                 hcl_result.seconds, bcl_result.seconds,
                 bcl_result.seconds / hcl_result.seconds, hcl_result.total_kmers);
+    last_hcl_s = hcl_result.seconds;
+    last_bcl_s = bcl_result.seconds;
+    last_kmers = hcl_result.total_kmers;
   }
+  write_json(
+      "BENCH_FIG7_KMER.json",
+      jsonf("{\"bench\": \"fig7_kmer\", \"nodes\": %d, \"procs_per_node\": %d, "
+            "\"ref_per_node\": %" PRId64 ", "
+            "\"hcl_seconds\": %.3f, \"bcl_seconds\": %.3f, "
+            "\"bcl_hcl_ratio\": %.2f, \"kmers\": %" PRIu64 "}",
+            node_counts.back(), procs, ref_per_node, last_hcl_s, last_bcl_s,
+            last_bcl_s / last_hcl_s, last_kmers));
   std::printf("\npaper: HCL 2.17x faster at 8 nodes growing to 8x at 64 nodes.\n");
   print_footer();
   return 0;

@@ -1,16 +1,22 @@
 // Per-NIC traffic counters and time series, the data source for the
 // profiling figure (Fig. 4): packets/s, NIC engine busy time, op mix.
+// Hot scalar counters are striped (common/striped.h): at paper-scale
+// topologies every rank bumps total_packets/rpc_count per op, and a single
+// atomic per counter serializes the cluster on metric cache lines. Writes
+// stay relaxed fetch_adds on per-thread cells; load() merges (exact).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
+#include "common/striped.h"
 #include "sim/time.h"
 #include "sim/timeseries.h"
 
 namespace hcl::fabric {
 
 struct NicCounters {
+  using Counter = hcl::StripedCounter<8>;
+
   NicCounters(sim::Nanos bucket_width, std::size_t num_buckets)
       : packets(bucket_width, num_buckets),
         busy(bucket_width, num_buckets),
@@ -29,55 +35,55 @@ struct NicCounters {
   /// show the RPC traffic a warm cache removes (fig4 --cache).
   sim::TimeSeries cache_hits;
 
-  std::atomic<std::int64_t> total_packets{0};
-  std::atomic<std::int64_t> total_bytes{0};
-  std::atomic<std::int64_t> rpc_count{0};
+  Counter total_packets;
+  Counter total_bytes;
+  Counter rpc_count;
   /// Client re-sends into this NIC (retry-with-backoff after a transient
   /// failure or a lost request).
-  std::atomic<std::int64_t> rpc_retries{0};
+  Counter rpc_retries;
   /// Invocations that ultimately resolved DeadlineExceeded against this NIC.
-  std::atomic<std::int64_t> rpc_timeouts{0};
+  Counter rpc_timeouts;
   /// Coalesced bundles executed by this NIC's batch executor, and the
   /// constituent ops they carried (rpc_batched_ops / rpc_batches = mean
   /// bundle size; Table I's E).
-  std::atomic<std::int64_t> rpc_batches{0};
-  std::atomic<std::int64_t> rpc_batched_ops{0};
+  Counter rpc_batches;
+  Counter rpc_batched_ops;
   /// Server-stub execution time on the NIC cores (handler simulated spans).
-  std::atomic<std::int64_t> handler_busy_ns{0};
+  Counter handler_busy_ns;
   /// Time delivered WQEs spent queued behind other work before their NIC-core
   /// dispatch began (Fig. 4's queue stage; cross-checked by the tracer's
   /// per-span queue durations).
-  std::atomic<std::int64_t> rpc_queue_wait_ns{0};
-  std::atomic<std::int64_t> atomic_count{0};
-  std::atomic<std::int64_t> read_count{0};
-  std::atomic<std::int64_t> write_count{0};
+  Counter rpc_queue_wait_ns;
+  Counter atomic_count;
+  Counter read_count;
+  Counter write_count;
   /// Client read-cache traffic against this NIC's partitions (DESIGN.md
   /// §5d): hits (no RPC issued), misses (fell through to the authoritative
   /// RPC), entries dropped by write-invalidation or piggybacked-epoch
   /// staleness, and stale-epoch reads specifically.
-  std::atomic<std::int64_t> cache_hit_count{0};
-  std::atomic<std::int64_t> cache_miss_count{0};
-  std::atomic<std::int64_t> cache_invalidation_count{0};
-  std::atomic<std::int64_t> cache_stale_count{0};
+  Counter cache_hit_count;
+  Counter cache_miss_count;
+  Counter cache_invalidation_count;
+  Counter cache_stale_count;
   /// Ops re-routed to this NIC because it hosts the promoted replica of a
   /// partition whose primary is down, and repair-replay ops this NIC (the
   /// recovered primary) absorbed during anti-entropy catch-up.
-  std::atomic<std::int64_t> failovers{0};
-  std::atomic<std::int64_t> repair_ops{0};
+  Counter failovers;
+  Counter repair_ops;
   /// Shard rebalancing traffic this NIC absorbed as the destination of a
   /// split/merge/migrate (DESIGN.md §5g): completed moves, keys landed, and
   /// bulk-path bytes (charged at wire rates but outside the op path).
-  std::atomic<std::int64_t> migrations{0};
-  std::atomic<std::int64_t> migrated_keys{0};
-  std::atomic<std::int64_t> migrated_bytes{0};
+  Counter migrations;
+  Counter migrated_keys;
+  Counter migrated_bytes;
   /// Cross-partition transaction outcomes attributed to the COORDINATOR's
   /// node (DESIGN.md §5h): every TxnCoordinator attempt ends as exactly one
   /// commit or one abort, so txn_commits + txn_aborts reconciles against the
   /// tracer's kTxn span count. txn_retries counts abort-then-retry loops
   /// (attempts re-run after a validation conflict), a subset of txn_aborts.
-  std::atomic<std::int64_t> txn_commits{0};
-  std::atomic<std::int64_t> txn_aborts{0};
-  std::atomic<std::int64_t> txn_retries{0};
+  Counter txn_commits;
+  Counter txn_aborts;
+  Counter txn_retries;
   /// Shared-memory transport tier (DESIGN.md §5i), attributed to the
   /// DESTINATION node: requests delivered through its shm ring instead of
   /// the wire (client RPCs also count in rpc_count — shm_sends tells the
@@ -86,9 +92,9 @@ struct NicCounters {
   /// payload bytes carried in ring arenas (never in total_bytes —
   /// they cross memory channels, not the wire), and requests that found the
   /// ring full and fell back to the RDMA path.
-  std::atomic<std::int64_t> shm_sends{0};
-  std::atomic<std::int64_t> shm_bytes{0};
-  std::atomic<std::int64_t> shm_ring_full_fallbacks{0};
+  Counter shm_sends;
+  Counter shm_bytes;
+  Counter shm_ring_full_fallbacks;
 
   void record_packets(sim::Nanos t, std::int64_t n, std::int64_t bytes) {
     packets.add(t, n);

@@ -1,18 +1,20 @@
 // The simulated cluster: actors for every rank plus the parallel runner.
 //
-// Substitution note (DESIGN.md §2): the paper launches 2560 MPI ranks over 64
-// physical nodes. Here a rank is an Actor driven by a real OS thread. When
-// the rank count is small (micro-benchmarks: 40 clients) each rank gets its
-// own thread, so real concurrency exercises the lock-free structures. When
-// the rank count exceeds `max_threads` (scaling studies: 2560 clients), ranks
-// are multiplexed over a thread pool; simulated-time reservations through
-// sim::Resource still serialize correctly, so *throughput* numbers (ops /
-// max simulated finish time) remain faithful even under multiplexing.
+// Substitution note (DESIGN.md §2, §5j): the paper launches 2560 MPI ranks
+// over 64 physical nodes. Here a rank is an Actor. When the rank count is
+// small (micro-benchmarks: 40 clients) each rank gets its own OS thread, so
+// real concurrency exercises the lock-free structures. When the rank count
+// exceeds the thread cap (scaling studies: 2560 clients), ranks are
+// multiplexed over a bounded worker pool (sim/multiplex.h): every rank is
+// registered in the conservative clock window up front, and ranks park /
+// resume cooperatively at throttle points, so simulated-time queueing
+// through sim::Resource is identical to the thread-per-rank mode — only
+// wall-clock behaviour changes.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -20,6 +22,7 @@
 
 #include "sim/actor.h"
 #include "sim/clock_window.h"
+#include "sim/multiplex.h"
 #include "sim/time.h"
 #include "sim/topology.h"
 
@@ -47,7 +50,9 @@ class Cluster {
 
   /// Run `fn(actor)` once for every rank, in parallel. Blocks until all
   /// ranks finish. `max_threads == 0` picks a default: one thread per rank
-  /// up to 4x hardware concurrency, multiplexed beyond that.
+  /// up to max(128, 4x hardware concurrency) — overridable with the
+  /// HCL_SIM_THREADS env knob — multiplexed over a bounded worker pool
+  /// beyond that.
   void run(const std::function<void(Actor&)>& fn, unsigned max_threads = 0) const {
     run_ranks(0, topology_.num_ranks(), fn, max_threads);
   }
@@ -57,23 +62,22 @@ class Cluster {
                  unsigned max_threads = 0) const {
     const int count = last - first;
     if (count <= 0) return;
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    // Default: one thread per rank up to 128 (threads are cheap — they are
-    // mostly throttled/blocked — and per-rank threads keep full queueing
-    // fidelity); beyond that, multiplex.
-    const unsigned cap = max_threads != 0 ? max_threads : std::max(128u, 4 * hw);
-    const unsigned threads = std::min<unsigned>(static_cast<unsigned>(count), cap);
+    const unsigned cap = max_threads != 0 ? max_threads : default_thread_cap();
+    const unsigned threads = std::min<unsigned>(static_cast<unsigned>(count),
+                                                std::max(1u, cap));
+
+    // Every rank is registered in the clock window BEFORE any worker runs,
+    // in BOTH modes: a rank the scheduler has not reached yet still holds
+    // the time-window floor — otherwise running ranks would race ahead in
+    // simulated time and the queueing contention they should experience
+    // would evaporate (the historical multiplexed-path bug).
+    for (Rank r = first; r < last; ++r) {
+      Actor& a = *actors_[static_cast<std::size_t>(r)];
+      if (a.window() != nullptr) a.window()->activate(r, a.now());
+    }
 
     if (threads == static_cast<unsigned>(count)) {
-      // One real thread per rank: full concurrency fidelity. Every rank is
-      // registered in the clock window BEFORE any thread runs, so a rank
-      // whose thread the OS has not yet scheduled still holds the time-
-      // window floor — otherwise running threads would race ahead in
-      // simulated time unchecked.
-      for (Rank r = first; r < last; ++r) {
-        Actor& a = *actors_[static_cast<std::size_t>(r)];
-        if (a.window() != nullptr) a.window()->activate(r, a.now());
-      }
+      // One real thread per rank: full concurrency fidelity.
       std::vector<std::thread> pool;
       pool.reserve(threads);
       for (Rank r = first; r < last; ++r) {
@@ -87,22 +91,9 @@ class Cluster {
       return;
     }
 
-    // Multiplexed: a shared work index hands out ranks to pool threads.
-    std::atomic<Rank> next{first};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i) {
-      pool.emplace_back([this, last, &next, &fn] {
-        for (;;) {
-          const Rank r = next.fetch_add(1, std::memory_order_relaxed);
-          if (r >= last) return;
-          Actor& a = *actors_[static_cast<std::size_t>(r)];
-          ActorScope scope(a);
-          fn(a);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
+    // Multiplexed: a bounded worker pool drives all ranks, parking and
+    // resuming them cooperatively at throttle points (sim/multiplex.h).
+    run_multiplexed(actors_, first, last, fn, threads, &window_);
   }
 
   /// BSP-style phased execution: every phase runs on all ranks, then clocks
@@ -142,6 +133,23 @@ class Cluster {
   }
 
  private:
+  /// Default real-thread cap: one thread per rank up to max(128, 4x
+  /// hardware concurrency) — per-rank threads are mostly throttled/blocked,
+  /// so oversubscription is cheap and keeps full queueing fidelity at bench
+  /// scales — multiplexed beyond that. HCL_SIM_THREADS overrides (README
+  /// operator table); read once, env knobs don't change mid-process.
+  static unsigned default_thread_cap() {
+    static const unsigned cap = [] {
+      if (const char* env = std::getenv("HCL_SIM_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<unsigned>(v);
+      }
+      const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+      return std::max(128u, 4 * hw);
+    }();
+    return cap;
+  }
+
   Topology topology_;
   mutable ClockWindow window_;
   std::vector<std::unique_ptr<Actor>> actors_;

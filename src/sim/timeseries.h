@@ -4,6 +4,12 @@
 // adds, so many real threads can record concurrently. Two flavours:
 //   * TimeSeries  — additive per bucket (packets/s, busy ns/s)
 //   * GaugeSeries — "last/max value seen in bucket" (resident memory)
+//
+// TimeSeries adds are striped (DESIGN.md §5j): simulated time advances
+// roughly in lockstep across ranks, so at any real moment most of a 2560-
+// rank cluster lands in the SAME bucket — a single bucket array turns the
+// hottest metric into a one-cache-line convoy. Each thread writes its own
+// stripe of buckets; reads merge stripes (exact, sums commute).
 #pragma once
 
 #include <atomic>
@@ -12,57 +18,72 @@
 #include <memory>
 #include <vector>
 
+#include "common/striped.h"
 #include "sim/time.h"
 
 namespace hcl::sim {
 
 class TimeSeries {
  public:
+  static constexpr std::size_t kStripes = 4;
+
   /// `bucket_width` simulated ns per bucket; events past the last bucket are
   /// folded into it (keeps the series bounded for open-ended runs).
   TimeSeries(Nanos bucket_width, std::size_t num_buckets)
       : width_(bucket_width > 0 ? bucket_width : 1),
-        buckets_(num_buckets > 0 ? num_buckets : 1) {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+        num_buckets_(num_buckets > 0 ? num_buckets : 1),
+        cells_(kStripes * num_buckets_) {
+    for (auto& b : cells_) b.store(0, std::memory_order_relaxed);
   }
 
   void add(Nanos t, std::int64_t value) noexcept {
-    buckets_[index(t)].fetch_add(value, std::memory_order_relaxed);
+    cells_[stripe_base() + index(t)].fetch_add(value,
+                                               std::memory_order_relaxed);
   }
 
   [[nodiscard]] Nanos bucket_width() const noexcept { return width_; }
-  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return num_buckets_; }
 
   [[nodiscard]] std::int64_t bucket(std::size_t i) const noexcept {
-    return buckets_[i < buckets_.size() ? i : buckets_.size() - 1].load(
-        std::memory_order_relaxed);
+    if (i >= num_buckets_) i = num_buckets_ - 1;
+    std::int64_t sum = 0;
+    for (std::size_t s = 0; s < kStripes; ++s) {
+      sum += cells_[s * num_buckets_ + i].load(std::memory_order_relaxed);
+    }
+    return sum;
   }
 
   [[nodiscard]] std::vector<std::int64_t> snapshot() const {
-    std::vector<std::int64_t> out(buckets_.size());
-    for (std::size_t i = 0; i < buckets_.size(); ++i) out[i] = bucket(i);
+    std::vector<std::int64_t> out(num_buckets_);
+    for (std::size_t i = 0; i < num_buckets_; ++i) out[i] = bucket(i);
     return out;
   }
 
   [[nodiscard]] std::int64_t total() const noexcept {
     std::int64_t sum = 0;
-    for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
+    for (const auto& b : cells_) sum += b.load(std::memory_order_relaxed);
     return sum;
   }
 
   void reset() noexcept {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    for (auto& b : cells_) b.store(0, std::memory_order_relaxed);
   }
 
  private:
   [[nodiscard]] std::size_t index(Nanos t) const noexcept {
     if (t < 0) return 0;
     const auto i = static_cast<std::size_t>(t / width_);
-    return i < buckets_.size() ? i : buckets_.size() - 1;
+    return i < num_buckets_ ? i : num_buckets_ - 1;
+  }
+
+  [[nodiscard]] std::size_t stripe_base() const noexcept {
+    return (hcl::detail::tls_stripe() & (kStripes - 1)) * num_buckets_;
   }
 
   Nanos width_;
-  std::vector<std::atomic<std::int64_t>> buckets_;
+  std::size_t num_buckets_;
+  /// kStripes stripe-major copies of the bucket array.
+  std::vector<std::atomic<std::int64_t>> cells_;
 };
 
 /// Tracks the maximum of a gauge per bucket (e.g. resident bytes), so ramps

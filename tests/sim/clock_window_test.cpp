@@ -1,0 +1,153 @@
+#include "sim/clock_window.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hcl::sim {
+namespace {
+
+TEST(ClockWindow, FloorTracksActiveMinimum) {
+  ClockWindow w(8);
+  EXPECT_EQ(w.exact_floor(), ClockWindow::kNoFloor);
+  w.activate(3, 500);
+  w.activate(5, 200);
+  EXPECT_EQ(w.exact_floor(), 200);
+  EXPECT_EQ(w.current_floor(), 200);
+  w.deactivate(5);
+  EXPECT_EQ(w.exact_floor(), 500);
+  EXPECT_EQ(w.current_floor(), 500);
+}
+
+TEST(ClockWindow, StripedFloorAgreesAcrossStripeBoundaries) {
+  // More ranks than one stripe (kStripeRanks = 64), actives scattered so
+  // several stripes hold candidates; the striped lazy min must match the
+  // exact scan, including after deactivations empty a whole stripe.
+  ClockWindow w(200);
+  for (int r = 0; r < 200; r += 7) w.activate(r, 1'000 + 13 * r);
+  EXPECT_EQ(w.current_floor(), w.exact_floor());
+  EXPECT_EQ(w.current_floor(), 1'000);
+  // Empty the first stripe (ranks < 64): the floor must move to the next
+  // stripe's minimum even though the first stripe's cache was the winner.
+  for (int r = 0; r < 64; r += 7) w.deactivate(r);
+  EXPECT_EQ(w.exact_floor(), 1'000 + 13 * 70);
+  EXPECT_EQ(w.current_floor(), w.exact_floor());
+}
+
+TEST(ClockWindow, CachedFloorResetsWhenAllRanksDeactivate) {
+  // Satellite regression: the fast-path cache used to carry the previous
+  // run's floor across runs. After clocks reset (run_phases style), a stale
+  // HIGH cache let early ranks of the next run pass the fast path while
+  // their peers were still at 0.
+  ClockWindow w(4);
+  w.activate(0, 20 * ClockWindow::kWindow);
+  w.activate(1, 30 * ClockWindow::kWindow);
+  w.throttle(0, 20 * ClockWindow::kWindow);  // publishes + caches a floor
+  w.deactivate(0);
+  w.deactivate(1);
+  EXPECT_EQ(w.active_count(), 0);
+  EXPECT_EQ(w.cached_floor(), ClockWindow::kNoFloor);
+
+  // Next run from t=0: rank 0 sits at 0, rank 1 tries to run 2 windows
+  // ahead. With the stale cache this returned immediately; now it must wait
+  // until rank 0 advances.
+  w.activate(0, 0);
+  w.activate(1, 0);
+  std::atomic<bool> passed{false};
+  std::thread racer([&] {
+    w.throttle(1, 2 * ClockWindow::kWindow);
+    passed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(passed.load(std::memory_order_acquire))
+      << "rank 1 passed the window while rank 0 held the floor at 0";
+  w.throttle(0, 2 * ClockWindow::kWindow);  // rank 0 catches up, floor rises
+  racer.join();
+  EXPECT_TRUE(passed.load(std::memory_order_acquire));
+  w.deactivate(0);
+  w.deactivate(1);
+}
+
+TEST(ClockWindow, ActivateHammerNeverRaisesCacheAboveExactFloor) {
+  // Satellite regression for the activate lost-min race: the historical
+  // store(min(load, now)) pair let two concurrent activations overwrite a
+  // lower cached floor with a higher one, poisoning the throttle fast path.
+  // Hammer activations (which only LOWER the exact floor) while sampling
+  // exact-then-cached: since the exact floor is non-increasing during an
+  // activation-only phase, cached > exact-read-earlier implies the bug.
+  constexpr int kRanks = 128;
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 4'000;
+  ClockWindow w(kRanks);
+  std::atomic<bool> stop{false};
+  std::atomic<int> started{0};
+
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < kThreads; ++t) {
+    hammers.emplace_back([&, t] {
+      Rng rng(0x1234 + t);
+      started.fetch_add(1);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int rank = t * (kRanks / kThreads) +
+                         static_cast<int>(rng.next_below(kRanks / kThreads));
+        // Descending-ish clocks so activations keep lowering the floor.
+        const Nanos now = static_cast<Nanos>(kItersPerThread - i) * 100;
+        w.activate(rank, now);
+      }
+    });
+  }
+  std::thread checker([&] {
+    while (started.load() < kThreads) std::this_thread::yield();
+    while (!stop.load(std::memory_order_acquire)) {
+      const Nanos exact = w.exact_floor();
+      const Nanos cached = w.cached_floor();
+      ASSERT_LE(cached, exact)
+          << "fast-path cache above the true floor: window breach";
+    }
+  });
+  for (auto& h : hammers) h.join();
+  stop.store(true, std::memory_order_release);
+  checker.join();
+  // Quiesced: the invariant must hold exactly.
+  EXPECT_LE(w.cached_floor(), w.exact_floor());
+  EXPECT_EQ(w.current_floor(), w.exact_floor());
+}
+
+TEST(ClockWindow, ThrottleEnforcesWindowUnderConcurrency) {
+  // Ranks advance in bursts from real threads; after every throttle return,
+  // the rank must be within kWindow of the (monotone while all ranks are
+  // active) exact floor at that moment.
+  constexpr int kRanks = 24;
+  constexpr int kSteps = 300;
+  const Nanos kStep = ClockWindow::kWindow / 10;
+  ClockWindow w(kRanks);
+  for (int r = 0; r < kRanks; ++r) w.activate(r, 0);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (int r = 0; r < kRanks; ++r) {
+    pool.emplace_back([&, r] {
+      Nanos now = 0;
+      Rng rng(77 + r);
+      for (int i = 0; i < kSteps; ++i) {
+        now += static_cast<Nanos>(rng.next_below(3) + 1) * kStep;
+        w.throttle(r, now);
+        // Floors only rise while every rank stays active, so a violated
+        // bound here cannot be a sampling artifact.
+        if (now > w.exact_floor() + ClockWindow::kWindow) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      w.deactivate(r);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hcl::sim
