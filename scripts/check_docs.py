@@ -8,6 +8,14 @@
    in src/ (via getenv or read_env_int) must appear in README.md's
    operator table, and every HCL_* row in that table must still be read
    somewhere in src/ — so the table can neither rot nor invent knobs.
+3. Bench handbook coverage: every bench/fig*.cpp figure binary and every
+   BENCH_*.json artifact a bench emits must be mentioned in
+   EXPERIMENTS.md — a new figure or JSON record cannot land undocumented.
+4. Bench flag completeness: every --flag parsed by a bench binary (via
+   Args::get/has in bench/) must appear in README.md's bench flag
+   reference table, and every --flag row in that table must still be
+   parsed somewhere in bench/ — same no-rot/no-invention contract as
+   the env table.
 
 Exit code 0 = green; nonzero prints each violation on its own line.
 """
@@ -25,6 +33,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 ENV_READ_RE = re.compile(
     r'(?:getenv|read_env_int)\s*\(\s*"(HCL_[A-Z0-9_]+)"')
 TABLE_ENV_RE = re.compile(r"^\|\s*`(HCL_[A-Z0-9_]+)`", re.MULTILINE)
+JSON_ARTIFACT_RE = re.compile(r'"(BENCH_[A-Z0-9_]+\.json)"')
+BENCH_FLAG_RE = re.compile(r'"(--[a-z][a-z0-9-]*)"')
+TABLE_FLAG_RE = re.compile(r"^\|\s*`(--[a-z][a-z0-9-]*)`", re.MULTILINE)
 
 
 def markdown_files():
@@ -74,16 +85,59 @@ def check_env_table(errors):
             f"README.md: operator table lists {var}, but nothing in src/ reads it")
 
 
+def bench_sources():
+    bench_dir = os.path.join(ROOT, "bench")
+    for name in sorted(os.listdir(bench_dir)):
+        if name.endswith((".cpp", ".h")):
+            yield name, open(os.path.join(bench_dir, name),
+                             encoding="utf-8").read()
+
+
+def check_bench_handbook(errors):
+    experiments = open(os.path.join(ROOT, "EXPERIMENTS.md"),
+                       encoding="utf-8").read()
+    for name, text in bench_sources():
+        if name.startswith("fig") and name.endswith(".cpp"):
+            stem = name[:-len(".cpp")]
+            if stem not in experiments:
+                errors.append(
+                    f"EXPERIMENTS.md: bench/{name} is never mentioned "
+                    f"(new figure binary without handbook coverage)")
+        for artifact in set(JSON_ARTIFACT_RE.findall(text)):
+            if artifact not in experiments:
+                errors.append(
+                    f"EXPERIMENTS.md: {artifact} (emitted by bench/{name}) "
+                    f"is never mentioned")
+
+
+def check_bench_flag_table(errors):
+    in_bench = set()
+    for _, text in bench_sources():
+        in_bench.update(BENCH_FLAG_RE.findall(text))
+    readme = open(os.path.join(ROOT, "README.md"), encoding="utf-8").read()
+    in_readme = set(TABLE_FLAG_RE.findall(readme))
+    for flag in sorted(in_bench - in_readme):
+        errors.append(
+            f"README.md: bench flag table is missing {flag} (parsed in bench/)")
+    for flag in sorted(in_readme - in_bench):
+        errors.append(
+            f"README.md: bench flag table lists {flag}, "
+            f"but nothing in bench/ parses it")
+
+
 def main():
     errors = []
     check_links(errors)
     check_env_table(errors)
+    check_bench_handbook(errors)
+    check_bench_flag_table(errors)
     for error in errors:
         print(error)
     if errors:
         print(f"{len(errors)} docs violation(s)")
         return 1
-    print("docs ok: links resolve, operator table matches src/")
+    print("docs ok: links resolve, operator table matches src/, "
+          "bench handbook and flag table match bench/")
     return 0
 
 

@@ -1,0 +1,392 @@
+// Distributed log pseudo-indexing (Fig. 8), HCL and BCL variants.
+//
+// Modeled on logpi-style log processors: a fleet of ingest ranks parses
+// address tokens out of machine-generated log lines and maintains an
+// inverted index (token -> posting list of line offsets) in a distributed
+// unordered_map, then flips to an interactive phase serving multi-term
+// AND/OR queries. The workload is deliberately bimodal:
+//
+//   * ingest — write-heavy and batched: each rank buffers `flush_lines`
+//     lines of parsed tokens, merges per-token posting chunks, and ships
+//     the whole flush through `insert_batch` (Table I's F + L + E·W
+//     amortization). A token that already exists takes the procedural
+//     append path instead: ONE registered-mutator invocation appends the
+//     chunk server-side — including cross-partition appends when rival
+//     ranks race the first insert of a hot token.
+//   * query — read-heavy and skewed: multi-term AND/OR lookups through
+//     `find_batch`, with terms drawn from the same Zipfian token
+//     distribution, so the client-side read cache, heat-driven
+//     rebalancing, and the shm tier all have something to bite on.
+//
+//   * BCL variant: the same index over bcl::HashMap. Every posting append
+//     is a client-side rmw — probe, CAS-lock, RDMA-read the full posting
+//     list, append locally, RDMA-write it back, CAS-unlock — and queries
+//     are per-term scalar finds; no batching, no cache, no server-side
+//     append (the paper's client-side-paradigm limitation, §II).
+//
+// All generation is deterministic per (config, rank): both variants index
+// the exact same token stream, and query checksums are order-independent,
+// so HCL-vs-BCL results are comparable byte-for-byte.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bcl/bcl.h"
+#include "common/rng.h"
+#include "core/hcl.h"
+
+namespace hcl::apps {
+
+/// A posting list: global line offsets (sorted only at query time — append
+/// order across concurrent ranks is not deterministic, the multiset is).
+using Posting = std::vector<std::uint64_t>;
+
+struct LogpiConfig {
+  /// Log lines generated per rank (weak scaling: total grows with ranks).
+  std::size_t lines_per_rank = 128;
+  /// Address tokens parsed out of each line.
+  int tokens_per_line = 4;
+  /// Distinct address tokens in the vocabulary.
+  std::uint64_t vocab = 4096;
+  /// Zipfian skew of token popularity (YCSB-style theta).
+  double theta = 0.99;
+  std::uint64_t seed = 11;
+  /// Lines buffered per rank before a flush ships as one insert_batch.
+  std::size_t flush_lines = 64;
+  /// Interactive queries issued per rank in the query phase.
+  std::size_t queries_per_rank = 64;
+  /// Terms per multi-term query (alternating AND / OR by query index).
+  int terms_per_query = 3;
+  /// BCL static table slack over the vocabulary size.
+  double bcl_table_slack = 2.0;
+};
+
+struct LogpiResult {
+  double ingest_seconds = 0;  // simulated makespan of the ingest phase
+  double query_seconds = 0;   // simulated makespan of the query phase
+  std::uint64_t lines = 0;
+  std::uint64_t postings = 0;        // token occurrences indexed
+  std::uint64_t distinct_tokens = 0; // index cardinality
+  std::uint64_t batch_inserted = 0;  // tokens landed via insert_batch
+  std::uint64_t appends = 0;         // posting chunks landed via append RMW
+  std::uint64_t queries = 0;
+  std::uint64_t query_hits = 0;      // total offsets matched across queries
+  std::uint64_t query_checksum = 0;  // order-independent result digest
+  std::int64_t failed_ops = 0;
+};
+
+namespace detail {
+
+/// Deterministic parsed-token stream for one rank: lines[i] is the token
+/// list of global line offset `rank * lines_per_rank + i`. Duplicate
+/// tokens inside one line are legal (and common under skew) — the posting
+/// list then carries the offset once per occurrence, like a real
+/// occurrence index.
+inline std::vector<std::vector<std::uint64_t>> logpi_lines(
+    const LogpiConfig& config, sim::Rank rank) {
+  Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (rank + 1)));
+  ZipfGen zipf(config.vocab, config.theta, rng);
+  std::vector<std::vector<std::uint64_t>> lines(config.lines_per_rank);
+  for (auto& line : lines) {
+    line.reserve(static_cast<std::size_t>(config.tokens_per_line));
+    for (int t = 0; t < config.tokens_per_line; ++t) {
+      line.push_back(zipf.next_scrambled());
+    }
+  }
+  return lines;
+}
+
+/// Deterministic query stream for one rank: each query is a distinct-term
+/// list; query index parity picks AND (even) or OR (odd).
+inline std::vector<std::vector<std::uint64_t>> logpi_queries(
+    const LogpiConfig& config, sim::Rank rank) {
+  Rng rng(config.seed ^ 0x5851f42d4c957f2dULL ^
+          (0x9e3779b97f4a7c15ULL * (rank + 1)));
+  ZipfGen zipf(config.vocab, config.theta, rng);
+  std::vector<std::vector<std::uint64_t>> queries(config.queries_per_rank);
+  for (auto& q : queries) {
+    while (q.size() < static_cast<std::size_t>(config.terms_per_query)) {
+      const std::uint64_t term = zipf.next_scrambled();
+      if (std::find(q.begin(), q.end(), term) == q.end()) q.push_back(term);
+    }
+  }
+  return queries;
+}
+
+/// Evaluate one multi-term query over its posting lists (missing terms are
+/// empty lists). Lists arrive in arbitrary append order; evaluation sorts
+/// and dedups, so the result is a set of line offsets.
+inline std::vector<std::uint64_t> eval_query(
+    std::vector<Posting> lists, bool is_and) {
+  for (auto& list : lists) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  if (lists.empty()) return {};
+  std::vector<std::uint64_t> acc = std::move(lists.front());
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    std::vector<std::uint64_t> next;
+    if (is_and) {
+      std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                            lists[i].end(), std::back_inserter(next));
+    } else {
+      std::set_union(acc.begin(), acc.end(), lists[i].begin(), lists[i].end(),
+                     std::back_inserter(next));
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+/// Order-independent digest of one query's result set.
+inline std::uint64_t query_digest(const std::vector<std::uint64_t>& result) {
+  std::uint64_t h = mix64(result.size() + 1);
+  for (std::uint64_t off : result) h += mix64(off ^ 0x2545f4914f6cdd1dULL);
+  return h;
+}
+
+}  // namespace detail
+
+/// HCL variant. `options` lets callers compose the subsystems under test
+/// (cache policy, batch policy, rebalance arming); the index container is
+/// created fresh per call.
+inline LogpiResult run_logpi_hcl(Context& ctx, const LogpiConfig& config,
+                                 core::ContainerOptions options = {}) {
+  unordered_map<std::uint64_t, Posting> index(ctx, options);
+  const auto append_id = index.register_mutator<Posting>(
+      [](Posting& posting, const Posting& chunk) {
+        posting.insert(posting.end(), chunk.begin(), chunk.end());
+      });
+
+  LogpiResult result;
+  std::atomic<std::uint64_t> postings{0}, batch_inserted{0}, appends{0};
+  std::atomic<std::uint64_t> queries{0}, hits{0}, checksum{0};
+  std::atomic<std::int64_t> failed{0};
+
+  // Phase 1 — ingest: buffer, merge per token, flush through insert_batch;
+  // already-present tokens append via ONE mutator invocation each.
+  ctx.reset_measurement();
+  ctx.run([&](sim::Actor& self) {
+    const auto lines = detail::logpi_lines(config, self.rank());
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(self.rank()) * config.lines_per_rank;
+    std::map<std::uint64_t, Posting> buffer;  // ordered: deterministic flush
+    std::uint64_t mine = 0;
+
+    auto flush = [&] {
+      if (buffer.empty()) return;
+      std::vector<std::uint64_t> keys;
+      std::vector<Posting> chunks;
+      keys.reserve(buffer.size());
+      chunks.reserve(buffer.size());
+      for (auto& [token, chunk] : buffer) {
+        keys.push_back(token);
+        chunks.push_back(std::move(chunk));
+      }
+      buffer.clear();
+      try {
+        std::vector<Status> statuses;
+        const std::vector<bool> fresh =
+            index.insert_batch(keys, chunks, &statuses);
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          if (!statuses[i].ok()) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          } else if (fresh[i]) {
+            batch_inserted.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Duplicate token (possibly first seen by a rival rank on
+            // another partition's node): server-side posting append.
+            index.apply(keys[i], append_id, chunks[i], Posting{});
+            appends.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } catch (const HclError&) {
+        failed.fetch_add(static_cast<std::int64_t>(keys.size()),
+                         std::memory_order_relaxed);
+      }
+    };
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      for (std::uint64_t token : lines[i]) {
+        buffer[token].push_back(base + i);
+        ++mine;
+      }
+      if ((i + 1) % config.flush_lines == 0) flush();
+    }
+    flush();
+    postings.fetch_add(mine, std::memory_order_relaxed);
+  });
+  result.ingest_seconds = ctx.elapsed_seconds();
+
+  // Between phases: let the heat advisor act on the ingest skew before the
+  // read-heavy phase hammers the same hot tokens (DESIGN.md §5g — drivers
+  // tick between phases; a disabled policy makes this a no-op).
+  if (options.rebalance.enabled) {
+    ctx.run_one(0, [&](sim::Actor&) { index.rebalance_tick(); });
+  }
+
+  // Phase 2 — interactive multi-term AND/OR queries through find_batch.
+  ctx.reset_measurement();
+  ctx.run([&](sim::Actor& self) {
+    const auto stream = detail::logpi_queries(config, self.rank());
+    std::uint64_t my_hits = 0, my_checksum = 0;
+    for (std::size_t q = 0; q < stream.size(); ++q) {
+      try {
+        const auto found = index.find_batch(stream[q]);
+        std::vector<Posting> lists(found.size());
+        for (std::size_t i = 0; i < found.size(); ++i) {
+          if (found[i].has_value()) lists[i] = *found[i];
+        }
+        const auto matched = detail::eval_query(std::move(lists), q % 2 == 0);
+        my_hits += matched.size();
+        my_checksum += detail::query_digest(matched);
+      } catch (const HclError&) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    queries.fetch_add(stream.size(), std::memory_order_relaxed);
+    hits.fetch_add(my_hits, std::memory_order_relaxed);
+    checksum.fetch_add(my_checksum, std::memory_order_relaxed);
+  });
+  result.query_seconds = ctx.elapsed_seconds();
+
+  result.lines = static_cast<std::uint64_t>(ctx.topology().num_ranks()) *
+                 config.lines_per_rank;
+  result.postings = postings.load(std::memory_order_relaxed);
+  result.distinct_tokens = index.size();
+  result.batch_inserted = batch_inserted.load(std::memory_order_relaxed);
+  result.appends = appends.load(std::memory_order_relaxed);
+  result.queries = queries.load(std::memory_order_relaxed);
+  result.query_hits = hits.load(std::memory_order_relaxed);
+  result.query_checksum = checksum.load(std::memory_order_relaxed);
+  result.failed_ops = failed.load(std::memory_order_relaxed);
+  return result;
+}
+
+/// BCL variant: same deterministic streams, client-side index maintenance.
+inline LogpiResult run_logpi_bcl(Context& ctx, const LogpiConfig& config) {
+  // Static sizing up front (the client-side paradigm's limitation): the
+  // table and its per-entry reservation must be declared before the first
+  // line arrives. Entry estimate: a token plus its expected posting list.
+  const std::uint64_t expected_occurrences =
+      static_cast<std::uint64_t>(ctx.topology().num_ranks()) *
+      config.lines_per_rank * static_cast<std::uint64_t>(config.tokens_per_line);
+  const std::size_t entry_bytes =
+      sizeof(std::uint64_t) +
+      static_cast<std::size_t>(
+          (expected_occurrences / std::max<std::uint64_t>(config.vocab, 1) + 1) *
+          sizeof(std::uint64_t));
+  bcl::HashMap<std::uint64_t, Posting> index(
+      ctx,
+      static_cast<std::size_t>(static_cast<double>(config.vocab) *
+                               config.bcl_table_slack),
+      {}, entry_bytes);
+
+  LogpiResult result;
+  std::atomic<std::uint64_t> postings{0}, appends{0};
+  std::atomic<std::uint64_t> queries{0}, hits{0}, checksum{0};
+  std::atomic<std::int64_t> failed{0};
+
+  // Phase 1 — ingest. First the static-model tax: the key universe must be
+  // declared up front (limitation (e)), so the ranks seed every vocabulary
+  // token with an empty posting list — distinct keys per rank, which also
+  // sidesteps the client-side duplicate-insert race (bcl/hash_map.h
+  // limitation (d)) that would otherwise split hot posting lists across
+  // buckets. Then every flushed chunk is one client-side rmw (probe +
+  // CAS-lock + read-back + write-back + unlock) against a READY bucket.
+  const int ranks = ctx.topology().num_ranks();
+  ctx.reset_measurement();
+  ctx.run_phases({
+      [&](sim::Actor& self) {
+        for (std::uint64_t token = static_cast<std::uint64_t>(self.rank());
+             token < config.vocab;
+             token += static_cast<std::uint64_t>(ranks)) {
+          if (!index.insert(token, Posting{}).ok()) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      [&](sim::Actor& self) {
+        const auto lines = detail::logpi_lines(config, self.rank());
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(self.rank()) * config.lines_per_rank;
+        std::map<std::uint64_t, Posting> buffer;
+        std::uint64_t mine = 0;
+
+        auto flush = [&] {
+          for (auto& [token, chunk] : buffer) {
+            const Status st = index.rmw(
+                token,
+                [&chunk](Posting& posting) {
+                  posting.insert(posting.end(), chunk.begin(), chunk.end());
+                },
+                Posting{});
+            if (st.ok()) {
+              appends.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          buffer.clear();
+        };
+
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          for (std::uint64_t token : lines[i]) {
+            buffer[token].push_back(base + i);
+            ++mine;
+          }
+          if ((i + 1) % config.flush_lines == 0) flush();
+        }
+        flush();
+        postings.fetch_add(mine, std::memory_order_relaxed);
+      },
+  });
+  result.ingest_seconds = ctx.elapsed_seconds();
+
+  // Phase 2 — queries: one scalar find per term, no batching, no cache.
+  ctx.reset_measurement();
+  ctx.run([&](sim::Actor& self) {
+    const auto stream = detail::logpi_queries(config, self.rank());
+    std::uint64_t my_hits = 0, my_checksum = 0;
+    for (std::size_t q = 0; q < stream.size(); ++q) {
+      std::vector<Posting> lists(stream[q].size());
+      for (std::size_t i = 0; i < stream[q].size(); ++i) {
+        Posting posting;
+        if (index.find(stream[q][i], &posting).ok()) {
+          lists[i] = std::move(posting);
+        }
+      }
+      const auto matched = detail::eval_query(std::move(lists), q % 2 == 0);
+      my_hits += matched.size();
+      my_checksum += detail::query_digest(matched);
+    }
+    queries.fetch_add(stream.size(), std::memory_order_relaxed);
+    hits.fetch_add(my_hits, std::memory_order_relaxed);
+    checksum.fetch_add(my_checksum, std::memory_order_relaxed);
+  });
+  result.query_seconds = ctx.elapsed_seconds();
+
+  result.lines = static_cast<std::uint64_t>(ctx.topology().num_ranks()) *
+                 config.lines_per_rank;
+  result.postings = postings.load(std::memory_order_relaxed);
+  std::uint64_t distinct = 0;
+  index.for_each([&](const std::uint64_t&, const Posting& posting) {
+    // Seeded-but-never-hit tokens carry an empty list; only tokens that
+    // actually occurred count toward the index cardinality.
+    if (!posting.empty()) ++distinct;
+  });
+  result.distinct_tokens = distinct;
+  result.appends = appends.load(std::memory_order_relaxed);
+  result.queries = queries.load(std::memory_order_relaxed);
+  result.query_hits = hits.load(std::memory_order_relaxed);
+  result.query_checksum = checksum.load(std::memory_order_relaxed);
+  result.failed_ops = failed.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace hcl::apps

@@ -1,0 +1,159 @@
+// Tier-1 tests for the graph-store scenario (Fig. 9): k-hop BFS against a
+// sequential reference on a seeded random graph, transactional edge-ingest
+// conservation, and HCL/BCL equivalence — swept cache-on and cache-off.
+#include "apps/graph_store.h"
+
+#include <gtest/gtest.h>
+
+namespace hcl::apps {
+namespace {
+
+using sim::CostModel;
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = CostModel::zero();
+  return cfg;
+}
+
+GraphConfig small_config() {
+  GraphConfig config;
+  config.vertices = 192;
+  config.avg_degree = 4.0;
+  config.vertex_batch = 16;
+  config.edge_push_chunk = 8;
+  config.bfs_sources = 4;
+  config.khop = 2;
+  config.degree_samples = 16;
+  return config;
+}
+
+// The reference BFS checksum the distributed traversals must reproduce.
+std::uint64_t reference_bfs_checksum(const GraphConfig& config,
+                                     std::uint64_t* reached_out = nullptr) {
+  const auto edges = detail::graph_edges(config);
+  std::uint64_t checksum = 0, reached = 0;
+  for (std::uint64_t source : detail::bfs_sources(config)) {
+    const auto seen = detail::khop_reference(edges, source, config.khop);
+    reached += seen.size();
+    checksum += detail::bfs_digest(source, seen);
+  }
+  if (reached_out != nullptr) *reached_out = reached;
+  return checksum;
+}
+
+core::ContainerOptions cached_options() {
+  core::ContainerOptions options;
+  options.cache.mode = cache::CacheMode::kInvalidate;
+  options.cache.capacity = 1024;
+  return options;
+}
+
+// ---------------- deterministic workload ----------------
+
+TEST(GraphStore, EdgePackingRoundTrips) {
+  EXPECT_EQ(pack_edge(7, 3), pack_edge(3, 7));  // canonical undirected form
+  const EdgeId e = pack_edge(123456, 42);
+  EXPECT_EQ(edge_u(e), 42u);
+  EXPECT_EQ(edge_v(e), 123456u);
+}
+
+TEST(GraphStore, EdgeListIsDeterministicAndSimple) {
+  const GraphConfig config = small_config();
+  const auto a = detail::graph_edges(config);
+  EXPECT_EQ(a, detail::graph_edges(config));
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(edge_u(a[i]), edge_v(a[i]));            // no self-loops
+    EXPECT_LT(edge_u(a[i]), edge_v(a[i]));            // canonical
+    if (i > 0) {
+      EXPECT_LT(a[i - 1], a[i]);  // sorted, unique
+    }
+    EXPECT_LT(edge_v(a[i]), config.vertices);
+  }
+}
+
+TEST(GraphStore, KhopReferenceGrowsWithDepth) {
+  const GraphConfig config = small_config();
+  const auto edges = detail::graph_edges(config);
+  const std::uint64_t source = detail::bfs_sources(config).front();
+  std::size_t prev = 0;
+  for (int k = 1; k <= 3; ++k) {
+    const auto seen = detail::khop_reference(edges, source, k);
+    EXPECT_GE(seen.size(), prev);
+    EXPECT_EQ(seen.count(source), 0u);  // source excluded from reached set
+    prev = seen.size();
+  }
+}
+
+// ---------------- distributed BFS vs the sequential reference ----------------
+
+class GraphCacheSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GraphCacheSweep, HclBfsMatchesSequentialReference) {
+  const GraphConfig config = small_config();
+  std::uint64_t expect_reached = 0;
+  const std::uint64_t expect_checksum =
+      reference_bfs_checksum(config, &expect_reached);
+  Context ctx(zero_config(3, 2));
+  const GraphResult r = run_graph_hcl(
+      ctx, config, GetParam() ? cached_options() : core::ContainerOptions{});
+  EXPECT_EQ(r.failed_ops, 0);
+  EXPECT_EQ(r.edges, detail::graph_edges(config).size());
+  // Conservation: every queued edge was moved by exactly one transaction.
+  EXPECT_EQ(r.transferred, r.edges);
+  EXPECT_EQ(r.bfs_reached, expect_reached);
+  EXPECT_EQ(r.bfs_checksum, expect_checksum);
+  // Batched drain: one commit moves up to edges_per_txn edges (plus the
+  // final empty-lane probes and the vertex multi_puts).
+  EXPECT_GE(r.txn_commits,
+            static_cast<std::int64_t>(r.edges / config.edges_per_txn));
+}
+
+TEST_P(GraphCacheSweep, SingleRankMatchesSequentialReference) {
+  const GraphConfig config = small_config();
+  const std::uint64_t expect_checksum = reference_bfs_checksum(config);
+  Context ctx(zero_config(1, 1));
+  const GraphResult r = run_graph_hcl(
+      ctx, config, GetParam() ? cached_options() : core::ContainerOptions{});
+  EXPECT_EQ(r.failed_ops, 0);
+  EXPECT_EQ(r.transferred, r.edges);
+  EXPECT_EQ(r.bfs_checksum, expect_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheOnOff, GraphCacheSweep, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "CacheOn" : "CacheOff";
+                         });
+
+// ---------------- HCL vs BCL equivalence ----------------
+
+TEST(GraphStore, BclVariantMatchesReferenceAndHcl) {
+  const GraphConfig config = small_config();
+  const std::uint64_t expect_checksum = reference_bfs_checksum(config);
+  Context ctx(zero_config(3, 2));
+  const GraphResult h = run_graph_hcl(ctx, config);
+  const GraphResult b = run_graph_bcl(ctx, config);
+  EXPECT_EQ(b.failed_ops, 0);
+  EXPECT_EQ(b.bfs_checksum, expect_checksum);
+  EXPECT_EQ(h.bfs_checksum, b.bfs_checksum);
+  EXPECT_EQ(h.bfs_reached, b.bfs_reached);
+  EXPECT_EQ(h.degree_checksum, b.degree_checksum);
+}
+
+// ---------------- multiple drainers stay conservative ----------------
+
+TEST(GraphStore, MultipleDrainersConserveEdges) {
+  GraphConfig config = small_config();
+  config.drainers_per_node = 2;  // rival drainers race pops on each lane
+  const std::uint64_t expect_checksum = reference_bfs_checksum(config);
+  Context ctx(zero_config(2, 4));
+  const GraphResult r = run_graph_hcl(ctx, config);
+  EXPECT_EQ(r.transferred, r.edges);
+  EXPECT_EQ(r.bfs_checksum, expect_checksum);
+}
+
+}  // namespace
+}  // namespace hcl::apps

@@ -1,0 +1,178 @@
+// Tier-1 tests for the logpi inverted-index scenario (Fig. 8): posting-list
+// correctness against a single-rank oracle — including duplicate-token and
+// cross-partition posting appends — swept cache-on and cache-off.
+#include "apps/logpi.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hcl::apps {
+namespace {
+
+using sim::CostModel;
+
+Context::Config zero_config(int nodes, int procs) {
+  Context::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = procs;
+  cfg.model = CostModel::zero();
+  return cfg;
+}
+
+LogpiConfig small_config() {
+  LogpiConfig config;
+  config.lines_per_rank = 32;
+  config.tokens_per_line = 3;
+  config.vocab = 64;  // small vocabulary: duplicate tokens are guaranteed
+  config.flush_lines = 8;
+  config.queries_per_rank = 8;
+  config.terms_per_query = 2;
+  return config;
+}
+
+// Sequential oracle: the exact index every correct variant must build, and
+// the query results it implies. Reuses the deterministic generators, so any
+// divergence is in the distributed plumbing, not the workload.
+struct Oracle {
+  std::map<std::uint64_t, Posting> index;  // token -> sorted offsets
+  std::uint64_t postings = 0;
+  std::uint64_t query_hits = 0;
+  std::uint64_t query_checksum = 0;
+};
+
+Oracle build_oracle(const LogpiConfig& config, int ranks) {
+  Oracle oracle;
+  for (int r = 0; r < ranks; ++r) {
+    const auto lines = detail::logpi_lines(config, r);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(r) * config.lines_per_rank;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      for (std::uint64_t token : lines[i]) {
+        oracle.index[token].push_back(base + i);
+        ++oracle.postings;
+      }
+    }
+  }
+  for (int r = 0; r < ranks; ++r) {
+    const auto stream = detail::logpi_queries(config, r);
+    for (std::size_t q = 0; q < stream.size(); ++q) {
+      std::vector<Posting> lists;
+      for (std::uint64_t term : stream[q]) {
+        auto it = oracle.index.find(term);
+        lists.push_back(it == oracle.index.end() ? Posting{} : it->second);
+      }
+      const auto matched = detail::eval_query(std::move(lists), q % 2 == 0);
+      oracle.query_hits += matched.size();
+      oracle.query_checksum += detail::query_digest(matched);
+    }
+  }
+  return oracle;
+}
+
+core::ContainerOptions cached_options() {
+  core::ContainerOptions options;
+  options.cache.mode = cache::CacheMode::kInvalidate;
+  options.cache.capacity = 1024;
+  return options;
+}
+
+// ---------------- deterministic workload ----------------
+
+TEST(Logpi, GeneratorsAreDeterministicAndRankDisjoint) {
+  const LogpiConfig config = small_config();
+  EXPECT_EQ(detail::logpi_lines(config, 0), detail::logpi_lines(config, 0));
+  EXPECT_NE(detail::logpi_lines(config, 0), detail::logpi_lines(config, 1));
+  EXPECT_EQ(detail::logpi_queries(config, 2), detail::logpi_queries(config, 2));
+  for (const auto& line : detail::logpi_lines(config, 3)) {
+    EXPECT_EQ(line.size(), 3u);
+    for (std::uint64_t token : line) EXPECT_LT(token, config.vocab);
+  }
+}
+
+TEST(Logpi, EvalQueryIntersectsAndUnions) {
+  // Lists arrive unsorted with duplicates; evaluation must set-normalize.
+  std::vector<Posting> lists = {{5, 1, 3, 1}, {3, 5, 9}};
+  EXPECT_EQ(detail::eval_query(lists, /*is_and=*/true), (Posting{3, 5}));
+  EXPECT_EQ(detail::eval_query(lists, /*is_and=*/false), (Posting{1, 3, 5, 9}));
+  EXPECT_TRUE(detail::eval_query({}, true).empty());
+  // A missing term (empty list) annihilates an AND.
+  EXPECT_TRUE(detail::eval_query({{1, 2}, {}}, true).empty());
+}
+
+// ---------------- posting-list correctness vs the oracle ----------------
+
+class LogpiCacheSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LogpiCacheSweep, SingleRankMatchesOracle) {
+  const LogpiConfig config = small_config();
+  const Oracle oracle = build_oracle(config, 1);
+  Context ctx(zero_config(1, 1));
+  const LogpiResult r = run_logpi_hcl(
+      ctx, config, GetParam() ? cached_options() : core::ContainerOptions{});
+  EXPECT_EQ(r.failed_ops, 0);
+  EXPECT_EQ(r.postings, oracle.postings);
+  EXPECT_EQ(r.distinct_tokens, oracle.index.size());
+  EXPECT_EQ(r.query_hits, oracle.query_hits);
+  EXPECT_EQ(r.query_checksum, oracle.query_checksum);
+}
+
+TEST_P(LogpiCacheSweep, MultiRankCrossPartitionMatchesOracle) {
+  // 4 partitions across 4 nodes: hot tokens are first-inserted by one rank
+  // and appended by rivals on other nodes — the cross-partition append path.
+  const LogpiConfig config = small_config();
+  const Oracle oracle = build_oracle(config, 8);
+  Context ctx(zero_config(4, 2));
+  const LogpiResult r = run_logpi_hcl(
+      ctx, config, GetParam() ? cached_options() : core::ContainerOptions{});
+  EXPECT_EQ(r.failed_ops, 0);
+  EXPECT_EQ(r.postings, oracle.postings);
+  EXPECT_EQ(r.distinct_tokens, oracle.index.size());
+  EXPECT_EQ(r.query_hits, oracle.query_hits);
+  EXPECT_EQ(r.query_checksum, oracle.query_checksum);
+  // Every distinct token lands exactly once via insert_batch; every
+  // duplicate flush chunk takes the server-side append path.
+  EXPECT_EQ(r.batch_inserted, oracle.index.size());
+  EXPECT_GT(r.appends, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheOnOff, LogpiCacheSweep, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "CacheOn" : "CacheOff";
+                         });
+
+// ---------------- HCL vs BCL equivalence ----------------
+
+TEST(Logpi, BclVariantMatchesOracleAndHcl) {
+  const LogpiConfig config = small_config();
+  const Oracle oracle = build_oracle(config, 6);
+  Context ctx(zero_config(3, 2));
+  const LogpiResult h = run_logpi_hcl(ctx, config);
+  const LogpiResult b = run_logpi_bcl(ctx, config);
+  EXPECT_EQ(b.failed_ops, 0);
+  EXPECT_EQ(b.postings, oracle.postings);
+  EXPECT_EQ(b.distinct_tokens, oracle.index.size());
+  EXPECT_EQ(b.query_checksum, oracle.query_checksum);
+  EXPECT_EQ(h.query_checksum, b.query_checksum);
+  EXPECT_EQ(h.query_hits, b.query_hits);
+}
+
+// ---------------- rebalance-armed run stays correct ----------------
+
+TEST(Logpi, RebalanceArmedRunConvergesToOracle) {
+  LogpiConfig config = small_config();
+  config.lines_per_rank = 64;  // enough routed ops to trip the advisor
+  const Oracle oracle = build_oracle(config, 8);
+  core::ContainerOptions options;
+  options.rebalance.enabled = true;
+  options.rebalance.min_ops = 64;
+  options.rebalance.cooldown_ops = 64;
+  Context ctx(zero_config(4, 2));
+  const LogpiResult r = run_logpi_hcl(ctx, config, options);
+  EXPECT_EQ(r.failed_ops, 0);
+  EXPECT_EQ(r.postings, oracle.postings);
+  EXPECT_EQ(r.query_checksum, oracle.query_checksum);
+}
+
+}  // namespace
+}  // namespace hcl::apps
